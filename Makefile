@@ -1,0 +1,36 @@
+# Convenience targets for the FAST reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench tables cover fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the slow functional-bootstrapping tests (~40 s).
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+tables:
+	$(GO) run ./cmd/benchtables
+
+cover:
+	$(GO) test -short -cover ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

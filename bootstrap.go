@@ -1,0 +1,108 @@
+package fast
+
+import (
+	"fmt"
+
+	"github.com/fastfhe/fast/internal/ckks"
+)
+
+// BootstrapContextConfig describes a functional-bootstrapping context. The
+// parameter regime is a demonstration one (sparse secret, shallow security):
+// it exists to prove the full ModRaise → SubSum → CoeffToSlot → EvalMod →
+// SlotToCoeff pipeline end to end, not to protect data.
+type BootstrapContextConfig struct {
+	// LogN is the ring degree exponent (default 12).
+	LogN int
+	// LogSlots is the packing exponent (default 4: 16 slots; the sparse
+	// packing keeps the homomorphic DFT small).
+	LogSlots int
+	// Levels is the chain depth (default 24; the pipeline consumes ~20).
+	Levels int
+	// Seed fixes all randomness.
+	Seed int64
+}
+
+// BootstrapContext is a Context that can also refresh exhausted ciphertexts.
+type BootstrapContext struct {
+	*Context
+	bt *ckks.Bootstrapper
+}
+
+// NewBootstrapContext builds a context with a sparse (hamming-weight-16)
+// secret, the Galois keys the bootstrap pipeline needs, and a precomputed
+// bootstrapper.
+func NewBootstrapContext(cfg BootstrapContextConfig) (*BootstrapContext, error) {
+	if cfg.LogN == 0 {
+		cfg.LogN = 12
+	}
+	if cfg.LogSlots == 0 {
+		cfg.LogSlots = 4
+	}
+	if cfg.Levels == 0 {
+		cfg.Levels = 24
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 3
+	}
+	bp := ckks.DefaultBootstrapParameters()
+	if cfg.Levels < bp.Depth() {
+		return nil, fmt.Errorf("fast: bootstrap needs at least %d levels, got %d", bp.Depth(), cfg.Levels)
+	}
+
+	logQ := make([]int, cfg.Levels+1)
+	logQ[0] = 50
+	for i := 1; i < len(logQ); i++ {
+		logQ[i] = 40
+	}
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:                cfg.LogN,
+		LogSlots:            cfg.LogSlots,
+		LogQ:                logQ,
+		LogP:                []int{50, 50, 50},
+		LogScale:            40,
+		Alpha:               3,
+		Seed:                cfg.Seed,
+		SecretHammingWeight: 16,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := &Context{params: params}
+	ctx.encoder = ckks.NewEncoder(params)
+	kgen := ckks.NewKeyGenerator(params)
+	ctx.sk = kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(ctx.sk)
+	ctx.enc = ckks.NewEncryptor(params, pk)
+	ctx.dec = ckks.NewDecryptor(params, ctx.sk)
+	ctx.keys, err = kgen.GenEvaluationKeySet(ctx.sk,
+		[]ckks.KeySwitchMethod{ckks.Hybrid}, ckks.BootstrapRotations(params), true)
+	if err != nil {
+		return nil, err
+	}
+	ctx.eval, err = ckks.NewEvaluator(params, ctx.keys)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := ckks.NewBootstrapper(params, ctx.encoder, ctx.eval, bp)
+	if err != nil {
+		return nil, err
+	}
+	return &BootstrapContext{Context: ctx, bt: bt}, nil
+}
+
+// Bootstrap refreshes a level-0 ciphertext, restoring usable multiplicative
+// levels while preserving the message (to the scheme's approximation error).
+func (c *BootstrapContext) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
+	out, err := c.bt.Bootstrap(ct.ct)
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{out}, nil
+}
+
+// ExhaustLevels drops a ciphertext to level 0, simulating a computation that
+// consumed the whole chain.
+func (c *BootstrapContext) ExhaustLevels(ct *Ciphertext) *Ciphertext {
+	return &Ciphertext{c.eval.DropLevel(ct.ct, ct.ct.Level)}
+}

@@ -1,0 +1,48 @@
+package fast
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestBootstrapContext(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bootstrapping is slow")
+	}
+	ctx, err := NewBootstrapContext(BootstrapContextConfig{})
+	if err != nil {
+		t.Fatalf("NewBootstrapContext: %v", err)
+	}
+	values := make([]complex128, ctx.Slots())
+	for i := range values {
+		values[i] = complex(0.4*math.Sin(float64(i)), 0.2)
+	}
+	ct, err := ctx.Encrypt(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhausted := ctx.ExhaustLevels(ct)
+	if exhausted.Level() != 0 {
+		t.Fatalf("ExhaustLevels left level %d", exhausted.Level())
+	}
+	refreshed, err := ctx.Bootstrap(exhausted)
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if refreshed.Level() < 1 {
+		t.Fatalf("no levels restored: %d", refreshed.Level())
+	}
+	got := ctx.Decrypt(refreshed)
+	for i := range values {
+		if e := cmplx.Abs(got[i] - values[i]); e > 5e-3 {
+			t.Fatalf("slot %d error %g", i, e)
+		}
+	}
+}
+
+func TestBootstrapContextValidation(t *testing.T) {
+	if _, err := NewBootstrapContext(BootstrapContextConfig{Levels: 5}); err == nil {
+		t.Error("expected error for too-shallow chain")
+	}
+}

@@ -1,0 +1,295 @@
+package fast
+
+import (
+	"fmt"
+
+	"github.com/fastfhe/fast/internal/ckks"
+)
+
+// Method selects a key-switching backend.
+type Method int
+
+const (
+	// Hybrid is the 36-bit ModUp/KeyMult/ModDown method (paper Fig. 1(a)).
+	Hybrid Method = iota
+	// KLSS is the 60-bit double-decomposition method (paper Fig. 1(b)).
+	KLSS
+)
+
+func (m Method) String() string {
+	if m == KLSS {
+		return "klss"
+	}
+	return "hybrid"
+}
+
+func (m Method) internal() ckks.KeySwitchMethod {
+	if m == KLSS {
+		return ckks.KLSS
+	}
+	return ckks.Hybrid
+}
+
+// ContextConfig describes a functional CKKS instantiation.
+type ContextConfig struct {
+	// LogN is the ring-degree exponent (N = 2^LogN). Values of 11-13 run
+	// comfortably on a laptop; the paper's hardware parameters use 16.
+	LogN int
+	// LogSlots is the packing exponent; defaults to LogN-1 (full packing).
+	LogSlots int
+	// Levels is the multiplicative depth (ciphertext limbs = Levels+1).
+	Levels int
+	// LogScale is log2 of the encoding scale Δ (default 36, the paper's
+	// ciphertext word size).
+	LogScale int
+	// Rotations lists the rotation amounts to generate Galois keys for.
+	Rotations []int
+	// Conjugation requests the conjugation key.
+	Conjugation bool
+	// EnableKLSS additionally generates the 60-bit-chain keys so the KLSS
+	// backend can run (costs ~3.7x the key storage, §3.1).
+	EnableKLSS bool
+	// Seed makes all randomness deterministic (0 uses a fixed default).
+	Seed int64
+}
+
+// DefaultConfig returns a laptop-friendly configuration exercising both
+// backends.
+func DefaultConfig() ContextConfig {
+	return ContextConfig{
+		LogN:        11,
+		Levels:      5,
+		LogScale:    36,
+		Rotations:   []int{1, -1, 2, 4, 8},
+		Conjugation: true,
+		EnableKLSS:  true,
+		Seed:        1,
+	}
+}
+
+// Context owns a key set and evaluator over one CKKS parameter set. It is
+// the entry point of the functional layer.
+type Context struct {
+	params  *ckks.Parameters
+	encoder *ckks.Encoder
+	sk      *ckks.SecretKey
+	enc     *ckks.Encryptor
+	dec     *ckks.Decryptor
+	keys    *ckks.EvaluationKeySet
+	eval    *ckks.Evaluator
+}
+
+// Ciphertext is an encrypted vector of complex values.
+type Ciphertext struct {
+	ct *ckks.Ciphertext
+}
+
+// Level returns the remaining multiplicative level ℓ.
+func (c *Ciphertext) Level() int { return c.ct.Level }
+
+// Scale returns the current encoding scale.
+func (c *Ciphertext) Scale() float64 { return c.ct.Scale }
+
+// NewContext compiles the configuration, generates all keys and returns a
+// ready-to-use context.
+func NewContext(cfg ContextConfig) (*Context, error) {
+	if cfg.LogN == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.LogSlots == 0 {
+		cfg.LogSlots = cfg.LogN - 1
+	}
+	if cfg.LogScale == 0 {
+		cfg.LogScale = 36
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Levels < 1 {
+		return nil, fmt.Errorf("fast: need at least one multiplicative level")
+	}
+
+	logQ := make([]int, cfg.Levels+1)
+	logQ[0] = cfg.LogScale + 14 // q0 absorbs the message plus noise margin
+	if logQ[0] > 55 {
+		logQ[0] = 55
+	}
+	for i := 1; i < len(logQ); i++ {
+		logQ[i] = cfg.LogScale
+	}
+	lit := ckks.ParametersLiteral{
+		LogN:     cfg.LogN,
+		LogSlots: cfg.LogSlots,
+		LogQ:     logQ,
+		LogP:     []int{logQ[0], logQ[0]},
+		LogScale: cfg.LogScale,
+		Alpha:    2,
+		Seed:     cfg.Seed,
+	}
+	if cfg.EnableKLSS {
+		lit.LogT = []int{60, 60}
+		lit.AlphaT = 2
+	}
+	params, err := ckks.NewParameters(lit)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := &Context{params: params}
+	ctx.encoder = ckks.NewEncoder(params)
+	kgen := ckks.NewKeyGenerator(params)
+	ctx.sk = kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(ctx.sk)
+	ctx.enc = ckks.NewEncryptor(params, pk)
+	ctx.dec = ckks.NewDecryptor(params, ctx.sk)
+
+	methods := []ckks.KeySwitchMethod{ckks.Hybrid}
+	if cfg.EnableKLSS {
+		methods = append(methods, ckks.KLSS)
+	}
+	ctx.keys, err = kgen.GenEvaluationKeySet(ctx.sk, methods, cfg.Rotations, cfg.Conjugation)
+	if err != nil {
+		return nil, err
+	}
+	ctx.eval, err = ckks.NewEvaluator(params, ctx.keys)
+	if err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+// Slots returns the number of packed values per ciphertext.
+func (c *Context) Slots() int { return c.params.Slots() }
+
+// MaxLevel returns the multiplicative depth of the parameter set.
+func (c *Context) MaxLevel() int { return c.params.MaxLevel() }
+
+// SupportsKLSS reports whether the KLSS backend is available.
+func (c *Context) SupportsKLSS() bool { return c.params.SupportsKLSS() }
+
+// SecurityEstimate returns a coarse classical-security estimate in bits for
+// the context's parameters (HE-Standard table heuristic — a sanity gauge,
+// not a cryptographic analysis). The default laptop-sized parameter sets
+// are deliberately NOT secure.
+func (c *Context) SecurityEstimate() float64 { return c.params.SecurityEstimate() }
+
+// IsSecure reports whether the estimate clears 128 bits.
+func (c *Context) IsSecure() bool { return c.params.IsSecure() }
+
+// SetMethod routes subsequent HMult/HRot operations through the given
+// key-switching backend — the hook the Aether planner drives.
+func (c *Context) SetMethod(m Method) error { return c.eval.SetMethod(m.internal()) }
+
+// Encrypt encodes and encrypts a vector (padded to the slot count).
+func (c *Context) Encrypt(values []complex128) (*Ciphertext, error) {
+	pt, err := c.encoder.Encode(values)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := c.enc.Encrypt(pt)
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{ct}, nil
+}
+
+// Decrypt decrypts and decodes a ciphertext.
+func (c *Context) Decrypt(ct *Ciphertext) []complex128 {
+	return c.encoder.Decode(c.dec.Decrypt(ct.ct))
+}
+
+// Add returns a+b.
+func (c *Context) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	out, err := c.eval.Add(a.ct, b.ct)
+	return wrap(out, err)
+}
+
+// Sub returns a-b.
+func (c *Context) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	out, err := c.eval.Sub(a.ct, b.ct)
+	return wrap(out, err)
+}
+
+// Mul returns a*b, relinearised and rescaled.
+func (c *Context) Mul(a, b *Ciphertext) (*Ciphertext, error) {
+	prod, err := c.eval.MulRelin(a.ct, b.ct)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.eval.Rescale(prod)
+	return wrap(out, err)
+}
+
+// MulPlain multiplies by a plaintext vector and rescales.
+func (c *Context) MulPlain(a *Ciphertext, values []complex128) (*Ciphertext, error) {
+	pt, err := c.encoder.EncodeAtLevel(values, a.ct.Level, c.params.Scale())
+	if err != nil {
+		return nil, err
+	}
+	prod, err := c.eval.MulPlain(a.ct, pt)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.eval.Rescale(prod)
+	return wrap(out, err)
+}
+
+// AddPlain adds a plaintext vector.
+func (c *Context) AddPlain(a *Ciphertext, values []complex128) (*Ciphertext, error) {
+	pt, err := c.encoder.EncodeAtLevel(values, a.ct.Level, a.ct.Scale)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.eval.AddPlain(a.ct, pt)
+	return wrap(out, err)
+}
+
+// MulConst multiplies by a real constant and rescales.
+func (c *Context) MulConst(a *Ciphertext, v float64) (*Ciphertext, error) {
+	prod, err := c.eval.MulConst(a.ct, v)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.eval.Rescale(prod)
+	return wrap(out, err)
+}
+
+// AddConst adds a real constant.
+func (c *Context) AddConst(a *Ciphertext, v float64) (*Ciphertext, error) {
+	out, err := c.eval.AddConst(a.ct, v)
+	return wrap(out, err)
+}
+
+// Rotate cyclically rotates the slots by r (positive = towards lower
+// indices).
+func (c *Context) Rotate(a *Ciphertext, r int) (*Ciphertext, error) {
+	out, err := c.eval.Rotate(a.ct, r)
+	return wrap(out, err)
+}
+
+// RotateHoisted produces all requested rotations of one ciphertext sharing a
+// single decomposition (the hoisting optimisation, §2.2.3).
+func (c *Context) RotateHoisted(a *Ciphertext, rotations []int) (map[int]*Ciphertext, error) {
+	outs, err := c.eval.RotateHoisted(a.ct, rotations)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[int]*Ciphertext, len(outs))
+	for r, ct := range outs {
+		m[r] = &Ciphertext{ct}
+	}
+	return m, nil
+}
+
+// Conjugate returns the slot-wise complex conjugate.
+func (c *Context) Conjugate(a *Ciphertext) (*Ciphertext, error) {
+	out, err := c.eval.Conjugate(a.ct)
+	return wrap(out, err)
+}
+
+func wrap(ct *ckks.Ciphertext, err error) (*Ciphertext, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{ct}, nil
+}

@@ -1,0 +1,20 @@
+// Package fast is a reproduction of "FAST: An FHE Accelerator for
+// Scalable-parallelism with Tunable-bit" (ISCA 2025) as a Go library.
+//
+// It exposes two layers:
+//
+// The functional layer (Context) is a from-scratch full-RNS CKKS
+// implementation — encoding, encryption, homomorphic add/multiply/rotate,
+// rescaling — with the paper's two interchangeable key-switching backends:
+// the 36-bit hybrid method and a KLSS-style method organised around a 60-bit
+// auxiliary chain, plus hoisted rotations. Everything is validated by
+// decrypt-and-compare tests.
+//
+// The performance layer (Accelerator, Workload, Simulate) reproduces the
+// paper's evaluation: the Aether offline planner that picks a key-switching
+// method and hoisting configuration per operation, the Hemera runtime
+// evaluation-key manager, the tunable-bit multiplier (TBM) area/power model,
+// and a calibrated cycle-level simulator of the 4-cluster accelerator that
+// regenerates every table and figure of the paper (see bench_test.go and
+// cmd/benchtables).
+package fast

@@ -1,0 +1,62 @@
+package fast_test
+
+import (
+	"fmt"
+	"math"
+
+	fast "github.com/fastfhe/fast"
+)
+
+// Encrypt two vectors, multiply them homomorphically, and decrypt.
+func ExampleContext() {
+	ctx, err := fast.NewContext(fast.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	a := make([]complex128, ctx.Slots())
+	b := make([]complex128, ctx.Slots())
+	for i := range a {
+		a[i], b[i] = complex(0.5, 0), complex(0.25, 0)
+	}
+	ca, _ := ctx.Encrypt(a)
+	cb, _ := ctx.Encrypt(b)
+	prod, err := ctx.Mul(ca, cb)
+	if err != nil {
+		panic(err)
+	}
+	got := ctx.Decrypt(prod)
+	fmt.Printf("0.5 * 0.25 = %.4f\n", real(got[0]))
+	// Output: 0.5 * 0.25 = 0.1250
+}
+
+// Route a rotation through the KLSS (60-bit) backend.
+func ExampleContext_SetMethod() {
+	ctx, err := fast.NewContext(fast.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	if err := ctx.SetMethod(fast.KLSS); err != nil {
+		panic(err)
+	}
+	v := make([]complex128, ctx.Slots())
+	v[1] = complex(1, 0)
+	ct, _ := ctx.Encrypt(v)
+	rot, err := ctx.Rotate(ct, 1)
+	if err != nil {
+		panic(err)
+	}
+	got := ctx.Decrypt(rot)
+	fmt.Printf("slot 0 after rotating by 1: %.2f\n", math.Round(real(got[0])*100)/100)
+	// Output: slot 0 after rotating by 1: 1.00
+}
+
+// Simulate the bootstrapping benchmark on the modelled FAST accelerator.
+func ExampleSimulate() {
+	report, err := fast.Simulate(fast.BootstrapWorkload(), fast.FASTAccelerator(), fast.PlanAether)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bootstrap on %s takes about %.1f ms (paper: 1.38 ms)\n",
+		report.Accelerator, math.Round(report.TimeMS*10)/10)
+	// Output: bootstrap on FAST takes about 1.4 ms (paper: 1.38 ms)
+}

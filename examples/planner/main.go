@@ -1,0 +1,50 @@
+// Planner: the performance layer end to end — run the Aether offline
+// analysis on the bootstrapping workload, show which key-switching method
+// and hoisting configuration it assigns per level, then simulate the plan on
+// the FAST accelerator and on the SHARP-class baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	fast "github.com/fastfhe/fast"
+)
+
+func main() {
+	w := fast.BootstrapWorkload()
+	acc := fast.FASTAccelerator()
+
+	plan, err := fast.PlanWorkload(w, acc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Aether plan for %s (%d key-switch decisions):\n", w.Name(), len(plan.Decisions))
+	fmt.Println("  op   level  method  hoist")
+	for _, d := range plan.Decisions {
+		fmt.Printf("  %3d  %5d  %-6v  %5d\n", d.OpIndex, d.Level, d.Method, d.Hoist)
+	}
+	if err := plan.Save(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nSimulated execution:")
+	for _, tc := range []struct {
+		acc  fast.Accelerator
+		mode fast.PlanMode
+		note string
+	}{
+		{fast.SHARPAccelerator(), fast.PlanAuto, "36-bit hybrid baseline"},
+		{acc, fast.PlanOneKSW, "FAST hardware, single method"},
+		{acc, fast.PlanHoisting, "FAST hardware, + hoisting"},
+		{acc, fast.PlanAether, "FAST hardware, full Aether"},
+	} {
+		r, err := fast.Simulate(w, tc.acc, tc.mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %-28s %6.3f ms  (NTTU %.0f%%, HBM %.0f%%, evk %.0f MB)\n",
+			r.Accelerator, tc.note, r.TimeMS, 100*r.NTTUUtil, 100*r.HBMUtil, r.EvkTrafficMB)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/fastfhe/fast
+
+go 1.22

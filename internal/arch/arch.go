@@ -1,0 +1,258 @@
+// Package arch models the FAST accelerator organisation (paper §5): four
+// vector clusters of 256 lanes connected by a lane-wise NoC, each cluster
+// holding an NTT unit (ten-step pipelined FFT), a base-conversion systolic
+// array, a key-multiplication systolic array, a Benes-network automorphism
+// unit and the auxiliary execution module (double-prime scaling + evaluation
+// key generator), backed by a large register file and HBM.
+//
+// The package carries the area/power budget of Table 3, the configuration
+// knobs the sensitivity studies sweep (cluster count, SRAM capacity), and
+// the per-component throughput figures the cycle simulator consumes.
+package arch
+
+import (
+	"fmt"
+
+	"github.com/fastfhe/fast/internal/tbm"
+)
+
+// Component identifies a hardware unit class.
+type Component int
+
+const (
+	NTTU Component = iota
+	BConvU
+	KMU
+	AutoU
+	AEM
+	RegisterFile
+	HBM
+	NoC
+	numComponents
+)
+
+func (c Component) String() string {
+	switch c {
+	case NTTU:
+		return "NTTU"
+	case BConvU:
+		return "BConvU"
+	case KMU:
+		return "KMU"
+	case AutoU:
+		return "AutoU"
+	case AEM:
+		return "AEM"
+	case RegisterFile:
+		return "RegisterFiles"
+	case HBM:
+		return "HBM"
+	case NoC:
+		return "NoC"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// Components lists every unit class in Table 3 order.
+func Components() []Component {
+	return []Component{NTTU, BConvU, KMU, AutoU, AEM, RegisterFile, HBM, NoC}
+}
+
+// ALUKind selects the multiplier design of a configuration.
+type ALUKind int
+
+const (
+	// ALU36 is a fixed 36-bit datapath (SHARP-style): no native 60-bit
+	// support, 60-bit products require the 4-multiplication Booth method.
+	ALU36 ALUKind = iota
+	// ALU60 is a fixed 60-bit datapath (ARK-style word): native 60-bit, but
+	// 36-bit operations waste half the multiplier.
+	ALU60
+	// TBM is the tunable-bit multiplier: two 36-bit ops or one 60-bit op
+	// per unit per cycle.
+	TBM
+)
+
+func (k ALUKind) String() string {
+	switch k {
+	case ALU36:
+		return "36-bit"
+	case ALU60:
+		return "60-bit"
+	case TBM:
+		return "TBM"
+	default:
+		return fmt.Sprintf("ALUKind(%d)", int(k))
+	}
+}
+
+// Config describes one accelerator instance. The zero value is not valid;
+// start from FAST() or a baseline constructor and adjust.
+type Config struct {
+	Name            string
+	Clusters        int
+	LanesPerCluster int
+	ClockGHz        float64
+	ALU             ALUKind
+
+	OffChipGBps   float64 // HBM bandwidth (1000 GB/s in all paper configs)
+	OnChipMB      float64 // scratchpad SRAM capacity
+	ReservedEvkMB float64 // portion of OnChipMB reserved for evaluation keys
+
+	// Feature flags the ablation study (Fig. 12) toggles.
+	EnableKLSS     bool // Aether may select the KLSS method
+	EnableHoisting bool // Aether may select hoisted rotations
+
+	// DisablePrefetch turns off Hemera's configuration-file-driven key
+	// prefetching (ablation: every first key use then stalls the pipeline
+	// for whatever part of the transfer its own compute cannot hide).
+	DisablePrefetch bool
+}
+
+// FAST returns the paper's FAST configuration (Table 4 row: 1024 lanes,
+// 60-bit-capable TBM datapath, 281 MB on-chip, 1 TB/s off-chip).
+func FAST() Config {
+	return Config{
+		Name:            "FAST",
+		Clusters:        4,
+		LanesPerCluster: 256,
+		ClockGHz:        1.0,
+		ALU:             TBM,
+		OffChipGBps:     1000,
+		OnChipMB:        281,
+		ReservedEvkMB:   200,
+		EnableKLSS:      true,
+		EnableHoisting:  true,
+	}
+}
+
+// Lanes returns the total lane count.
+func (c Config) Lanes() int { return c.Clusters * c.LanesPerCluster }
+
+// EquivMuls36PerCycle returns how many 36-bit-equivalent modular
+// multiplications the datapath retires per cycle for a kernel of the given
+// native width (36 or 60). The cost model counts every 60-bit op as two
+// 36-bit equivalents, so a unit that retires one 60-bit op per cycle scores
+// 2 equivalents for 60-bit kernels.
+func (c Config) EquivMuls36PerCycle(kernelBits int) float64 {
+	lanes := float64(c.Lanes())
+	switch c.ALU {
+	case TBM:
+		// Two 36-bit products or one 60-bit product per TBM per cycle:
+		// 2 equivalents/cycle either way.
+		return 2 * lanes
+	case ALU60:
+		if kernelBits > 36 {
+			return 2 * lanes // one 60-bit op = 2 equivalents
+		}
+		return lanes // 36-bit op wastes the upper half
+	default: // ALU36
+		if kernelBits > 36 {
+			// Booth 4-mult emulation: 4 cycles of one multiplier per
+			// 60-bit product, i.e. 2 equivalents per 4 lane-cycles.
+			return lanes / 2
+		}
+		return lanes
+	}
+}
+
+// AreaPower is an (area mm^2, peak power W) pair.
+type AreaPower struct {
+	AreaMM2 float64
+	PowerW  float64
+}
+
+// table3 holds the published per-component budget of the 4-cluster FAST
+// configuration (TSMC 7nm synthesis, Table 3).
+var table3 = map[Component]AreaPower{
+	NTTU:         {60.88, 142.7},
+	BConvU:       {28.89, 86.6},
+	KMU:          {10.58, 27.67},
+	AutoU:        {0.6, 0.8},
+	AEM:          {8.67, 10.7},
+	RegisterFile: {123.9, 29.4},
+	HBM:          {29.6, 31.8},
+	NoC:          {20.6, 27.0},
+}
+
+// ComponentBudget returns the area/power of one component class under this
+// configuration, scaled from the published 4-cluster budget: compute units
+// scale with cluster count, the register file with SRAM capacity, the NoC
+// with cluster count (wiring), HBM is fixed.
+func (c Config) ComponentBudget(comp Component) AreaPower {
+	base := table3[comp]
+	clusterScale := float64(c.Clusters) / 4.0
+	switch comp {
+	case NTTU, BConvU, KMU, AutoU, AEM:
+		ap := AreaPower{base.AreaMM2 * clusterScale, base.PowerW * clusterScale}
+		// Compute area tracks the ALU design: the published numbers are for
+		// the TBM datapath; a plain 36-bit datapath is ~1/TBMRelativeArea()
+		// of it per lane, a plain 60-bit one 1/AreaOverheadVs60.
+		switch c.ALU {
+		case ALU36:
+			f := 1 / tbm.TBMRelativeArea()
+			ap.AreaMM2 *= f * tbm.ControlLogicOverhead // keep shared control
+			ap.PowerW *= f * tbm.ControlLogicOverhead
+		case ALU60:
+			ap.AreaMM2 /= tbm.AreaOverheadVs60
+			ap.PowerW /= tbm.AreaOverheadVs60
+		}
+		return ap
+	case RegisterFile:
+		memScale := c.OnChipMB / 281.0
+		return AreaPower{base.AreaMM2 * memScale, base.PowerW * memScale}
+	case NoC:
+		return AreaPower{base.AreaMM2 * clusterScale, base.PowerW * clusterScale}
+	default: // HBM
+		return base
+	}
+}
+
+// TotalAreaPower sums the component budgets.
+func (c Config) TotalAreaPower() AreaPower {
+	var t AreaPower
+	for _, comp := range Components() {
+		ap := c.ComponentBudget(comp)
+		t.AreaMM2 += ap.AreaMM2
+		t.PowerW += ap.PowerW
+	}
+	return t
+}
+
+// BytesPerCycle converts the off-chip bandwidth to bytes per clock cycle.
+func (c Config) BytesPerCycle() float64 {
+	return c.OffChipGBps / c.ClockGHz
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Clusters < 1 || c.LanesPerCluster < 1 {
+		return fmt.Errorf("arch: %q needs at least one cluster and lane", c.Name)
+	}
+	if c.ClockGHz <= 0 || c.OffChipGBps <= 0 {
+		return fmt.Errorf("arch: %q needs positive clock and bandwidth", c.Name)
+	}
+	if c.ReservedEvkMB > c.OnChipMB {
+		return fmt.Errorf("arch: %q reserves %g MB for keys out of %g MB SRAM",
+			c.Name, c.ReservedEvkMB, c.OnChipMB)
+	}
+	return nil
+}
+
+// WithClusters returns a copy with the cluster count replaced (Fig. 13(b)).
+func (c Config) WithClusters(n int) Config {
+	c.Clusters = n
+	c.Name = fmt.Sprintf("%s-%dC", c.Name, n)
+	return c
+}
+
+// WithOnChipMB returns a copy with the SRAM capacity replaced (Fig. 13(a)),
+// keeping the same reserved-key fraction.
+func (c Config) WithOnChipMB(mb float64) Config {
+	frac := c.ReservedEvkMB / c.OnChipMB
+	c.OnChipMB = mb
+	c.ReservedEvkMB = mb * frac
+	c.Name = fmt.Sprintf("%s-%.0fMB", c.Name, mb)
+	return c
+}

@@ -1,0 +1,301 @@
+package ckks
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// Probe: after SubSum + CoeffToSlot the slots must hold the gap-coefficient
+// pairs of the raised polynomial divided by the scale.
+func TestCoeffToSlotProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tc, bt := bootstrapTestContext(t)
+	p := tc.params
+	n := p.Slots()
+	gap := (p.N() / 2) / n
+
+	values := make([]complex128, n)
+	for i := range values {
+		values[i] = complex(0.3, -0.2)
+	}
+	pt, _ := tc.enc.Encode(values)
+	ct, _ := tc.encr.Encrypt(pt)
+	ct = tc.eval.DropLevel(ct, ct.Level)
+
+	raised, err := bt.modRaise(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	folded0, err := bt.subSum(raised)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: coefficients of the folded plaintext.
+	dec := tc.decr.Decrypt(folded0)
+	poly := dec.Value.Clone()
+	rq := p.RingQ().AtLevel(raised.Level)
+	rq.INTT(poly)
+	coeffs := make([]*big.Int, p.N())
+	rq.PolyToBigintCentered(poly, coeffs)
+	want := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		re, _ := new(big.Float).SetInt(coeffs[j*gap]).Float64()
+		im, _ := new(big.Float).SetInt(coeffs[j*gap+p.N()/2]).Float64()
+		want[j] = complex(re/dec.Scale, im/dec.Scale)
+	}
+
+	slots, err := tc.eval.LinearTransform(folded0, bt.ctsLT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots, err = tc.eval.Rescale(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tc.enc.Decode(tc.decr.Decrypt(slots))
+	t.Logf("got[0..3]  = %v", got[:3])
+	t.Logf("want[0..3] = %v", want[:3])
+	if e := maxErr(got, want); e > 1e-2*maxAbs(want)+1e-2 {
+		t.Fatalf("CtS probe error %g", e)
+	}
+}
+
+func maxAbs(v []complex128) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := real(x)*real(x) + imag(x)*imag(x); a > m*m {
+			m = absc(x)
+		}
+	}
+	return m
+}
+
+func absc(x complex128) float64 {
+	re, im := real(x), imag(x)
+	if re < 0 {
+		re = -re
+	}
+	if im < 0 {
+		im = -im
+	}
+	if re > im {
+		return re
+	}
+	return im
+}
+
+// Probe: EvalMod alone on synthetic inputs m + (q0/Δ)*I.
+func TestEvalModProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tc, bt := bootstrapTestContext(t)
+	p := tc.params
+	n := p.Slots()
+	q0OverDelta := float64(p.QChain()[0]) / p.Scale()
+
+	msg := make([]complex128, n)
+	want := make([]complex128, n)
+	for i := range msg {
+		m := 0.3 - 0.05*float64(i%5)
+		I := float64(i%7 - 3) // integers in [-3,3]
+		msg[i] = complex(m+q0OverDelta*I, 0)
+		want[i] = complex(m, 0)
+	}
+	pt, err := tc.enc.EncodeAtLevel(msg, p.MaxLevel()-3, p.Scale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := tc.encr.Encrypt(pt)
+	out, err := bt.evalMod(ct, 1, p.Scale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tc.enc.Decode(tc.decr.Decrypt(out))
+	t.Logf("got[0..6]  = %v", got[:7])
+	t.Logf("want[0..6] = %v", want[:7])
+	if e := maxErr(got, want); e > 1e-2 {
+		t.Fatalf("EvalMod probe error %g", e)
+	}
+}
+
+// Probe: the real/imag split, EvalMod on both halves, recombination and
+// SlotToCoeff, stage by stage against plaintext references.
+func TestBootstrapStageProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tc, bt := bootstrapTestContext(t)
+	p := tc.params
+	n := p.Slots()
+	ev := tc.eval
+
+	values := make([]complex128, n)
+	for i := range values {
+		values[i] = complex(0.4*float64(i%3-1), 0.3*float64(i%2))
+	}
+	pt, _ := tc.enc.Encode(values)
+	ct, _ := tc.encr.Encrypt(pt)
+	ct = ev.DropLevel(ct, ct.Level)
+
+	raised, _ := bt.modRaise(ct)
+	folded, _ := bt.subSum(raised)
+	slots, _ := ev.LinearTransform(folded, bt.ctsLT)
+	slots, _ = ev.Rescale(slots)
+	w := tc.enc.Decode(tc.decr.Decrypt(slots))
+
+	conj, err := ev.Conjugate(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := tc.enc.Decode(tc.decr.Decrypt(conj))
+	for i := range w {
+		if absc(wc[i]-complex(real(w[i]), -imag(w[i]))) > 1e-2 {
+			t.Fatalf("sparse Conjugate wrong at %d: %v vs conj(%v)", i, wc[i], w[i])
+		}
+	}
+
+	sum, _ := ev.Add(slots, conj)
+	diff, _ := ev.Sub(slots, conj)
+	u, _ := ev.MulConst(sum, 0.5)
+	u, _ = ev.Rescale(u)
+	iPt, _ := bt.iConstant(diff.Level)
+	v, _ := ev.MulPlain(diff, iPt)
+	v, _ = ev.Rescale(v)
+	v, _ = ev.MulConst(v, -0.5)
+	v, _ = ev.Rescale(v)
+
+	gu := tc.enc.Decode(tc.decr.Decrypt(u))
+	gv := tc.enc.Decode(tc.decr.Decrypt(v))
+	for i := range w {
+		if absc(gu[i]-complex(real(w[i]), 0)) > 1e-2 {
+			t.Fatalf("u wrong at %d: %v vs Re %v", i, gu[i], real(w[i]))
+		}
+		if absc(gv[i]-complex(imag(w[i]), 0)) > 1e-2 {
+			t.Fatalf("v wrong at %d: %v vs Im %v", i, gv[i], imag(w[i]))
+		}
+	}
+	t.Log("split OK")
+
+	fold := float64(p.N()) / float64(2*n)
+	anchor := ct.Scale
+	uu, err := bt.evalMod(u, 1/fold, anchor, fold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vv, err := bt.evalMod(v, 1/fold, anchor, fold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guu := tc.enc.Decode(tc.decr.Decrypt(uu))
+	gvv := tc.enc.Decode(tc.decr.Decrypt(vv))
+	modredAt := func(x, scale float64) float64 {
+		q0S := float64(p.QChain()[0]) / scale
+		return x - q0S*float64(int64(x/q0S+0.5*sign(x)))
+	}
+	for i := 0; i < n; i++ {
+		wantU := modredAt(real(w[i]), anchor/fold) / fold
+		wantV := modredAt(imag(w[i]), anchor/fold) / fold
+		if absc(guu[i]-complex(wantU, 0)) > 2e-2 || absc(gvv[i]-complex(wantV, 0)) > 2e-2 {
+			t.Fatalf("evalMod stage wrong at %d: u %v want %g; v %v want %g",
+				i, guu[i], wantU, gvv[i], wantV)
+		}
+	}
+	t.Log("evalMod stage OK")
+
+	iPt2, _ := bt.iConstant(vv.Level)
+	iv, _ := ev.MulPlain(vv, iPt2)
+	iv, _ = ev.Rescale(iv)
+	if uu.Level > iv.Level {
+		uu = ev.DropLevel(uu, uu.Level-iv.Level)
+	} else if iv.Level > uu.Level {
+		iv = ev.DropLevel(iv, iv.Level-uu.Level)
+	}
+	uu.Scale = iv.Scale
+	rec, err := ev.Add(uu, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grec := tc.enc.Decode(tc.decr.Decrypt(rec))
+	for i := 0; i < n; i++ {
+		want := complex(modredAt(real(w[i]), anchor/fold)/fold, modredAt(imag(w[i]), anchor/fold)/fold)
+		if absc(grec[i]-want) > 3e-2 {
+			t.Fatalf("recombine wrong at %d: %v want %v", i, grec[i], want)
+		}
+	}
+	t.Log("recombine OK")
+
+	out, err := bt.slotToCoeff(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Scale = p.Scale()
+	gout := tc.enc.Decode(tc.decr.Decrypt(out))
+	t.Logf("final[0..3] = %v", gout[:3])
+	t.Logf("want [0..3] = %v", values[:3])
+	if e := maxErr(gout, values); e > 3e-2 {
+		t.Fatalf("StC stage error %g", e)
+	}
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// The SubSum trace fixes the gap monomials, so the q0-multiples reaching
+// EvalMod must be exact multiples of fold = N/(2n) — the structural
+// invariant the effective-modulus optimisation in evalMod relies on.
+func TestTraceMultiplesOfFold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tc, bt := bootstrapTestContext(t)
+	p := tc.params
+	n := p.Slots()
+	ev := tc.eval
+
+	values := make([]complex128, n)
+	for i := range values {
+		values[i] = complex(0.4*float64(i%3-1), 0.3*float64(i%2))
+	}
+	pt, _ := tc.enc.Encode(values)
+	ct, _ := tc.encr.Encrypt(pt)
+	ct = ev.DropLevel(ct, ct.Level)
+	anchor := ct.Scale
+
+	raised, _ := bt.modRaise(ct)
+	folded, _ := bt.subSum(raised)
+	slots, _ := ev.LinearTransform(folded, bt.ctsLT)
+	slots, _ = ev.Rescale(slots)
+
+	conj, _ := ev.Conjugate(slots)
+	diff, _ := ev.Sub(slots, conj)
+	iPt, _ := bt.iConstant(diff.Level)
+	v, _ := ev.MulPlain(diff, iPt)
+	v, _ = ev.Rescale(v)
+	v, _ = ev.MulConst(v, -0.5)
+	v, _ = ev.Rescale(v)
+
+	sum, _ := ev.Add(slots, conj)
+	u, _ := ev.MulConst(sum, 0.5)
+	u, _ = ev.Rescale(u)
+
+	q0A := float64(p.QChain()[0]) / anchor
+	fold := float64(p.N()) / float64(2*n)
+	for name, cti := range map[string]*Ciphertext{"u": u, "v": v} {
+		g := tc.enc.Decode(tc.decr.Decrypt(cti))
+		for i := 0; i < n; i++ {
+			T := math.Round(real(g[i]) / q0A)
+			if r := math.Mod(math.Abs(T), fold); r != 0 {
+				t.Fatalf("%s slot %d: q0-multiple T=%g is not a multiple of fold=%g", name, i, T, fold)
+			}
+		}
+	}
+}

@@ -1,0 +1,479 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"github.com/fastfhe/fast/internal/ring"
+)
+
+// BootstrapParameters tunes the bootstrapping pipeline (paper §6.2: the
+// fully-packed pipeline consists of ModRaise, CoeffToSlot, EvalMod and
+// SlotToCoeff; this functional implementation follows the same four stages
+// with the sparse-packing SubSum step in between).
+type BootstrapParameters struct {
+	// K bounds the integer multiples of q0 the raised ciphertext carries
+	// (|I| <= K with overwhelming probability for a sparse secret).
+	K int
+	// SinDegree is the Taylor degree of the sine/cosine seed approximation.
+	SinDegree int
+	// DoubleAngles is the number of double-angle iterations r; the seed
+	// angle is divided by 2^r so the Taylor series converges.
+	DoubleAngles int
+}
+
+// DefaultBootstrapParameters works with a hamming-weight-16 secret. The
+// gap-indexed coefficients the pipeline tracks are fixed points of the
+// SubSum trace, so the q0-multiples arrive as exact multiples of
+// q0*N/(2n) and the effective integer range stays at the raw |I| bound
+// (~6*sigma(I) ≈ 8 for weight 16); 2^8 double-angle halvings keep the
+// Taylor seed angle below 0.5.
+func DefaultBootstrapParameters() BootstrapParameters {
+	return BootstrapParameters{K: 10, SinDegree: 9, DoubleAngles: 8}
+}
+
+// Depth returns the number of levels one bootstrap consumes (CoeffToSlot,
+// real/imag split, EvalMod, recombination, SlotToCoeff).
+func (bp BootstrapParameters) Depth() int {
+	taylor := Polynomial{Coeffs: make([]float64, bp.SinDegree+1)}.Depth() + 1
+	// CtS + split + angle (2 levels: mantissa and exponent factors) +
+	// taylor + doublings + final const + recombine + StC
+	return 1 + 1 + 2 + taylor + bp.DoubleAngles + 1 + 1 + 1
+}
+
+// Bootstrapper refreshes exhausted ciphertexts: it re-raises a level-0
+// ciphertext to the top of the modulus chain and homomorphically removes the
+// q0-multiples this introduces.
+type Bootstrapper struct {
+	params *Parameters
+	enc    *Encoder
+	eval   *Evaluator
+	bp     BootstrapParameters
+
+	ctsLT *LinearTransform
+	// stcLT is built lazily per output level (the level depends on the
+	// exact depth spent in EvalMod).
+	stcLT map[int]*LinearTransform
+
+	iPlain map[int]*Plaintext // all-i constant per level (recombination)
+}
+
+// BootstrapRotations returns every rotation amount the bootstrapper needs
+// Galois keys for (SubSum ladder + both DFT transforms); conjugation and
+// relinearisation keys are also required.
+func BootstrapRotations(params *Parameters) []int {
+	n := params.Slots()
+	seen := map[int]bool{}
+	// SubSum ladder.
+	for i := n; i < params.N()/2; i <<= 1 {
+		seen[i] = true
+	}
+	// BSGS babies and giants for an n-diagonal transform.
+	bs := 1
+	for bs*bs < n {
+		bs <<= 1
+	}
+	for b := 1; b < bs; b++ {
+		seen[b] = true
+	}
+	for g := bs; g < n; g += bs {
+		seen[g] = true
+	}
+	var out []int
+	for r := range seen {
+		out = append(out, r)
+	}
+	return out
+}
+
+// NewBootstrapper precomputes the DFT transforms. The evaluator must hold
+// Galois keys for BootstrapRotations plus the conjugation and relin keys.
+func NewBootstrapper(params *Parameters, enc *Encoder, eval *Evaluator, bp BootstrapParameters) (*Bootstrapper, error) {
+	if params.secretHW == 0 {
+		return nil, fmt.Errorf("ckks: bootstrapping requires a sparse secret (SecretHammingWeight > 0)")
+	}
+	if params.MaxLevel() < bp.Depth() {
+		return nil, fmt.Errorf("ckks: chain depth %d below bootstrap depth %d", params.MaxLevel(), bp.Depth())
+	}
+	bt := &Bootstrapper{
+		params: params, enc: enc, eval: eval, bp: bp,
+		stcLT:  map[int]*LinearTransform{},
+		iPlain: map[int]*Plaintext{},
+	}
+
+	// CoeffToSlot matrix: the inverse special FFT (embed). The SubSum fold
+	// factor N/(2n) is deliberately NOT divided out here: doing so would
+	// turn the integer q0-multiples carried by the slots into fractions the
+	// sine cannot remove. It is removed after EvalMod instead, where 1/fold
+	// merges exactly into the output constant.
+	diags, err := bt.dftDiagonals(func(col []complex128) { enc.embed(col) }, 1)
+	if err != nil {
+		return nil, err
+	}
+	bt.ctsLT, err = NewLinearTransform(enc, diags, params.MaxLevel(), params.Scale(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return bt, nil
+}
+
+// dftDiagonals builds the generalised diagonals of the n x n matrix whose
+// k-th column is transform(e_k), scaled by factor.
+func (bt *Bootstrapper) dftDiagonals(transform func([]complex128), factor complex128) (map[int][]complex128, error) {
+	n := bt.params.Slots()
+	mat := make([][]complex128, n) // mat[i][k]
+	for i := range mat {
+		mat[i] = make([]complex128, n)
+	}
+	col := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for i := range col {
+			col[i] = 0
+		}
+		col[k] = 1
+		transform(col)
+		for i := 0; i < n; i++ {
+			mat[i][k] = col[i] * factor
+		}
+	}
+	diags := map[int][]complex128{}
+	for d := 0; d < n; d++ {
+		diag := make([]complex128, n)
+		nz := false
+		for i := 0; i < n; i++ {
+			diag[i] = mat[i][(i+d)%n]
+			if diag[i] != 0 {
+				nz = true
+			}
+		}
+		if nz {
+			diags[d] = diag
+		}
+	}
+	if len(diags) == 0 {
+		return nil, fmt.Errorf("ckks: empty DFT matrix")
+	}
+	return diags, nil
+}
+
+// modRaise lifts a level-0 ciphertext to the top of the chain: the centered
+// residues mod q0 are re-reduced into every limb, so the new ciphertext
+// encrypts m + q0*I for a small integer polynomial I (the quantity EvalMod
+// later removes).
+func (bt *Bootstrapper) modRaise(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Level != 0 {
+		return nil, fmt.Errorf("ckks: modRaise expects a level-0 ciphertext, got level %d", ct.Level)
+	}
+	p := bt.params
+	rq0 := p.ringQ.AtLevel(0)
+	rqFull := p.ringQ
+	q0 := new(big.Int).SetUint64(p.qChain[0])
+	half := new(big.Int).Rsh(q0, 1)
+
+	out := &Ciphertext{Level: p.MaxLevel(), Scale: ct.Scale}
+	coeffs := make([]*big.Int, p.N())
+	raise := func(in ring.Poly) ring.Poly {
+		tmp := in.Clone()
+		rq0.INTT(tmp)
+		for j := 0; j < p.N(); j++ {
+			v := new(big.Int).SetUint64(tmp.Coeffs[0][j])
+			if v.Cmp(half) > 0 {
+				v.Sub(v, q0)
+			}
+			coeffs[j] = v
+		}
+		outP := rqFull.NewPoly()
+		rqFull.SetCoeffBigint(coeffs, outP)
+		rqFull.NTT(outP)
+		return outP
+	}
+	out.C0 = raise(ct.C0)
+	out.C1 = raise(ct.C1)
+	return out, nil
+}
+
+// subSum folds the sparse packing: for n < N/2 slots the ladder
+// ct += rot(ct, n*2^t) projects the raised polynomial onto the subring the
+// sparse embedding reads, scaled by N/(2n) (compensated inside the
+// CoeffToSlot matrix).
+func (bt *Bootstrapper) subSum(ct *Ciphertext) (*Ciphertext, error) {
+	for i := bt.params.Slots(); i < bt.params.N()/2; i <<= 1 {
+		rot, err := bt.eval.Rotate(ct, i)
+		if err != nil {
+			return nil, err
+		}
+		if ct, err = bt.eval.Add(ct, rot); err != nil {
+			return nil, err
+		}
+	}
+	return ct, nil
+}
+
+// evalMod approximately reduces each (real-valued) slot modulo q0/anchor
+// and multiplies the result by postFactor: it evaluates
+// postFactor*(q0/2π·anchor)*sin(2π·anchor·t/q0) with a Taylor seed at angle
+// θ/2^r followed by r double-angle iterations.
+//
+// anchor is the scale at which the q0-multiples are exact integers: the
+// *original* encoding scale of the bootstrapped ciphertext. It generally
+// differs from ct.Scale by the accumulated rescale drift (each chain prime
+// is within ~2^-18 of the nominal scale); using ct.Scale here would tilt
+// the angle by 2π·I·2^-18, which the sine amplifies by q0/(2πΔ) into an
+// absolute output error of ~0.02 — the dominant error source before this
+// distinction was made.
+// foldQ multiplies the effective modulus: the bootstrap pipeline's
+// q0-multiples are exact multiples of q0*fold (the SubSum trace fixes the
+// gap monomials, summing fold equal contributions), so reducing modulo
+// q0*fold both is correct and shrinks the integer range by fold.
+func (bt *Bootstrapper) evalMod(ct *Ciphertext, postFactor, anchor, foldQ float64) (*Ciphertext, error) {
+	ev := bt.eval
+	q0 := float64(bt.params.qChain[0]) * foldQ
+	pow2r := math.Exp2(float64(bt.bp.DoubleAngles))
+	scale := anchor
+
+	// θ = t * 2π*scale/(q0*2^r), so integer multiples of q0 become exact
+	// multiples of 2π after the double-angle ladder. The constant is tiny
+	// (~2^-19), so a single Δ-quantised multiplication would carry a
+	// relative error of ~2^-14 that the ladder amplifies by q0/Δ·I; instead
+	// we split it into a factor in [0.5,1) (quantisation error 2^-37) and an
+	// exactly-representable power of two.
+	c := 2 * math.Pi * scale / (q0 * pow2r)
+	k := 0
+	for c < 0.5 {
+		c *= 2
+		k++
+	}
+	theta, err := ev.MulConst(ct, c)
+	if err != nil {
+		return nil, err
+	}
+	if theta, err = ev.Rescale(theta); err != nil {
+		return nil, err
+	}
+	if k > 0 {
+		if theta, err = ev.MulConst(theta, math.Exp2(-float64(k))); err != nil {
+			return nil, err
+		}
+		if theta, err = ev.Rescale(theta); err != nil {
+			return nil, err
+		}
+	}
+
+	// Taylor seeds around 0.
+	sinCoeffs := make([]float64, bt.bp.SinDegree+1)
+	cosCoeffs := make([]float64, bt.bp.SinDegree)
+	fact := 1.0
+	for i := 1; i <= bt.bp.SinDegree; i++ {
+		fact *= float64(i)
+		switch i % 4 {
+		case 1:
+			sinCoeffs[i] = 1 / fact
+		case 3:
+			sinCoeffs[i] = -1 / fact
+		}
+	}
+	fact = 1.0
+	cosCoeffs[0] = 1
+	for i := 2; i < bt.bp.SinDegree; i++ {
+		fact = 1.0
+		for k := 2; k <= i; k++ {
+			fact *= float64(k)
+		}
+		switch i % 4 {
+		case 0:
+			cosCoeffs[i] = 1 / fact
+		case 2:
+			cosCoeffs[i] = -1 / fact
+		}
+	}
+	sin, err := ev.EvaluatePoly(theta, Polynomial{Coeffs: sinCoeffs})
+	if err != nil {
+		return nil, err
+	}
+	cos, err := ev.EvaluatePoly(theta, Polynomial{Coeffs: cosCoeffs})
+	if err != nil {
+		return nil, err
+	}
+
+	// Double-angle ladder: sin(2x) = 2 sin cos, cos(2x) = 1 - 2 sin^2.
+	for it := 0; it < bt.bp.DoubleAngles; it++ {
+		sc, err := ev.mulRescale(sin, cos)
+		if err != nil {
+			return nil, err
+		}
+		s2, err := ev.mulRescale(sin, sin)
+		if err != nil {
+			return nil, err
+		}
+		if sin, err = ev.Add(sc, sc); err != nil {
+			return nil, err
+		}
+		neg2s2, err := ev.Add(s2, s2)
+		if err != nil {
+			return nil, err
+		}
+		ev.negateInPlace(neg2s2)
+		if cos, err = ev.AddConst(neg2s2, 1); err != nil {
+			return nil, err
+		}
+	}
+
+	// m ≈ sin * q0/(2π*scale), with the caller's exact post-factor folded in.
+	out, err := ev.MulConst(sin, postFactor*q0/(2*math.Pi*scale))
+	if err != nil {
+		return nil, err
+	}
+	return ev.Rescale(out)
+}
+
+// negateInPlace flips the sign of every component (no level or scale cost).
+func (ev *Evaluator) negateInPlace(ct *Ciphertext) {
+	rq := ev.params.ringQ.AtLevel(ct.Level)
+	rq.Neg(ct.C0, ct.C0)
+	rq.Neg(ct.C1, ct.C1)
+}
+
+// iConstant returns the all-i plaintext at the given level (cached).
+func (bt *Bootstrapper) iConstant(level int) (*Plaintext, error) {
+	if pt, ok := bt.iPlain[level]; ok {
+		return pt, nil
+	}
+	n := bt.params.Slots()
+	v := make([]complex128, n)
+	for j := range v {
+		v[j] = complex(0, 1)
+	}
+	pt, err := bt.enc.EncodeAtLevel(v, level, bt.params.Scale())
+	if err != nil {
+		return nil, err
+	}
+	bt.iPlain[level] = pt
+	return pt, nil
+}
+
+// slotToCoeff applies the forward special FFT matrix at the ciphertext's
+// current level (built lazily and cached per level).
+func (bt *Bootstrapper) slotToCoeff(ct *Ciphertext) (*Ciphertext, error) {
+	lt, ok := bt.stcLT[ct.Level]
+	if !ok {
+		diags, err := bt.dftDiagonals(func(col []complex128) { bt.enc.project(col) }, 1)
+		if err != nil {
+			return nil, err
+		}
+		if lt, err = NewLinearTransform(bt.enc, diags, ct.Level, bt.params.Scale(), 0); err != nil {
+			return nil, err
+		}
+		bt.stcLT[ct.Level] = lt
+	}
+	out, err := bt.eval.LinearTransform(ct, lt)
+	if err != nil {
+		return nil, err
+	}
+	return bt.eval.Rescale(out)
+}
+
+// Bootstrap refreshes a level-0 ciphertext, returning an encryption of the
+// same message with the levels consumed by the pipeline still available.
+func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
+	ev := bt.eval
+
+	raised, err := bt.modRaise(ct)
+	if err != nil {
+		return nil, err
+	}
+	folded, err := bt.subSum(raised)
+	if err != nil {
+		return nil, err
+	}
+
+	// CoeffToSlot: slots now hold w_j = c[j*gap]/Δ + i*c[j*gap+N/2]/Δ.
+	slots, err := ev.LinearTransform(folded, bt.ctsLT)
+	if err != nil {
+		return nil, err
+	}
+	if slots, err = ev.Rescale(slots); err != nil {
+		return nil, err
+	}
+
+	// Split into real and imaginary parts (both real-valued slot vectors).
+	conj, err := ev.Conjugate(slots)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := ev.Add(slots, conj) // 2*Re(w)
+	if err != nil {
+		return nil, err
+	}
+	diff, err := ev.Sub(slots, conj) // 2i*Im(w)
+	if err != nil {
+		return nil, err
+	}
+	u, err := ev.MulConst(sum, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	if u, err = ev.Rescale(u); err != nil {
+		return nil, err
+	}
+	iPt, err := bt.iConstant(diff.Level)
+	if err != nil {
+		return nil, err
+	}
+	v, err := ev.MulPlain(diff, iPt) // 2i*Im(w) * i = -2 Im(w)
+	if err != nil {
+		return nil, err
+	}
+	if v, err = ev.Rescale(v); err != nil {
+		return nil, err
+	}
+	if v, err = ev.MulConst(v, -0.5); err != nil {
+		return nil, err
+	}
+	if v, err = ev.Rescale(v); err != nil {
+		return nil, err
+	}
+
+	// EvalMod on both halves; the exact SubSum fold factor is divided out
+	// through the sine output constant.
+	fold := float64(bt.params.N()) / float64(2*bt.params.Slots())
+	anchor := ct.Scale
+	if u, err = bt.evalMod(u, 1/fold, anchor, fold); err != nil {
+		return nil, err
+	}
+	if v, err = bt.evalMod(v, 1/fold, anchor, fold); err != nil {
+		return nil, err
+	}
+
+	// Recombine m = u + i*v.
+	iPt2, err := bt.iConstant(v.Level)
+	if err != nil {
+		return nil, err
+	}
+	iv, err := ev.MulPlain(v, iPt2)
+	if err != nil {
+		return nil, err
+	}
+	if iv, err = ev.Rescale(iv); err != nil {
+		return nil, err
+	}
+	// u must land on iv's scale/level before the addition.
+	if u.Level > iv.Level {
+		u = ev.DropLevel(u, u.Level-iv.Level)
+	} else if iv.Level > u.Level {
+		iv = ev.DropLevel(iv, iv.Level-u.Level)
+	}
+	u.Scale = iv.Scale // within the rescale drift tolerance
+	recombined, err := ev.Add(u, iv)
+	if err != nil {
+		return nil, err
+	}
+
+	// SlotToCoeff back to the coefficient layout.
+	out, err := bt.slotToCoeff(recombined)
+	if err != nil {
+		return nil, err
+	}
+	out.Scale = bt.params.Scale()
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package ckks
+
+import (
+	"math"
+	"testing"
+)
+
+// bootstrapTestContext builds the (deliberately insecure, demo-sized)
+// parameter set the functional bootstrap runs on: N=2^12, 16 slots, a
+// 21-level 36-bit chain under a 50-bit base prime, sparse secret of weight
+// 16.
+var cachedBootCtx *testContext
+var cachedBootstrapper *Bootstrapper
+
+func bootstrapTestContext(t *testing.T) (*testContext, *Bootstrapper) {
+	t.Helper()
+	if cachedBootCtx != nil {
+		return cachedBootCtx, cachedBootstrapper
+	}
+	params, err := NewParameters(ParametersLiteral{
+		LogN:                12,
+		LogSlots:            4,
+		LogQ:                append([]int{50}, repeat(40, 24)...),
+		LogP:                []int{50, 50, 50},
+		LogScale:            40,
+		Alpha:               3,
+		Seed:                3,
+		SecretHammingWeight: 16,
+	})
+	if err != nil {
+		t.Fatalf("NewParameters: %v", err)
+	}
+	tc := &testContext{params: params}
+	tc.enc = NewEncoder(params)
+	tc.kgen = NewKeyGenerator(params)
+	tc.sk = tc.kgen.GenSecretKey()
+	tc.pk = tc.kgen.GenPublicKey(tc.sk)
+	tc.encr = NewEncryptor(params, tc.pk)
+	tc.decr = NewDecryptor(params, tc.sk)
+	tc.keys, err = tc.kgen.GenEvaluationKeySet(tc.sk,
+		[]KeySwitchMethod{Hybrid}, BootstrapRotations(params), true)
+	if err != nil {
+		t.Fatalf("GenEvaluationKeySet: %v", err)
+	}
+	tc.eval, err = NewEvaluator(params, tc.keys)
+	if err != nil {
+		t.Fatalf("NewEvaluator: %v", err)
+	}
+	bt, err := NewBootstrapper(params, tc.enc, tc.eval, DefaultBootstrapParameters())
+	if err != nil {
+		t.Fatalf("NewBootstrapper: %v", err)
+	}
+	cachedBootCtx, cachedBootstrapper = tc, bt
+	return tc, bt
+}
+
+func repeat(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestBootstrapRefreshesCiphertext(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bootstrap test is slow")
+	}
+	tc, bt := bootstrapTestContext(t)
+	n := tc.params.Slots()
+
+	values := make([]complex128, n)
+	for i := range values {
+		values[i] = complex(0.4*math.Cos(float64(i)), 0.3*math.Sin(2*float64(i)))
+	}
+	pt, err := tc.enc.Encode(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := tc.encr.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust the chain: drop to level 0 as a long computation would.
+	ct = tc.eval.DropLevel(ct, ct.Level)
+	if ct.Level != 0 {
+		t.Fatalf("setup: expected level 0, got %d", ct.Level)
+	}
+
+	refreshed, err := bt.Bootstrap(ct)
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if refreshed.Level < 1 {
+		t.Fatalf("bootstrap must restore usable levels, got %d", refreshed.Level)
+	}
+	got := tc.enc.Decode(tc.decr.Decrypt(refreshed))
+	if e := maxErr(got, values); e > 2e-2 {
+		t.Fatalf("bootstrap error %g (level restored to %d)", e, refreshed.Level)
+	}
+	t.Logf("bootstrap: restored to level %d with max error %.3g", refreshed.Level, maxErr(got, values))
+
+	// The refreshed ciphertext must support further computation.
+	prod, err := tc.eval.MulRelin(refreshed, refreshed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err = tc.eval.Rescale(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := tc.enc.Decode(tc.decr.Decrypt(prod))
+	want := make([]complex128, n)
+	for i := range want {
+		want[i] = values[i] * values[i]
+	}
+	if e := maxErr(got2, want); e > 4e-2 {
+		t.Fatalf("post-bootstrap multiplication error %g", e)
+	}
+}
+
+func TestBootstrapperValidation(t *testing.T) {
+	tc := newTestContext(t)
+	// Dense secret: must refuse.
+	if _, err := NewBootstrapper(tc.params, tc.enc, tc.eval, DefaultBootstrapParameters()); err == nil {
+		t.Error("bootstrapper accepted a dense-secret parameter set")
+	}
+}
+
+func TestBootstrapDepthBookkeeping(t *testing.T) {
+	bp := DefaultBootstrapParameters()
+	if d := bp.Depth(); d < 12 || d > 24 {
+		t.Errorf("implausible bootstrap depth %d", d)
+	}
+}
+
+func TestModRaisePreservesMessage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bootstrap context is slow to build")
+	}
+	tc, bt := bootstrapTestContext(t)
+	values := make([]complex128, tc.params.Slots())
+	for i := range values {
+		values[i] = complex(0.25, -0.125)
+	}
+	pt, _ := tc.enc.Encode(values)
+	ct, _ := tc.encr.Encrypt(pt)
+	ct = tc.eval.DropLevel(ct, ct.Level)
+
+	raised, err := bt.modRaise(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raised.Level != tc.params.MaxLevel() {
+		t.Fatalf("modRaise level %d, want %d", raised.Level, tc.params.MaxLevel())
+	}
+	// Decrypting the raised ciphertext and reducing each coefficient mod q0
+	// must recover the message (the q0*I part vanishes mod q0).
+	dec := tc.decr.Decrypt(raised)
+	rq := tc.params.RingQ().AtLevel(raised.Level)
+	poly := dec.Value.Clone()
+	rq.INTT(poly)
+	// Reduce the first limb (mod q0) and rebuild a level-0 plaintext.
+	lvl0 := tc.params.RingQ().AtLevel(0)
+	p0 := lvl0.NewPoly()
+	copy(p0.Coeffs[0], poly.Coeffs[0])
+	lvl0.NTT(p0)
+	pt0 := &Plaintext{Value: p0, Level: 0, Scale: ct.Scale}
+	got := tc.enc.Decode(pt0)
+	if e := maxErr(got, values); e > 1e-3 {
+		t.Fatalf("mod-q0 reduction of raised ciphertext lost the message: %g", e)
+	}
+	if err := raised.validate(tc.params); err != nil {
+		t.Fatalf("raised ciphertext invalid: %v", err)
+	}
+}
+
+func TestBootstrapRejectsWrongLevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bootstrap context is slow to build")
+	}
+	tc, bt := bootstrapTestContext(t)
+	values := make([]complex128, tc.params.Slots())
+	pt, _ := tc.enc.Encode(values)
+	ct, _ := tc.encr.Encrypt(pt)
+	if _, err := bt.Bootstrap(ct); err == nil {
+		t.Error("bootstrap accepted a full-level ciphertext")
+	}
+}

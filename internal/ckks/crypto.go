@@ -1,0 +1,77 @@
+package ckks
+
+import (
+	"fmt"
+
+	"github.com/fastfhe/fast/internal/ring"
+)
+
+// Ciphertext is a degree-1 RLWE ciphertext (c0, c1) with c0 + c1*s ≈ m. Both
+// polynomials are kept in NTT form with level+1 limbs.
+type Ciphertext struct {
+	C0, C1 ring.Poly
+	Level  int
+	Scale  float64
+}
+
+// CopyNew returns a deep copy.
+func (ct *Ciphertext) CopyNew() *Ciphertext {
+	return &Ciphertext{C0: ct.C0.Clone(), C1: ct.C1.Clone(), Level: ct.Level, Scale: ct.Scale}
+}
+
+// Encryptor encrypts plaintexts under a public key.
+type Encryptor struct {
+	params  *Parameters
+	pk      *PublicKey
+	sampler *ring.Sampler
+}
+
+// NewEncryptor returns a public-key encryptor.
+func NewEncryptor(params *Parameters, pk *PublicKey) *Encryptor {
+	return &Encryptor{params: params, pk: pk, sampler: ring.NewSampler(params.seed + 0x5eed)}
+}
+
+// Encrypt returns a fresh encryption of pt at pt's level.
+func (e *Encryptor) Encrypt(pt *Plaintext) (*Ciphertext, error) {
+	if pt.Level < 0 || pt.Level > e.params.MaxLevel() {
+		return nil, fmt.Errorf("ckks: plaintext level %d out of range", pt.Level)
+	}
+	rq := e.params.ringQ.AtLevel(pt.Level)
+	// u ternary, e0/e1 gaussian; (c0, c1) = (b*u + e0 + m, a*u + e1).
+	u := rq.NewPoly()
+	e.sampler.TernaryPoly(rq, u)
+	rq.NTT(u)
+	e0, e1 := rq.NewPoly(), rq.NewPoly()
+	e.sampler.GaussianPoly(rq, e.params.sigma, e0)
+	e.sampler.GaussianPoly(rq, e.params.sigma, e1)
+	rq.NTT(e0)
+	rq.NTT(e1)
+
+	ct := &Ciphertext{C0: rq.NewPoly(), C1: rq.NewPoly(), Level: pt.Level, Scale: pt.Scale}
+	rq.MulCoeffs(e.pk.B.Truncated(pt.Level+1), u, ct.C0)
+	rq.Add(ct.C0, e0, ct.C0)
+	rq.Add(ct.C0, pt.Value, ct.C0)
+	rq.MulCoeffs(e.pk.A.Truncated(pt.Level+1), u, ct.C1)
+	rq.Add(ct.C1, e1, ct.C1)
+	return ct, nil
+}
+
+// Decryptor decrypts ciphertexts with the secret key.
+type Decryptor struct {
+	params *Parameters
+	sk     *SecretKey
+}
+
+// NewDecryptor returns a decryptor.
+func NewDecryptor(params *Parameters, sk *SecretKey) *Decryptor {
+	return &Decryptor{params: params, sk: sk}
+}
+
+// Decrypt returns the plaintext m = c0 + c1*s at the ciphertext's level.
+func (d *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	rq := d.params.ringQ.AtLevel(ct.Level)
+	pt := &Plaintext{Value: rq.NewPoly(), Level: ct.Level, Scale: ct.Scale}
+	rq.MulCoeffs(ct.C1, d.sk.skQ(d.params).Truncated(ct.Level+1), pt.Value)
+	rq.Add(pt.Value, ct.C0, pt.Value)
+	return pt
+}

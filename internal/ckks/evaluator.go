@@ -1,0 +1,308 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"github.com/fastfhe/fast/internal/ring"
+	"github.com/fastfhe/fast/internal/rns"
+)
+
+// Evaluator executes homomorphic operations. It owns one KeySwitcher per
+// enabled backend and routes every HMult/HRot through the backend chosen by
+// SetMethod — the hook the Aether planner drives when it assigns a
+// key-switching method per operation (paper §4.1).
+type Evaluator struct {
+	params   *Parameters
+	keys     *EvaluationKeySet
+	method   KeySwitchMethod
+	switcher map[KeySwitchMethod]*KeySwitcher
+	rescaler *rns.Rescaler
+}
+
+// NewEvaluator builds an evaluator over the given key set. The hybrid
+// backend is always available; the KLSS backend is constructed when the
+// parameter set carries an auxiliary chain.
+func NewEvaluator(params *Parameters, keys *EvaluationKeySet) (*Evaluator, error) {
+	ev := &Evaluator{
+		params:   params,
+		keys:     keys,
+		method:   Hybrid,
+		switcher: map[KeySwitchMethod]*KeySwitcher{},
+		rescaler: rns.NewRescaler(params.ringQ.Moduli),
+	}
+	hy, err := NewKeySwitcher(params, Hybrid)
+	if err != nil {
+		return nil, err
+	}
+	ev.switcher[Hybrid] = hy
+	if params.SupportsKLSS() {
+		kl, err := NewKeySwitcher(params, KLSS)
+		if err != nil {
+			return nil, err
+		}
+		ev.switcher[KLSS] = kl
+	}
+	return ev, nil
+}
+
+// SetMethod selects the key-switching backend for subsequent operations.
+func (ev *Evaluator) SetMethod(m KeySwitchMethod) error {
+	if _, ok := ev.switcher[m]; !ok {
+		return fmt.Errorf("ckks: evaluator has no %v backend", m)
+	}
+	ev.method = m
+	return nil
+}
+
+// Method returns the active key-switching backend.
+func (ev *Evaluator) Method() KeySwitchMethod { return ev.method }
+
+// alignLevels drops both ciphertexts to the lower of their levels.
+func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext) {
+	if a.Level == b.Level {
+		return a, b
+	}
+	if a.Level > b.Level {
+		a = ev.DropLevel(a, a.Level-b.Level)
+	} else {
+		b = ev.DropLevel(b, b.Level-a.Level)
+	}
+	return a, b
+}
+
+// DropLevel returns ct truncated by n limbs (no scaling).
+func (ev *Evaluator) DropLevel(ct *Ciphertext, n int) *Ciphertext {
+	return &Ciphertext{
+		C0:    ct.C0.Truncated(ct.Level + 1 - n).Clone(),
+		C1:    ct.C1.Truncated(ct.Level + 1 - n).Clone(),
+		Level: ct.Level - n,
+		Scale: ct.Scale,
+	}
+}
+
+// scalesMatch tolerates the relative drift rescaling introduces: each chain
+// prime sits within ~2^-17 of the nominal scale, so two operands that took
+// different paths through a deep circuit (e.g. the ~17-rescale EvalMod
+// pipeline) can diverge by up to ~1e-4 in scale. The 1e-3 tolerance accepts
+// that drift — introducing a value error bounded by 1e-3 of the magnitude,
+// below the approximation error of the circuits that reach such depths —
+// while still rejecting genuinely mismatched operands (which differ by the
+// full Δ factor).
+func scalesMatch(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-3*math.Max(a, b)
+}
+
+// Add returns a+b (HAdd). Levels are aligned; scales must match.
+func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	a, b = ev.alignLevels(a, b)
+	if !scalesMatch(a.Scale, b.Scale) {
+		return nil, fmt.Errorf("ckks: HAdd scale mismatch: %g vs %g", a.Scale, b.Scale)
+	}
+	rq := ev.params.ringQ.AtLevel(a.Level)
+	out := &Ciphertext{C0: rq.NewPoly(), C1: rq.NewPoly(), Level: a.Level, Scale: a.Scale}
+	rq.Add(a.C0, b.C0, out.C0)
+	rq.Add(a.C1, b.C1, out.C1)
+	return out, nil
+}
+
+// Sub returns a-b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	a, b = ev.alignLevels(a, b)
+	if !scalesMatch(a.Scale, b.Scale) {
+		return nil, fmt.Errorf("ckks: HSub scale mismatch: %g vs %g", a.Scale, b.Scale)
+	}
+	rq := ev.params.ringQ.AtLevel(a.Level)
+	out := &Ciphertext{C0: rq.NewPoly(), C1: rq.NewPoly(), Level: a.Level, Scale: a.Scale}
+	rq.Sub(a.C0, b.C0, out.C0)
+	rq.Sub(a.C1, b.C1, out.C1)
+	return out, nil
+}
+
+// AddPlain returns ct+pt (PAdd).
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	level := min(ct.Level, pt.Level)
+	if !scalesMatch(ct.Scale, pt.Scale) {
+		return nil, fmt.Errorf("ckks: PAdd scale mismatch: %g vs %g", ct.Scale, pt.Scale)
+	}
+	rq := ev.params.ringQ.AtLevel(level)
+	out := &Ciphertext{C0: rq.NewPoly(), C1: ct.C1.Truncated(level + 1).Clone(), Level: level, Scale: ct.Scale}
+	rq.Add(ct.C0.Truncated(level+1), pt.Value.Truncated(level+1), out.C0)
+	return out, nil
+}
+
+// MulPlain returns ct*pt (PMult) without rescaling; the output scale is the
+// product of the scales.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	level := min(ct.Level, pt.Level)
+	rq := ev.params.ringQ.AtLevel(level)
+	out := &Ciphertext{C0: rq.NewPoly(), C1: rq.NewPoly(), Level: level, Scale: ct.Scale * pt.Scale}
+	rq.MulCoeffs(ct.C0.Truncated(level+1), pt.Value.Truncated(level+1), out.C0)
+	rq.MulCoeffs(ct.C1.Truncated(level+1), pt.Value.Truncated(level+1), out.C1)
+	return out, nil
+}
+
+// MulConst returns ct * c for a real constant (CMult): the constant is
+// quantised at the default scale, so the output scale is Scale*Δ and the
+// caller typically rescales next.
+func (ev *Evaluator) MulConst(ct *Ciphertext, c float64) (*Ciphertext, error) {
+	delta := ev.params.Scale()
+	k, err := scaleToInt(c, delta)
+	if err != nil {
+		return nil, err
+	}
+	rq := ev.params.ringQ.AtLevel(ct.Level)
+	out := &Ciphertext{C0: rq.NewPoly(), C1: rq.NewPoly(), Level: ct.Level, Scale: ct.Scale * delta}
+	rq.MulScalarBigint(ct.C0, k, out.C0)
+	rq.MulScalarBigint(ct.C1, k, out.C1)
+	return out, nil
+}
+
+// AddConst returns ct + c for a real constant, at ct's scale.
+func (ev *Evaluator) AddConst(ct *Ciphertext, c float64) (*Ciphertext, error) {
+	k, err := scaleToInt(c, ct.Scale)
+	if err != nil {
+		return nil, err
+	}
+	rq := ev.params.ringQ.AtLevel(ct.Level)
+	out := ct.CopyNew()
+	// The constant lands on coefficient 0 in coefficient form, which is the
+	// all-k vector in NTT form (the NTT of a constant is that constant).
+	kModQ := ring.NewPoly(ev.params.N(), ct.Level+1)
+	tmp := new(big.Int)
+	for i, m := range rq.Moduli {
+		v := tmp.Mod(k, new(big.Int).SetUint64(m.Q)).Uint64()
+		row := kModQ.Coeffs[i]
+		for j := range row {
+			row[j] = v
+		}
+	}
+	rq.Add(out.C0, kModQ, out.C0)
+	return out, nil
+}
+
+// MulRelin returns a*b with relinearisation through the active backend
+// (HMult). No rescale is performed; the output scale is the product.
+func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
+	a, b = ev.alignLevels(a, b)
+	level := a.Level
+	rq := ev.params.ringQ.AtLevel(level)
+
+	// Tensor: (d0, d1, d2) = (a0*b0, a0*b1 + a1*b0, a1*b1).
+	d0, d1, d2 := rq.NewPoly(), rq.NewPoly(), rq.NewPoly()
+	rq.MulCoeffs(a.C0, b.C0, d0)
+	rq.MulCoeffs(a.C0, b.C1, d1)
+	rq.MulCoeffsThenAdd(a.C1, b.C0, d1)
+	rq.MulCoeffs(a.C1, b.C1, d2)
+
+	// Relinearise d2 with the s^2 key.
+	sw := ev.switcher[ev.method]
+	rlk, err := ev.keys.RelinKey(ev.method)
+	if err != nil {
+		return nil, err
+	}
+	e0, e1, err := sw.Switch(d2, rlk, level)
+	if err != nil {
+		return nil, err
+	}
+	out := &Ciphertext{C0: d0, C1: d1, Level: level, Scale: a.Scale * b.Scale}
+	rq.Add(out.C0, e0, out.C0)
+	rq.Add(out.C1, e1, out.C1)
+	return out, nil
+}
+
+// Rescale divides the ciphertext by its top prime, dropping one level and
+// dividing the scale accordingly.
+func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Level == 0 {
+		return nil, fmt.Errorf("ckks: cannot rescale at level 0")
+	}
+	level := ct.Level
+	rqIn := ev.params.ringQ.AtLevel(level)
+	out := &Ciphertext{
+		C0:    ring.NewPoly(ev.params.N(), level),
+		C1:    ring.NewPoly(ev.params.N(), level),
+		Level: level - 1,
+		Scale: ct.Scale / float64(ev.params.qChain[level]),
+	}
+	for _, pair := range []struct{ in, out ring.Poly }{{ct.C0, out.C0}, {ct.C1, out.C1}} {
+		tmp := pair.in.Clone()
+		rqIn.INTT(tmp)
+		ev.rescaler.Rescale(tmp.Coeffs, pair.out.Coeffs)
+		ev.params.ringQ.AtLevel(level - 1).NTT(pair.out)
+	}
+	return out, nil
+}
+
+// Rotate returns ct with its slots cyclically rotated by r (HRot), via the
+// active backend's Galois key.
+func (ev *Evaluator) Rotate(ct *Ciphertext, r int) (*Ciphertext, error) {
+	galEl := ring.GaloisElementForRotation(ev.params.LogN(), r)
+	return ev.automorphism(ct, galEl)
+}
+
+// Conjugate returns the slot-wise complex conjugate of ct.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
+	galEl := ring.GaloisElementForConjugation(ev.params.LogN())
+	return ev.automorphism(ct, galEl)
+}
+
+func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64) (*Ciphertext, error) {
+	sw := ev.switcher[ev.method]
+	key, err := ev.keys.GaloisKey(ev.method, galEl)
+	if err != nil {
+		return nil, err
+	}
+	level := ct.Level
+	rq := ev.params.ringQ.AtLevel(level)
+	idx := ring.AutomorphismNTTIndex(ev.params.N(), ev.params.LogN(), galEl)
+
+	// Switch φ(c1) under the rotated key, then add φ(c0).
+	c1Rot := rq.NewPoly()
+	rq.AutomorphismNTT(ct.C1, c1Rot, idx)
+	d0, d1, err := sw.Switch(c1Rot, key, level)
+	if err != nil {
+		return nil, err
+	}
+	c0Rot := rq.NewPoly()
+	rq.AutomorphismNTT(ct.C0, c0Rot, idx)
+	rq.Add(d0, c0Rot, d0)
+	return &Ciphertext{C0: d0, C1: d1, Level: level, Scale: ct.Scale}, nil
+}
+
+// RotateHoisted rotates ct by every requested amount, paying the expensive
+// decomposition (ModUp) only once — the hoisting optimisation the FAST
+// accelerator schedules (paper §2.2.3). Results are keyed by rotation amount.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ciphertext, error) {
+	sw := ev.switcher[ev.method]
+	level := ct.Level
+	rq := ev.params.ringQ.AtLevel(level)
+	dec, err := sw.Decompose(ct.C1, level)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]*Ciphertext, len(rotations))
+	for _, r := range rotations {
+		if r == 0 {
+			out[0] = ct.CopyNew()
+			continue
+		}
+		galEl := ring.GaloisElementForRotation(ev.params.LogN(), r)
+		key, err := ev.keys.GaloisKey(ev.method, galEl)
+		if err != nil {
+			return nil, err
+		}
+		idx := ring.AutomorphismNTTIndex(ev.params.N(), ev.params.LogN(), galEl)
+		rotDec := sw.Automorph(dec, idx)
+		d0, d1, err := sw.KeyMult(rotDec, key, level)
+		if err != nil {
+			return nil, err
+		}
+		c0Rot := rq.NewPoly()
+		rq.AutomorphismNTT(ct.C0, c0Rot, idx)
+		rq.Add(d0, c0Rot, d0)
+		out[r] = &Ciphertext{C0: d0, C1: d1, Level: level, Scale: ct.Scale}
+	}
+	return out, nil
+}

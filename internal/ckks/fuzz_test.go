@@ -1,0 +1,35 @@
+package ckks
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCiphertext hardens the deserialiser against malformed inputs: it
+// must never panic, only return errors (or round-trip valid data).
+func FuzzReadCiphertext(f *testing.F) {
+	params, err := TestParameters()
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc := NewEncoder(params)
+	kgen := NewKeyGenerator(params)
+	sk := kgen.GenSecretKey()
+	encryptor := NewEncryptor(params, kgen.GenPublicKey(sk))
+	pt, _ := enc.Encode(make([]complex128, params.Slots()))
+	ct, _ := encryptor.Encrypt(pt)
+	var buf bytes.Buffer
+	ct.Serialize(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x01, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCiphertext(bytes.NewReader(data), params)
+		if err == nil {
+			if verr := got.validate(params); verr != nil {
+				t.Fatalf("accepted invalid ciphertext: %v", verr)
+			}
+		}
+	})
+}

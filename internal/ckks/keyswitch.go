@@ -1,0 +1,271 @@
+package ckks
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fastfhe/fast/internal/ring"
+	"github.com/fastfhe/fast/internal/rns"
+)
+
+// KeySwitcher executes the key-switching dataflow for one backend. Both
+// backends share the gadget structure (the paper's Fig. 1): the hybrid
+// method runs ModUp → KeyMult → ModDown over the 36-bit special chain P,
+// while the KLSS backend runs the same stages over the 60-bit auxiliary
+// chain T (DoubleDecompose → KeyMult → RecoverLimbs → ModDown), exercising
+// the accelerator's 60-bit datapath. The β·α grouping, gadget selectors and
+// ModDown rounding are identical mathematics; only the chain (and hence the
+// per-kernel operation counts, see internal/costmodel) differs.
+type KeySwitcher struct {
+	params *Parameters
+	method KeySwitchMethod
+
+	keyRing *ring.Ring
+	sLen    int // number of special limbs
+	alpha   int
+
+	mu        sync.Mutex
+	extenders map[extKey]*rns.Extender
+	downers   map[int]*rns.ModDowner
+}
+
+type extKey struct{ level, group int }
+
+// NewKeySwitcher builds the switcher for the chosen backend.
+func NewKeySwitcher(params *Parameters, method KeySwitchMethod) (*KeySwitcher, error) {
+	kr, sLen, err := params.keyRing(method)
+	if err != nil {
+		return nil, err
+	}
+	return &KeySwitcher{
+		params:    params,
+		method:    method,
+		keyRing:   kr,
+		sLen:      sLen,
+		alpha:     params.groupAlpha(method),
+		extenders: map[extKey]*rns.Extender{},
+		downers:   map[int]*rns.ModDowner{},
+	}, nil
+}
+
+// Method returns the backend this switcher runs.
+func (ks *KeySwitcher) Method() KeySwitchMethod { return ks.method }
+
+// beta returns the group count at a level.
+func (ks *KeySwitcher) beta(level int) int { return (level + 1 + ks.alpha - 1) / ks.alpha }
+
+// qMods returns the ciphertext moduli active at level.
+func (ks *KeySwitcher) qMods(level int) []ring.Modulus {
+	return ks.keyRing.Moduli[:level+1]
+}
+
+// sMods returns the special-chain moduli.
+func (ks *KeySwitcher) sMods() []ring.Modulus {
+	qLen := len(ks.params.qChain)
+	return ks.keyRing.Moduli[qLen : qLen+ks.sLen]
+}
+
+// extender returns (building if needed) the base converter from group j's
+// primes to the complement basis (other active q limbs ++ special limbs).
+func (ks *KeySwitcher) extender(level, j int) (*rns.Extender, error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	k := extKey{level, j}
+	if e, ok := ks.extenders[k]; ok {
+		return e, nil
+	}
+	lo, hi := j*ks.alpha, min((j+1)*ks.alpha, level+1)
+	var from, to []ring.Modulus
+	from = append(from, ks.qMods(level)[lo:hi]...)
+	to = append(to, ks.qMods(level)[:lo]...)
+	to = append(to, ks.qMods(level)[hi:]...)
+	to = append(to, ks.sMods()...)
+	e, err := rns.NewExtender(from, to)
+	if err != nil {
+		return nil, err
+	}
+	ks.extenders[k] = e
+	return e, nil
+}
+
+// downer returns (building if needed) the ModDown context at a level.
+func (ks *KeySwitcher) downer(level int) (*rns.ModDowner, error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if d, ok := ks.downers[level]; ok {
+		return d, nil
+	}
+	d, err := rns.NewModDowner(ks.qMods(level), ks.sMods())
+	if err != nil {
+		return nil, err
+	}
+	ks.downers[level] = d
+	return d, nil
+}
+
+// Decomposition is the hoistable intermediate state of key-switching: the β
+// ModUp-extended copies of the input polynomial over the active-Q++special
+// basis, in NTT form. Computing it costs the bulk of the key-switch NTTs;
+// hoisted rotations reuse one Decomposition across many rotations, which is
+// exactly the saving the paper's hoisting analysis (§2.2.3, Fig. 3) counts.
+type Decomposition struct {
+	Level  int
+	Groups []ring.Poly // each has level+1+sLen limbs: rows [0,level] mod q_i, rest mod special
+}
+
+// tableFor returns the NTT table of logical row i of an extended polynomial
+// at the given level (q rows first, then special rows).
+func (ks *KeySwitcher) tableFor(level, i int) *ring.NTTTable {
+	if i <= level {
+		return ks.keyRing.Tables[i]
+	}
+	qLen := len(ks.params.qChain)
+	return ks.keyRing.Tables[qLen+(i-level-1)]
+}
+
+// modFor is the Modulus counterpart of tableFor.
+func (ks *KeySwitcher) modFor(level, i int) ring.Modulus {
+	if i <= level {
+		return ks.keyRing.Moduli[i]
+	}
+	qLen := len(ks.params.qChain)
+	return ks.keyRing.Moduli[qLen+(i-level-1)]
+}
+
+// Decompose performs the ModUp stage on c (level+1 limbs, NTT form): it
+// splits the limbs into β groups of α and extends each group to the full
+// active basis. The group's own limbs are reused in NTT form; converted
+// limbs are transformed with one NTT each — the count the cost model and the
+// accelerator's NTTU schedule charge for ModUp.
+func (ks *KeySwitcher) Decompose(c ring.Poly, level int) (*Decomposition, error) {
+	if c.Limbs() != level+1 {
+		return nil, fmt.Errorf("ckks: decompose input has %d limbs, want %d", c.Limbs(), level+1)
+	}
+	n := ks.params.N()
+	// One INTT per input limb to reach coefficient form for BConv.
+	cCoeff := c.Clone()
+	for i := 0; i <= level; i++ {
+		ks.keyRing.Tables[i].Inverse(cCoeff.Coeffs[i])
+	}
+
+	beta := ks.beta(level)
+	ext := len(ks.sMods())
+	d := &Decomposition{Level: level, Groups: make([]ring.Poly, beta)}
+	for j := 0; j < beta; j++ {
+		lo, hi := j*ks.alpha, min((j+1)*ks.alpha, level+1)
+		e, err := ks.extender(level, j)
+		if err != nil {
+			return nil, err
+		}
+		out := ring.NewPoly(n, level+1+ext)
+		// Source rows (coefficient form) for the conversion.
+		src := cCoeff.Coeffs[lo:hi]
+		// Destination rows: everything except the group's own rows.
+		dst := make([][]uint64, 0, level+1+ext-(hi-lo))
+		for i := 0; i <= level; i++ {
+			if i < lo || i >= hi {
+				dst = append(dst, out.Coeffs[i])
+			}
+		}
+		for i := level + 1; i < level+1+ext; i++ {
+			dst = append(dst, out.Coeffs[i])
+		}
+		e.Convert(src, dst)
+		// Converted rows go back to NTT form; own rows copy from the NTT
+		// input directly.
+		for i := 0; i <= level+ext; i++ {
+			if i >= lo && i < hi {
+				copy(out.Coeffs[i], c.Coeffs[i])
+				continue
+			}
+			ks.tableFor(level, i).Forward(out.Coeffs[i])
+		}
+		d.Groups[j] = out
+	}
+	return d, nil
+}
+
+// Automorph applies the Galois permutation (NTT-domain index table) to every
+// limb of the decomposition, returning a new decomposition. This is the
+// cheap per-rotation step of hoisting.
+func (ks *KeySwitcher) Automorph(d *Decomposition, index []int) *Decomposition {
+	out := &Decomposition{Level: d.Level, Groups: make([]ring.Poly, len(d.Groups))}
+	for j, g := range d.Groups {
+		og := ring.NewPoly(g.N(), g.Limbs())
+		for i := range g.Coeffs {
+			src, dsl := g.Coeffs[i], og.Coeffs[i]
+			for k := range dsl {
+				dsl[k] = src[index[k]]
+			}
+		}
+		out.Groups[j] = og
+	}
+	return out
+}
+
+// KeyMult runs the gadget inner product of a decomposition with a switching
+// key and the final ModDown, producing (d0, d1) over the active Q limbs in
+// NTT form such that d0 + d1*s ≈ c*sIn.
+func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (d0, d1 ring.Poly, err error) {
+	if key.Method != ks.method {
+		return d0, d1, fmt.Errorf("ckks: %v switcher given a %v key", ks.method, key.Method)
+	}
+	beta := ks.beta(level)
+	if beta > len(key.B) {
+		return d0, d1, fmt.Errorf("ckks: key has %d groups, need %d", len(key.B), beta)
+	}
+	n := ks.params.N()
+	ext := len(ks.sMods())
+	qLen := len(ks.params.qChain)
+	rows := level + 1 + ext
+
+	acc0 := ring.NewPoly(n, rows)
+	acc1 := ring.NewPoly(n, rows)
+	for j := 0; j < beta; j++ {
+		g := d.Groups[j]
+		for i := 0; i < rows; i++ {
+			m := ks.modFor(level, i)
+			keyRow := i
+			if i > level {
+				keyRow = qLen + (i - level - 1)
+			}
+			b, a := key.B[j].Coeffs[keyRow], key.A[j].Coeffs[keyRow]
+			gi := g.Coeffs[i]
+			a0, a1 := acc0.Coeffs[i], acc1.Coeffs[i]
+			for k := 0; k < n; k++ {
+				a0[k] = m.AddMod(a0[k], m.MulMod(gi[k], b[k]))
+				a1[k] = m.AddMod(a1[k], m.MulMod(gi[k], a[k]))
+			}
+		}
+	}
+
+	// RecoverLimbs/ModDown: back to coefficient form, divide by the special
+	// chain, return to NTT form on the Q limbs.
+	for i := 0; i < rows; i++ {
+		t := ks.tableFor(level, i)
+		t.Inverse(acc0.Coeffs[i])
+		t.Inverse(acc1.Coeffs[i])
+	}
+	dw, err := ks.downer(level)
+	if err != nil {
+		return d0, d1, err
+	}
+	d0 = ring.NewPoly(n, level+1)
+	d1 = ring.NewPoly(n, level+1)
+	dw.ModDown(acc0.Coeffs[:level+1], acc0.Coeffs[level+1:rows], d0.Coeffs)
+	dw.ModDown(acc1.Coeffs[:level+1], acc1.Coeffs[level+1:rows], d1.Coeffs)
+	for i := 0; i <= level; i++ {
+		ks.keyRing.Tables[i].Forward(d0.Coeffs[i])
+		ks.keyRing.Tables[i].Forward(d1.Coeffs[i])
+	}
+	return d0, d1, nil
+}
+
+// Switch is the one-shot path: Decompose followed by KeyMult.
+func (ks *KeySwitcher) Switch(c ring.Poly, key *SwitchingKey, level int) (d0, d1 ring.Poly, err error) {
+	d, err := ks.Decompose(c, level)
+	if err != nil {
+		return d0, d1, err
+	}
+	return ks.KeyMult(d, key, level)
+}

@@ -1,0 +1,281 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/fastfhe/fast/internal/ring"
+)
+
+// Wire format: little-endian, each object prefixed with a one-byte tag and a
+// version byte. Polynomials serialise as (limbs, degree, raw coefficients).
+// Ciphertexts and plaintexts additionally carry level and scale; switching
+// keys carry their method and group count. The format is stable within a
+// major version of this library.
+
+const (
+	wireVersion byte = 1
+
+	tagPoly       byte = 0x01
+	tagCiphertext byte = 0x02
+	tagPlaintext  byte = 0x03
+	tagSwitchKey  byte = 0x04
+	tagPublicKey  byte = 0x05
+)
+
+func writeHeader(w io.Writer, tag byte) error {
+	_, err := w.Write([]byte{tag, wireVersion})
+	return err
+}
+
+func readHeader(r io.Reader, wantTag byte) error {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("ckks: reading header: %w", err)
+	}
+	if hdr[0] != wantTag {
+		return fmt.Errorf("ckks: wrong object tag 0x%02x, want 0x%02x", hdr[0], wantTag)
+	}
+	if hdr[1] != wireVersion {
+		return fmt.Errorf("ckks: unsupported wire version %d", hdr[1])
+	}
+	return nil
+}
+
+func writePoly(w io.Writer, p ring.Poly) error {
+	if err := writeHeader(w, tagPoly); err != nil {
+		return err
+	}
+	hdr := [2]uint32{uint32(p.Limbs()), uint32(p.N())}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for _, limb := range p.Coeffs {
+		if err := binary.Write(w, binary.LittleEndian, limb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readPoly(r io.Reader) (ring.Poly, error) {
+	if err := readHeader(r, tagPoly); err != nil {
+		return ring.Poly{}, err
+	}
+	var hdr [2]uint32
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return ring.Poly{}, err
+	}
+	limbs, n := int(hdr[0]), int(hdr[1])
+	if limbs < 0 || limbs > 128 || n < 0 || n > 1<<20 {
+		return ring.Poly{}, fmt.Errorf("ckks: implausible poly shape %dx%d", limbs, n)
+	}
+	p := ring.NewPoly(n, limbs)
+	for i := range p.Coeffs {
+		if err := binary.Read(r, binary.LittleEndian, p.Coeffs[i]); err != nil {
+			return ring.Poly{}, err
+		}
+	}
+	return p, nil
+}
+
+// Serialize writes the ciphertext.
+func (ct *Ciphertext) Serialize(w io.Writer) error {
+	if err := writeHeader(w, tagCiphertext); err != nil {
+		return err
+	}
+	meta := struct {
+		Level int32
+		Scale float64
+	}{int32(ct.Level), ct.Scale}
+	if err := binary.Write(w, binary.LittleEndian, meta); err != nil {
+		return err
+	}
+	if err := writePoly(w, ct.C0); err != nil {
+		return err
+	}
+	return writePoly(w, ct.C1)
+}
+
+// ReadCiphertext deserialises a ciphertext and validates it against the
+// parameter set.
+func ReadCiphertext(r io.Reader, params *Parameters) (*Ciphertext, error) {
+	if err := readHeader(r, tagCiphertext); err != nil {
+		return nil, err
+	}
+	var meta struct {
+		Level int32
+		Scale float64
+	}
+	if err := binary.Read(r, binary.LittleEndian, &meta); err != nil {
+		return nil, err
+	}
+	c0, err := readPoly(r)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := readPoly(r)
+	if err != nil {
+		return nil, err
+	}
+	ct := &Ciphertext{C0: c0, C1: c1, Level: int(meta.Level), Scale: meta.Scale}
+	if err := ct.validate(params); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+// validate checks structural consistency with the parameter set.
+func (ct *Ciphertext) validate(params *Parameters) error {
+	if ct.Level < 0 || ct.Level > params.MaxLevel() {
+		return fmt.Errorf("ckks: ciphertext level %d out of range [0,%d]", ct.Level, params.MaxLevel())
+	}
+	if ct.C0.Limbs() != ct.Level+1 || ct.C1.Limbs() != ct.Level+1 {
+		return fmt.Errorf("ckks: ciphertext limbs (%d,%d) inconsistent with level %d",
+			ct.C0.Limbs(), ct.C1.Limbs(), ct.Level)
+	}
+	if ct.C0.N() != params.N() || ct.C1.N() != params.N() {
+		return fmt.Errorf("ckks: ciphertext degree %d does not match N=%d", ct.C0.N(), params.N())
+	}
+	if ct.Scale <= 0 || math.IsNaN(ct.Scale) || math.IsInf(ct.Scale, 0) {
+		return fmt.Errorf("ckks: invalid scale %g", ct.Scale)
+	}
+	for i := 0; i <= ct.Level; i++ {
+		q := params.qChain[i]
+		for _, row := range [][]uint64{ct.C0.Coeffs[i], ct.C1.Coeffs[i]} {
+			for _, v := range row {
+				if v >= q {
+					return fmt.Errorf("ckks: coefficient %d out of range for limb %d (q=%d)", v, i, q)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Serialize writes the plaintext.
+func (pt *Plaintext) Serialize(w io.Writer) error {
+	if err := writeHeader(w, tagPlaintext); err != nil {
+		return err
+	}
+	meta := struct {
+		Level int32
+		Scale float64
+	}{int32(pt.Level), pt.Scale}
+	if err := binary.Write(w, binary.LittleEndian, meta); err != nil {
+		return err
+	}
+	return writePoly(w, pt.Value)
+}
+
+// ReadPlaintext deserialises a plaintext.
+func ReadPlaintext(r io.Reader, params *Parameters) (*Plaintext, error) {
+	if err := readHeader(r, tagPlaintext); err != nil {
+		return nil, err
+	}
+	var meta struct {
+		Level int32
+		Scale float64
+	}
+	if err := binary.Read(r, binary.LittleEndian, &meta); err != nil {
+		return nil, err
+	}
+	v, err := readPoly(r)
+	if err != nil {
+		return nil, err
+	}
+	pt := &Plaintext{Value: v, Level: int(meta.Level), Scale: meta.Scale}
+	if pt.Level < 0 || pt.Level > params.MaxLevel() || v.Limbs() != pt.Level+1 {
+		return nil, fmt.Errorf("ckks: plaintext shape inconsistent")
+	}
+	return pt, nil
+}
+
+// Serialize writes the public key.
+func (pk *PublicKey) Serialize(w io.Writer) error {
+	if err := writeHeader(w, tagPublicKey); err != nil {
+		return err
+	}
+	if err := writePoly(w, pk.B); err != nil {
+		return err
+	}
+	return writePoly(w, pk.A)
+}
+
+// ReadPublicKey deserialises a public key.
+func ReadPublicKey(r io.Reader, params *Parameters) (*PublicKey, error) {
+	if err := readHeader(r, tagPublicKey); err != nil {
+		return nil, err
+	}
+	b, err := readPoly(r)
+	if err != nil {
+		return nil, err
+	}
+	a, err := readPoly(r)
+	if err != nil {
+		return nil, err
+	}
+	if b.Limbs() != len(params.qChain) || a.Limbs() != len(params.qChain) || b.N() != params.N() {
+		return nil, fmt.Errorf("ckks: public key shape inconsistent with parameters")
+	}
+	return &PublicKey{B: b, A: a}, nil
+}
+
+// Serialize writes a switching key (all gadget pairs).
+func (swk *SwitchingKey) Serialize(w io.Writer) error {
+	if err := writeHeader(w, tagSwitchKey); err != nil {
+		return err
+	}
+	meta := [2]uint32{uint32(swk.Method), uint32(len(swk.B))}
+	if err := binary.Write(w, binary.LittleEndian, meta); err != nil {
+		return err
+	}
+	for j := range swk.B {
+		if err := writePoly(w, swk.B[j]); err != nil {
+			return err
+		}
+		if err := writePoly(w, swk.A[j]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSwitchingKey deserialises a switching key.
+func ReadSwitchingKey(r io.Reader, params *Parameters) (*SwitchingKey, error) {
+	if err := readHeader(r, tagSwitchKey); err != nil {
+		return nil, err
+	}
+	var meta [2]uint32
+	if err := binary.Read(r, binary.LittleEndian, &meta); err != nil {
+		return nil, err
+	}
+	method := KeySwitchMethod(meta[0])
+	kr, _, err := params.keyRing(method)
+	if err != nil {
+		return nil, err
+	}
+	groups := int(meta[1])
+	if groups < 1 || groups > 64 {
+		return nil, fmt.Errorf("ckks: implausible group count %d", groups)
+	}
+	swk := &SwitchingKey{Method: method}
+	for j := 0; j < groups; j++ {
+		b, err := readPoly(r)
+		if err != nil {
+			return nil, err
+		}
+		a, err := readPoly(r)
+		if err != nil {
+			return nil, err
+		}
+		if b.Limbs() != len(kr.Moduli) || a.Limbs() != len(kr.Moduli) || b.N() != params.N() {
+			return nil, fmt.Errorf("ckks: switching key group %d shape inconsistent", j)
+		}
+		swk.B = append(swk.B, b)
+		swk.A = append(swk.A, a)
+	}
+	return swk, nil
+}

@@ -1,0 +1,174 @@
+package ckks
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCiphertextRoundTrip(t *testing.T) {
+	tc := newTestContext(t)
+	v := randomValues(tc.params.Slots(), 50)
+	pt, _ := tc.enc.Encode(v)
+	ct, _ := tc.encr.Encrypt(pt)
+
+	var buf bytes.Buffer
+	if err := ct.Serialize(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	back, err := ReadCiphertext(&buf, tc.params)
+	if err != nil {
+		t.Fatalf("ReadCiphertext: %v", err)
+	}
+	if back.Level != ct.Level || back.Scale != ct.Scale {
+		t.Fatal("metadata lost")
+	}
+	if !back.C0.Equal(ct.C0) || !back.C1.Equal(ct.C1) {
+		t.Fatal("coefficients lost")
+	}
+	// And it still decrypts.
+	if e := maxErr(tc.enc.Decode(tc.decr.Decrypt(back)), v); e > tolerance {
+		t.Fatalf("deserialised ciphertext error %g", e)
+	}
+}
+
+func TestCiphertextRejectsCorruption(t *testing.T) {
+	tc := newTestContext(t)
+	v := randomValues(tc.params.Slots(), 51)
+	pt, _ := tc.enc.Encode(v)
+	ct, _ := tc.encr.Encrypt(pt)
+
+	var buf bytes.Buffer
+	ct.Serialize(&buf)
+	raw := buf.Bytes()
+
+	// Wrong tag.
+	bad := append([]byte{}, raw...)
+	bad[0] = 0x7f
+	if _, err := ReadCiphertext(bytes.NewReader(bad), tc.params); err == nil {
+		t.Error("wrong tag accepted")
+	}
+	// Wrong version.
+	bad = append([]byte{}, raw...)
+	bad[1] = 99
+	if _, err := ReadCiphertext(bytes.NewReader(bad), tc.params); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// Truncated.
+	if _, err := ReadCiphertext(bytes.NewReader(raw[:len(raw)/2]), tc.params); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Out-of-range coefficient: flip a coefficient byte region to all 0xff.
+	bad = append([]byte{}, raw...)
+	for i := len(bad) - 16; i < len(bad)-8; i++ {
+		bad[i] = 0xff
+	}
+	if _, err := ReadCiphertext(bytes.NewReader(bad), tc.params); err == nil {
+		t.Error("out-of-range coefficient accepted")
+	}
+}
+
+func TestPlaintextRoundTrip(t *testing.T) {
+	tc := newTestContext(t)
+	v := randomValues(tc.params.Slots(), 52)
+	pt, _ := tc.enc.EncodeAtLevel(v, 2, tc.params.Scale())
+	var buf bytes.Buffer
+	if err := pt.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlaintext(&buf, tc.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Level != 2 || !back.Value.Equal(pt.Value) {
+		t.Fatal("plaintext round trip lost data")
+	}
+	if e := maxErr(tc.enc.Decode(back), v); e > 1e-6 {
+		t.Fatalf("decode after round trip error %g", e)
+	}
+}
+
+func TestPublicKeyRoundTrip(t *testing.T) {
+	tc := newTestContext(t)
+	var buf bytes.Buffer
+	if err := tc.pk.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPublicKey(&buf, tc.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.B.Equal(tc.pk.B) || !back.A.Equal(tc.pk.A) {
+		t.Fatal("public key round trip lost data")
+	}
+	// Encrypting under the deserialised key must still decrypt correctly.
+	enc2 := NewEncryptor(tc.params, back)
+	v := randomValues(tc.params.Slots(), 53)
+	pt, _ := tc.enc.Encode(v)
+	ct, err := enc2.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(tc.enc.Decode(tc.decr.Decrypt(ct)), v); e > tolerance {
+		t.Fatalf("encryption under restored key error %g", e)
+	}
+}
+
+func TestSwitchingKeyRoundTrip(t *testing.T) {
+	tc := newTestContext(t)
+	for _, method := range []KeySwitchMethod{Hybrid, KLSS} {
+		rlk, err := tc.keys.RelinKey(method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rlk.Serialize(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadSwitchingKey(&buf, tc.params)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if back.Method != method || len(back.B) != len(rlk.B) {
+			t.Fatal("switching key metadata lost")
+		}
+		for j := range rlk.B {
+			if !back.B[j].Equal(rlk.B[j]) || !back.A[j].Equal(rlk.A[j]) {
+				t.Fatalf("group %d lost", j)
+			}
+		}
+		// The restored key must still relinearise correctly.
+		keys2 := NewEvaluationKeySet()
+		keys2.Relin[method] = back
+		ev, err := NewEvaluator(tc.params, keys2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.SetMethod(method)
+		v := randomValues(tc.params.Slots(), 54)
+		pt, _ := tc.enc.Encode(v)
+		ct, _ := tc.encr.Encrypt(pt)
+		prod, err := ev.MulRelin(ct, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod, _ = ev.Rescale(prod)
+		want := make([]complex128, len(v))
+		for i := range v {
+			want[i] = v[i] * v[i]
+		}
+		if e := maxErr(tc.enc.Decode(tc.decr.Decrypt(prod)), want); e > tolerance {
+			t.Fatalf("%v: restored relin key gives error %g", method, e)
+		}
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	tc := newTestContext(t)
+	if _, err := ReadCiphertext(strings.NewReader("zz"), tc.params); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadSwitchingKey(strings.NewReader(""), tc.params); err == nil {
+		t.Error("empty stream accepted")
+	}
+}

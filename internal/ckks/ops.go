@@ -1,0 +1,92 @@
+package ckks
+
+import "fmt"
+
+// InnerSum folds the sum of n consecutive slots (stride 1 groups of size
+// `batch`) into every slot of each group using a hoisted rotation tree:
+// out[i] = sum_{j<batch} in[group(i)+j]. batch must be a power of two.
+// The rotation tree needs Galois keys for batch/2, batch/4, ..., 1.
+func (ev *Evaluator) InnerSum(ct *Ciphertext, batch int) (*Ciphertext, error) {
+	if batch < 1 || batch&(batch-1) != 0 {
+		return nil, fmt.Errorf("ckks: InnerSum batch %d must be a power of two", batch)
+	}
+	if batch > ev.params.Slots() {
+		return nil, fmt.Errorf("ckks: InnerSum batch %d exceeds %d slots", batch, ev.params.Slots())
+	}
+	out := ct
+	var err error
+	for r := 1; r < batch; r <<= 1 {
+		var rot *Ciphertext
+		rot, err = ev.Rotate(out, r)
+		if err != nil {
+			return nil, err
+		}
+		if out, err = ev.Add(out, rot); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Replicate spreads slot values across their group: starting from a
+// ciphertext whose group leaders hold values (other slots zero), after
+// Replicate every slot of a group holds the leader's value. It is the
+// adjoint of InnerSum and uses the inverse rotation tree.
+func (ev *Evaluator) Replicate(ct *Ciphertext, batch int) (*Ciphertext, error) {
+	if batch < 1 || batch&(batch-1) != 0 {
+		return nil, fmt.Errorf("ckks: Replicate batch %d must be a power of two", batch)
+	}
+	if batch > ev.params.Slots() {
+		return nil, fmt.Errorf("ckks: Replicate batch %d exceeds %d slots", batch, ev.params.Slots())
+	}
+	out := ct
+	var err error
+	for r := 1; r < batch; r <<= 1 {
+		var rot *Ciphertext
+		rot, err = ev.Rotate(out, -r)
+		if err != nil {
+			return nil, err
+		}
+		if out, err = ev.Add(out, rot); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MaskSlots zeroes every slot where mask[i] is false (a plaintext
+// multiplication by the 0/1 indicator, followed by a rescale).
+func (ev *Evaluator) MaskSlots(ct *Ciphertext, mask []bool, enc *Encoder) (*Ciphertext, error) {
+	if len(mask) != ev.params.Slots() {
+		return nil, fmt.Errorf("ckks: mask length %d != %d slots", len(mask), ev.params.Slots())
+	}
+	v := make([]complex128, len(mask))
+	for i, keep := range mask {
+		if keep {
+			v[i] = 1
+		}
+	}
+	pt, err := enc.EncodeAtLevel(v, ct.Level, ev.params.Scale())
+	if err != nil {
+		return nil, err
+	}
+	prod, err := ev.MulPlain(ct, pt)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Rescale(prod)
+}
+
+// Average returns a ciphertext whose every slot holds the mean of each
+// group of `batch` slots: InnerSum followed by the exact 1/batch constant.
+func (ev *Evaluator) Average(ct *Ciphertext, batch int) (*Ciphertext, error) {
+	sum, err := ev.InnerSum(ct, batch)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ev.MulConst(sum, 1/float64(batch))
+	if err != nil {
+		return nil, err
+	}
+	return ev.Rescale(out)
+}

@@ -1,0 +1,205 @@
+package ckks
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInnerSum(t *testing.T) {
+	tc := newTestContext(t)
+	n := tc.params.Slots()
+	const batch = 4
+	v := randomValues(n, 60)
+	pt, _ := tc.enc.Encode(v)
+	ct, _ := tc.encr.Encrypt(pt)
+
+	out, err := tc.eval.InnerSum(ct, batch)
+	if err != nil {
+		t.Fatalf("InnerSum: %v", err)
+	}
+	got := tc.enc.Decode(tc.decr.Decrypt(out))
+	for i := 0; i < n; i++ {
+		// The rotation tree computes a sliding (cyclic) window sum.
+		want := complex(0, 0)
+		for j := 0; j < batch; j++ {
+			want += v[(i+j)%n]
+		}
+		if e := absc(got[i] - want); e > 1e-3 {
+			t.Fatalf("slot %d: got %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestAverage(t *testing.T) {
+	tc := newTestContext(t)
+	n := tc.params.Slots()
+	const batch = 8
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(float64(i%batch), 0)
+	}
+	pt, _ := tc.enc.Encode(v)
+	ct, _ := tc.encr.Encrypt(pt)
+	out, err := tc.eval.Average(ct, batch)
+	if err != nil {
+		t.Fatalf("Average: %v", err)
+	}
+	got := tc.enc.Decode(tc.decr.Decrypt(out))
+	want := (0.0 + 1 + 2 + 3 + 4 + 5 + 6 + 7) / 8
+	for i := 0; i < n; i += batch {
+		if e := math.Abs(real(got[i]) - want); e > 1e-3 {
+			t.Fatalf("slot %d: got %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	tc := newTestContext(t)
+	n := tc.params.Slots()
+	const batch = 4
+	// Group leaders hold i, other slots zero.
+	v := make([]complex128, n)
+	for i := 0; i < n; i += batch {
+		v[i] = complex(float64(i/batch%7), 0)
+	}
+	pt, _ := tc.enc.Encode(v)
+	ct, _ := tc.encr.Encrypt(pt)
+	out, err := tc.eval.Replicate(ct, batch)
+	if err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	got := tc.enc.Decode(tc.decr.Decrypt(out))
+	for i := 0; i < n; i++ {
+		leader := i - i%batch
+		if e := absc(got[i] - v[leader]); e > 1e-3 {
+			t.Fatalf("slot %d: got %v want %v", i, got[i], v[leader])
+		}
+	}
+}
+
+func TestMaskSlots(t *testing.T) {
+	tc := newTestContext(t)
+	n := tc.params.Slots()
+	v := randomValues(n, 61)
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = i%3 == 0
+	}
+	pt, _ := tc.enc.Encode(v)
+	ct, _ := tc.encr.Encrypt(pt)
+	out, err := tc.eval.MaskSlots(ct, mask, tc.enc)
+	if err != nil {
+		t.Fatalf("MaskSlots: %v", err)
+	}
+	got := tc.enc.Decode(tc.decr.Decrypt(out))
+	for i := 0; i < n; i++ {
+		want := complex(0, 0)
+		if mask[i] {
+			want = v[i]
+		}
+		if e := absc(got[i] - want); e > 1e-3 {
+			t.Fatalf("slot %d: got %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestOpsValidation(t *testing.T) {
+	tc := newTestContext(t)
+	v := randomValues(tc.params.Slots(), 62)
+	pt, _ := tc.enc.Encode(v)
+	ct, _ := tc.encr.Encrypt(pt)
+	if _, err := tc.eval.InnerSum(ct, 3); err == nil {
+		t.Error("non-power-of-two batch accepted")
+	}
+	if _, err := tc.eval.InnerSum(ct, 4*tc.params.Slots()); err == nil {
+		t.Error("oversized batch accepted")
+	}
+	if _, err := tc.eval.Replicate(ct, 5); err == nil {
+		t.Error("non-power-of-two replicate accepted")
+	}
+	if _, err := tc.eval.MaskSlots(ct, []bool{true}, tc.enc); err == nil {
+		t.Error("short mask accepted")
+	}
+}
+
+// Property: homomorphic addition commutes and is compatible with plaintext
+// addition across random vectors (quick-check over the functional layer).
+func TestAdditionPropertyQuick(t *testing.T) {
+	tc := newTestContext(t)
+	n := tc.params.Slots()
+	f := func(seedA, seedB int64) bool {
+		a := randomValues(n, seedA)
+		b := randomValues(n, seedB)
+		pa, _ := tc.enc.Encode(a)
+		pb, _ := tc.enc.Encode(b)
+		ca, _ := tc.encr.Encrypt(pa)
+		cb, _ := tc.encr.Encrypt(pb)
+		ab, err := tc.eval.Add(ca, cb)
+		if err != nil {
+			return false
+		}
+		ba, err := tc.eval.Add(cb, ca)
+		if err != nil {
+			return false
+		}
+		gab := tc.enc.Decode(tc.decr.Decrypt(ab))
+		gba := tc.enc.Decode(tc.decr.Decrypt(ba))
+		for i := range a {
+			if absc(gab[i]-gba[i]) > 1e-6 || absc(gab[i]-(a[i]+b[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scalar multiplication distributes over addition.
+func TestDistributivityQuick(t *testing.T) {
+	tc := newTestContext(t)
+	n := tc.params.Slots()
+	f := func(seed int64, kRaw uint8) bool {
+		k := float64(kRaw%9)/4 - 1 // constants in [-1, 1]
+		a := randomValues(n, seed)
+		b := randomValues(n, seed+1)
+		pa, _ := tc.enc.Encode(a)
+		pb, _ := tc.enc.Encode(b)
+		ca, _ := tc.encr.Encrypt(pa)
+		cb, _ := tc.encr.Encrypt(pb)
+
+		sum, err := tc.eval.Add(ca, cb)
+		if err != nil {
+			return false
+		}
+		lhs, err := tc.eval.MulConst(sum, k)
+		if err != nil {
+			return false
+		}
+		ka, err := tc.eval.MulConst(ca, k)
+		if err != nil {
+			return false
+		}
+		kb, err := tc.eval.MulConst(cb, k)
+		if err != nil {
+			return false
+		}
+		rhs, err := tc.eval.Add(ka, kb)
+		if err != nil {
+			return false
+		}
+		gl := tc.enc.Decode(tc.decr.Decrypt(lhs))
+		gr := tc.enc.Decode(tc.decr.Decrypt(rhs))
+		for i := range a {
+			if absc(gl[i]-gr[i]) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Error(err)
+	}
+}

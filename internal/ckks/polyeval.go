@@ -1,0 +1,152 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+)
+
+// Polynomial is a real-coefficient polynomial in the power basis:
+// p(x) = Coeffs[0] + Coeffs[1] x + ... .
+type Polynomial struct {
+	Coeffs []float64
+}
+
+// Degree returns the polynomial degree.
+func (p Polynomial) Degree() int { return len(p.Coeffs) - 1 }
+
+// Depth returns the multiplicative depth of the BSGS evaluation.
+func (p Polynomial) Depth() int {
+	d := p.Degree()
+	if d < 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(d + 1))))
+}
+
+// EvaluatePoly evaluates p on ct with the baby-step/giant-step
+// (Paterson–Stockmeyer) strategy: baby powers x^1..x^bs by doubling, giant
+// powers x^(bs*2^j) by squaring, inner sums as constant multiplications.
+// Multiplicative depth is ~log2(deg) instead of deg.
+func (ev *Evaluator) EvaluatePoly(ct *Ciphertext, p Polynomial) (*Ciphertext, error) {
+	deg := p.Degree()
+	switch {
+	case deg < 0:
+		return nil, fmt.Errorf("ckks: empty polynomial")
+	case deg == 0:
+		out := ct.CopyNew()
+		out.C0.Zero()
+		out.C1.Zero()
+		return ev.AddConst(out, p.Coeffs[0])
+	}
+
+	// Baby-step width: power of two near sqrt(deg+1).
+	bs := 1
+	for bs*bs < deg+1 {
+		bs <<= 1
+	}
+
+	// pow[i] = ct^i at a uniform scale, built with minimal depth:
+	// pow[2i] = pow[i]^2, pow[2i+1] = pow[2i]*pow[1].
+	pow := make(map[int]*Ciphertext, bs)
+	pow[1] = ct
+	var err error
+	for i := 2; i <= bs; i++ {
+		if i%2 == 0 {
+			pow[i], err = ev.mulRescale(pow[i/2], pow[i/2])
+		} else {
+			pow[i], err = ev.mulRescale(pow[i-1], pow[1])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// giant[j] = ct^(bs * 2^j).
+	numGiants := 0
+	for (1<<numGiants)*bs <= deg {
+		numGiants++
+	}
+	giant := make([]*Ciphertext, numGiants)
+	if numGiants > 0 {
+		if giant[0], err = ev.mulRescale(pow[bs/2], pow[bs-bs/2]); err != nil {
+			return nil, err
+		}
+		for j := 1; j < numGiants; j++ {
+			if giant[j], err = ev.mulRescale(giant[j-1], giant[j-1]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Inner chunk sums: chunk g covers coefficients [g*bs, (g+1)*bs).
+	chunks := (deg + bs) / bs
+	inner := make([]*Ciphertext, chunks)
+	for g := 0; g < chunks; g++ {
+		var acc *Ciphertext
+		for b := 1; b < bs && g*bs+b <= deg; b++ {
+			c := p.Coeffs[g*bs+b]
+			if c == 0 {
+				continue
+			}
+			term, err := ev.MulConst(pow[b], c)
+			if err != nil {
+				return nil, err
+			}
+			if term, err = ev.Rescale(term); err != nil {
+				return nil, err
+			}
+			if acc == nil {
+				acc = term
+				continue
+			}
+			if acc, err = ev.Add(acc, term); err != nil {
+				return nil, err
+			}
+		}
+		if acc == nil {
+			// All-zero chunk body; keep a zero ciphertext at a harmless
+			// level so the constant below still lands somewhere.
+			acc = ct.CopyNew()
+			acc.C0.Zero()
+			acc.C1.Zero()
+		}
+		if c0 := p.Coeffs[g*bs]; c0 != 0 {
+			if acc, err = ev.AddConst(acc, c0); err != nil {
+				return nil, err
+			}
+		}
+		inner[g] = acc
+	}
+
+	// Combine: p(x) = sum_g inner_g * x^(g*bs), factoring x^(g*bs) into the
+	// available giant powers (binary decomposition of g).
+	var out *Ciphertext
+	for g := 0; g < chunks; g++ {
+		part := inner[g]
+		for j := 0; j < numGiants; j++ {
+			if g&(1<<j) != 0 {
+				if part, err = ev.mulRescale(part, giant[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if out == nil {
+			out = part
+			continue
+		}
+		if out, err = ev.Add(out, part); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// mulRescale multiplies and immediately rescales (the evaluation keeps every
+// intermediate at the working scale).
+func (ev *Evaluator) mulRescale(a, b *Ciphertext) (*Ciphertext, error) {
+	p, err := ev.MulRelin(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Rescale(p)
+}

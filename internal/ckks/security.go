@@ -1,0 +1,67 @@
+package ckks
+
+import (
+	"math"
+	"math/bits"
+)
+
+// heStdMaxLogQP maps log2(N) to the maximum total modulus size (log2 of
+// Q*P, including every auxiliary chain) for 128-bit classical security with
+// a ternary secret, per the Homomorphic Encryption Standard tables. A chain
+// larger than the entry for its degree falls below 128-bit security.
+var heStdMaxLogQP = map[int]int{
+	10: 27,
+	11: 54,
+	12: 109,
+	13: 218,
+	14: 438,
+	15: 881,
+	16: 1772,
+	17: 3544,
+}
+
+// LogQP returns the total bit size of the ciphertext chain plus the largest
+// auxiliary chain (the key-switching keys live over Q*P or Q*T, whichever is
+// bigger, and the keys are what the attacker sees most of).
+func (p *Parameters) LogQP() int {
+	logQ := 0
+	for _, q := range p.qChain {
+		logQ += bits.Len64(q)
+	}
+	logP := 0
+	for _, q := range p.pChain {
+		logP += bits.Len64(q)
+	}
+	logT := 0
+	for _, q := range p.tChain {
+		logT += bits.Len64(q)
+	}
+	if logT > logP {
+		logP = logT
+	}
+	return logQ + logP
+}
+
+// SecurityEstimate returns a coarse classical-security estimate in bits for
+// the parameter set: 128 bits scaled by the ratio of the HE-Standard maximum
+// modulus for this degree to the actual modulus (security of RLWE grows
+// roughly linearly in N/log(QP)). Sparse secrets reduce the estimate
+// further (a flat 20% haircut models the hybrid/dual attacks sparse keys
+// enable). This is a sanity gauge, not a cryptographic analysis; use a
+// lattice estimator before deploying any parameter set.
+func (p *Parameters) SecurityEstimate() float64 {
+	maxQP, ok := heStdMaxLogQP[p.logN]
+	if !ok {
+		return 0
+	}
+	sec := 128 * float64(maxQP) / float64(p.LogQP())
+	if p.secretHW > 0 && p.secretHW < p.N()/2 {
+		sec *= 0.8
+	}
+	return math.Min(sec, 256)
+}
+
+// IsSecure reports whether the estimate clears the standard 128-bit bar.
+func (p *Parameters) IsSecure() bool {
+	return p.SecurityEstimate() >= 128
+}

@@ -1,0 +1,186 @@
+// Package hemera implements the online half of the dual-method management
+// framework (paper §4.1.2): it owns the evaluation-key pool (HBM address
+// catalog indexed by level), monitors the upcoming operation stream, reads
+// the Aether configuration file, tracks key-switching patterns in the
+// history recorder, and schedules batch-wise, prefetched evk transfers so
+// key movement overlaps the preceding key-switch execution.
+package hemera
+
+import (
+	"container/list"
+	"fmt"
+
+	"github.com/fastfhe/fast/internal/aether"
+)
+
+// BatchBytes is the transfer granularity: Hemera groups 256 consecutive
+// 72-bit lane words per batch (§4.1.2), i.e. 256 * 9 bytes.
+const BatchBytes = 256 * 9
+
+// Transfer describes the traffic one key request generates.
+type Transfer struct {
+	KeyID   string
+	Bytes   int64 // bytes actually moved from HBM (0 on a pool hit)
+	Batches int   // batch count of the movement
+	Hit     bool  // key was already resident
+	// Prefetched reports that the history recorder predicted this request,
+	// so the transfer overlaps the preceding execution instead of stalling
+	// the pipeline.
+	Prefetched bool
+}
+
+// PoolEntry is a resident evaluation key.
+type poolEntry struct {
+	id   string
+	size int64
+}
+
+// Pool is the on-chip evaluation-key store with LRU replacement.
+type Pool struct {
+	capacity int64
+	used     int64
+	order    *list.List // front = most recent
+	index    map[string]*list.Element
+}
+
+// NewPool returns a pool bounded by capacity bytes.
+func NewPool(capacity int64) *Pool {
+	return &Pool{capacity: capacity, order: list.New(), index: map[string]*list.Element{}}
+}
+
+// Used returns the resident bytes.
+func (p *Pool) Used() int64 { return p.used }
+
+// Contains reports residency without touching recency.
+func (p *Pool) Contains(id string) bool {
+	_, ok := p.index[id]
+	return ok
+}
+
+// Request makes the key resident, evicting least-recently-used keys as
+// needed, and reports whether it was already present. Keys bigger than the
+// pool are streamed (never resident) and always miss.
+func (p *Pool) Request(id string, size int64) (hit bool) {
+	if el, ok := p.index[id]; ok {
+		p.order.MoveToFront(el)
+		return true
+	}
+	if size > p.capacity {
+		return false // streamed through, nothing retained
+	}
+	for p.used+size > p.capacity {
+		back := p.order.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(poolEntry)
+		p.order.Remove(back)
+		delete(p.index, ev.id)
+		p.used -= ev.size
+	}
+	p.index[id] = p.order.PushFront(poolEntry{id, size})
+	p.used += size
+	return false
+}
+
+// historyKey is the pattern the recorder tracks: at a given level, which
+// method/hoist configuration ran last time.
+type historyKey struct{ level int }
+
+// Recorder is the history recorder: it remembers the key-switching
+// configuration used at each level so recurring FHE workflows (bootstrap
+// phases repeat the same per-level pattern) can be predicted and their keys
+// prefetched.
+type Recorder struct {
+	seen map[historyKey]aether.Decision
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{seen: map[historyKey]aether.Decision{}} }
+
+// Predicts reports whether the decision at this level matches the recorded
+// pattern (a prefetch hit).
+func (r *Recorder) Predicts(level int, d aether.Decision) bool {
+	prev, ok := r.seen[historyKey{level}]
+	return ok && prev.Method == d.Method && prev.Hoist == d.Hoist
+}
+
+// Record stores the configuration that actually ran.
+func (r *Recorder) Record(level int, d aether.Decision) {
+	r.seen[historyKey{level}] = d
+}
+
+// Manager ties the pool, the recorder and the Aether configuration together.
+type Manager struct {
+	pool     *Pool
+	recorder *Recorder
+	cfg      *aether.ConfigFile
+
+	// DisablePrefetch suppresses both the config-file-driven and the
+	// history-driven prefetch classification (used by ablation studies).
+	DisablePrefetch bool
+
+	// address catalog: the Evk Pool of the paper stores HBM addresses per
+	// level and key kind; we model it to expose the lookups.
+	addresses map[string]uint64
+	nextAddr  uint64
+}
+
+// NewManager builds a manager with the given on-chip key capacity and the
+// Aether configuration file (may be nil: every lookup then falls back to
+// non-hoisted hybrid).
+func NewManager(capacityBytes int64, cfg *aether.ConfigFile) *Manager {
+	return &Manager{
+		pool:      NewPool(capacityBytes),
+		recorder:  NewRecorder(),
+		cfg:       cfg,
+		addresses: map[string]uint64{},
+	}
+}
+
+// Decision exposes the Aether verdict for an op index (monitor lookup).
+func (m *Manager) Decision(opIndex int) aether.Decision {
+	return m.cfg.DecisionFor(opIndex)
+}
+
+// Address returns the stable HBM address of a key, allocating one on first
+// use (the pool catalog of §4.1.2).
+func (m *Manager) Address(keyID string, size int64) uint64 {
+	if a, ok := m.addresses[keyID]; ok {
+		return a
+	}
+	a := m.nextAddr
+	m.addresses[keyID] = a
+	m.nextAddr += uint64(size)
+	return a
+}
+
+// RequestKey processes one evaluation-key requirement: pool lookup, LRU
+// update, batch-wise transfer sizing, and prefetch classification. A request
+// counts as prefetched when the Aether configuration file announced it (the
+// monitor reads the file far ahead of execution: ~900 ns per lookup versus
+// ~80 us per key transfer, §7.2) or when the history recorder has seen the
+// same per-level pattern.
+func (m *Manager) RequestKey(keyID string, size int64, level int, d aether.Decision) Transfer {
+	if keyID == "" {
+		return Transfer{}
+	}
+	m.Address(keyID, size)
+	tr := Transfer{KeyID: keyID}
+	tr.Prefetched = !m.DisablePrefetch && (m.cfg != nil || m.recorder.Predicts(level, d))
+	m.recorder.Record(level, d)
+	tr.Hit = m.pool.Request(keyID, size)
+	if !tr.Hit {
+		tr.Bytes = size
+		tr.Batches = int((size + BatchBytes - 1) / BatchBytes)
+	}
+	return tr
+}
+
+// PoolUsed exposes resident bytes (for utilisation reporting).
+func (m *Manager) PoolUsed() int64 { return m.pool.Used() }
+
+// String describes the manager state.
+func (m *Manager) String() string {
+	return fmt.Sprintf("hemera: %d keys catalogued, %d bytes resident", len(m.addresses), m.pool.Used())
+}

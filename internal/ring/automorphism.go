@@ -1,0 +1,80 @@
+package ring
+
+import "fmt"
+
+// GaloisGen is the generator of the rotation subgroup of Gal(Q(ζ_2N)/Q) used
+// by CKKS: the automorphism X -> X^(5^r) cyclically rotates the message slots
+// by r positions. The conjugation automorphism is X -> X^(2N-1).
+const GaloisGen uint64 = 5
+
+// GaloisElementForRotation returns 5^r mod 2N (r may be negative).
+func GaloisElementForRotation(logN, r int) uint64 {
+	m := uint64(2) << uint(logN)
+	n2 := int(m >> 2) // N/2 slots; rotations are modulo the slot count
+	r %= n2
+	if r < 0 {
+		r += n2
+	}
+	g := uint64(1)
+	for i := 0; i < r; i++ {
+		g = (g * GaloisGen) % m
+	}
+	return g
+}
+
+// GaloisElementForConjugation returns 2N-1, the Galois element of complex
+// conjugation on the slots.
+func GaloisElementForConjugation(logN int) uint64 {
+	return (uint64(2) << uint(logN)) - 1
+}
+
+// AutomorphismCoeff applies X -> X^galEl to a polynomial in coefficient form:
+// coefficient i moves to position i*galEl mod 2N, negated when the exponent
+// wraps past N (negacyclic ring).
+func (r *Ring) AutomorphismCoeff(in, out Poly, galEl uint64) {
+	r.checkShape(in, out)
+	if galEl&1 == 0 {
+		panic(fmt.Sprintf("ring: galois element %d must be odd", galEl))
+	}
+	n := uint64(r.N)
+	mask := 2*n - 1
+	for l, m := range r.Moduli {
+		il, ol := in.Coeffs[l], out.Coeffs[l]
+		for i := uint64(0); i < n; i++ {
+			e := (i * galEl) & mask
+			if e < n {
+				ol[e] = il[i]
+			} else {
+				ol[e-n] = m.NegMod(il[i])
+			}
+		}
+	}
+}
+
+// AutomorphismNTTIndex precomputes the permutation applied by the Galois
+// automorphism X -> X^galEl directly in the NTT domain (bit-reversed slot
+// ordering): out[j] = in[index[j]].
+func AutomorphismNTTIndex(n int, logN int, galEl uint64) []int {
+	mask := uint64(2*n) - 1
+	idx := make([]int, n)
+	for j := 0; j < n; j++ {
+		// Array slot j holds the evaluation at ψ^(2*brv(j)+1); the
+		// automorphism pulls the evaluation at exponent e*galEl.
+		e := 2*bitReverse(uint64(j), logN) + 1
+		e2 := (e * galEl) & mask
+		idx[j] = int(bitReverse((e2-1)>>1, logN))
+	}
+	return idx
+}
+
+// AutomorphismNTT applies the automorphism to a polynomial in NTT form using
+// a precomputed index table from AutomorphismNTTIndex.
+func (r *Ring) AutomorphismNTT(in, out Poly, index []int) {
+	r.checkShape(in, out)
+	for l := range r.Moduli {
+		il, ol := in.Coeffs[l], out.Coeffs[l]
+		for j := range ol {
+			ol[j] = il[index[j]]
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package ring
+
+import "fmt"
+
+// NTTTable holds the precomputed twiddle factors for the negacyclic NTT of
+// degree N over one prime modulus. Twiddles are powers of a primitive 2N-th
+// root of unity ψ, stored in bit-reversed order together with their Shoup
+// companions so every butterfly costs one multiplication-high plus one
+// multiplication-low.
+type NTTTable struct {
+	Mod  Modulus
+	N    int
+	logN int
+
+	psi     uint64 // primitive 2N-th root of unity mod q
+	psiInv  uint64 // psi^-1 mod q
+	nInv    uint64 // N^-1 mod q
+	nInvSho uint64
+
+	// rootsFwd[brv(i)] = ψ^i for the Cooley–Tukey forward pass,
+	// rootsInv[brv(i)] = ψ^{-i} for the Gentleman–Sande inverse pass.
+	rootsFwd, rootsFwdSho []uint64
+	rootsInv, rootsInvSho []uint64
+}
+
+// NewNTTTable precomputes the twiddle tables for degree N = 2^logN and the
+// given modulus. The modulus must satisfy q ≡ 1 (mod 2N).
+func NewNTTTable(mod Modulus, logN int) (*NTTTable, error) {
+	n := 1 << uint(logN)
+	m := uint64(2 * n)
+	if (mod.Q-1)%m != 0 {
+		return nil, fmt.Errorf("ring: modulus %d is not 1 mod 2N (N=%d)", mod.Q, n)
+	}
+	g, err := primitiveRoot(mod)
+	if err != nil {
+		return nil, err
+	}
+	psi := mod.PowMod(g, (mod.Q-1)/m)
+	// ψ must have exact order 2N: g is a generator so this holds, but verify.
+	if mod.PowMod(psi, uint64(n)) == 1 {
+		return nil, fmt.Errorf("ring: root order check failed for modulus %d", mod.Q)
+	}
+	t := &NTTTable{
+		Mod:    mod,
+		N:      n,
+		logN:   logN,
+		psi:    psi,
+		psiInv: mod.InvMod(psi),
+		nInv:   mod.InvMod(uint64(n)),
+	}
+	t.nInvSho = mod.ShoupPrecomp(t.nInv)
+
+	t.rootsFwd = make([]uint64, n)
+	t.rootsInv = make([]uint64, n)
+	t.rootsFwdSho = make([]uint64, n)
+	t.rootsInvSho = make([]uint64, n)
+	fw, iv := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		j := bitReverse(uint64(i), logN)
+		t.rootsFwd[j] = fw
+		t.rootsInv[j] = iv
+		t.rootsFwdSho[j] = mod.ShoupPrecomp(fw)
+		t.rootsInvSho[j] = mod.ShoupPrecomp(iv)
+		fw = mod.MulMod(fw, psi)
+		iv = mod.MulMod(iv, t.psiInv)
+	}
+	return t, nil
+}
+
+// bitReverse reverses the low `bits` bits of v.
+func bitReverse(v uint64, bits int) uint64 {
+	var r uint64
+	for i := 0; i < bits; i++ {
+		r = (r << 1) | (v & 1)
+		v >>= 1
+	}
+	return r
+}
+
+// Forward transforms a (coefficient representation, length N, values < q)
+// into the NTT evaluation representation, in place. The output ordering is
+// the standard bit-reversed NTT ordering used consistently across this
+// package.
+func (t *NTTTable) Forward(a []uint64) {
+	mod := t.Mod
+	n := t.N
+	step := n
+	for m := 1; m < n; m <<= 1 {
+		step >>= 1
+		for i := 0; i < m; i++ {
+			w := t.rootsFwd[m+i]
+			ws := t.rootsFwdSho[m+i]
+			j1 := 2 * i * step
+			for j := j1; j < j1+step; j++ {
+				u := a[j]
+				v := mod.MulModShoup(a[j+step], w, ws)
+				a[j] = mod.AddMod(u, v)
+				a[j+step] = mod.SubMod(u, v)
+			}
+		}
+	}
+}
+
+// Inverse transforms a from the NTT evaluation representation back to
+// coefficients, in place (Gentleman–Sande), including the final 1/N scaling.
+func (t *NTTTable) Inverse(a []uint64) {
+	mod := t.Mod
+	n := t.N
+	step := 1
+	for m := n >> 1; m >= 1; m >>= 1 {
+		for i := 0; i < m; i++ {
+			w := t.rootsInv[m+i]
+			ws := t.rootsInvSho[m+i]
+			j1 := 2 * i * step
+			for j := j1; j < j1+step; j++ {
+				u := a[j]
+				v := a[j+step]
+				a[j] = mod.AddMod(u, v)
+				a[j+step] = mod.MulModShoup(mod.SubMod(u, v), w, ws)
+			}
+		}
+		step <<= 1
+	}
+	for j := range a {
+		a[j] = mod.MulModShoup(a[j], t.nInv, t.nInvSho)
+	}
+}

@@ -1,0 +1,58 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the limb count from which the per-limb transforms are
+// fanned out across cores. RNS limbs are fully independent (the property the
+// FAST accelerator's lane parallelism exploits), so the split is safe and
+// deterministic.
+const parallelThreshold = 4
+
+// forEachLimb runs fn(i) for every limb index, in parallel when it pays off.
+func forEachLimb(limbs int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if limbs < parallelThreshold || workers < 2 {
+		for i := 0; i < limbs; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > limbs {
+		workers = limbs
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, limbs)
+	for i := 0; i < limbs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// NTTParallel is NTT with the per-limb transforms distributed across cores.
+func (r *Ring) NTTParallel(p Poly) {
+	r.checkShape(p)
+	forEachLimb(len(r.Moduli), func(i int) {
+		r.Tables[i].Forward(p.Coeffs[i])
+	})
+}
+
+// INTTParallel is INTT with the per-limb transforms distributed across cores.
+func (r *Ring) INTTParallel(p Poly) {
+	r.checkShape(p)
+	forEachLimb(len(r.Moduli), func(i int) {
+		r.Tables[i].Inverse(p.Coeffs[i])
+	})
+}

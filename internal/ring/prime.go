@@ -1,0 +1,97 @@
+package ring
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// GenerateNTTPrimes returns count distinct primes of the requested bit size
+// that are congruent to 1 mod 2N, i.e. primes for which the negacyclic
+// NTT of degree N exists. Candidates are explored outward from 2^bitSize,
+// alternating below and above, so the generated chain stays as close to the
+// nominal word size as possible (CKKS rescaling precision depends on the
+// primes being close to the scale).
+func GenerateNTTPrimes(bitSize, logN, count int) ([]uint64, error) {
+	if bitSize < 3 || bitSize > MaxModulusBits {
+		return nil, fmt.Errorf("ring: prime bit size %d out of range [3,%d]", bitSize, MaxModulusBits)
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("ring: prime count %d must be positive", count)
+	}
+	m := uint64(2) << uint(logN) // 2N
+	center := uint64(1) << uint(bitSize)
+
+	// Align the two scan cursors on values ≡ 1 mod 2N around 2^bitSize.
+	lo := center - (center % m) + 1 // ≡ 1 mod m, just above a multiple below center
+	hi := lo + m
+
+	primes := make([]uint64, 0, count)
+	lower, upper := uint64(1)<<uint(bitSize-1), uint64(1)<<uint(bitSize+1)
+	for len(primes) < count {
+		progressed := false
+		if hi < upper {
+			if isPrime(hi) {
+				primes = append(primes, hi)
+			}
+			hi += m
+			progressed = true
+		}
+		if len(primes) < count && lo > lower && lo > m {
+			if isPrime(lo) {
+				primes = append(primes, lo)
+			}
+			lo -= m
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("ring: exhausted %d-bit candidates for logN=%d after %d primes", bitSize, logN, len(primes))
+		}
+	}
+	return primes, nil
+}
+
+// isPrime reports whether v is prime. math/big's ProbablyPrime with 20 rounds
+// is deterministic for all 64-bit inputs.
+func isPrime(v uint64) bool {
+	return new(big.Int).SetUint64(v).ProbablyPrime(20)
+}
+
+// primitiveRoot returns a generator of the multiplicative group Z_q^*.
+// q must be prime.
+func primitiveRoot(m Modulus) (uint64, error) {
+	q := m.Q
+	// Factor q-1.
+	factors := distinctPrimeFactors(q - 1)
+	for g := uint64(2); g < q; g++ {
+		ok := true
+		for _, f := range factors {
+			if m.PowMod(g, (q-1)/f) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("ring: no primitive root found for %d", q)
+}
+
+// distinctPrimeFactors returns the distinct prime factors of v by trial
+// division. v-1 for our NTT primes always has many small factors (powers of
+// two from the 2N congruence), so this terminates quickly.
+func distinctPrimeFactors(v uint64) []uint64 {
+	var fs []uint64
+	for p := uint64(2); p*p <= v; p++ {
+		if v%p == 0 {
+			fs = append(fs, p)
+			for v%p == 0 {
+				v /= p
+			}
+		}
+	}
+	if v > 1 {
+		fs = append(fs, v)
+	}
+	return fs
+}

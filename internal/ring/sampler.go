@@ -1,0 +1,103 @@
+package ring
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws the random polynomials the scheme needs: uniform masks,
+// ternary secrets and discrete-Gaussian noise. It is deterministic given its
+// seed, which is what the accelerator's on-chip evaluation-key generator
+// (EKG, §5.7.2 of the paper) exploits: only the seed of the "a" part of each
+// key must be stored, the polynomial itself is re-expanded on the fly.
+type Sampler struct {
+	rng *rand.Rand
+}
+
+// NewSampler returns a sampler seeded deterministically.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// UniformPoly fills p with independent uniform values modulo each limb.
+func (s *Sampler) UniformPoly(r *Ring, p Poly) {
+	r.checkShape(p)
+	for i, m := range r.Moduli {
+		ci := p.Coeffs[i]
+		for j := range ci {
+			// Rejection-free: Int63n is uniform over [0, q).
+			ci[j] = uint64(s.rng.Int63n(int64(m.Q)))
+		}
+	}
+}
+
+// TernaryPoly fills p with a ternary polynomial (coefficients in {-1,0,1},
+// each nonzero with probability 2/3), identical across limbs. Returns the
+// signed coefficients for callers that need them (key generation stores the
+// secret this way).
+func (s *Sampler) TernaryPoly(r *Ring, p Poly) []int64 {
+	r.checkShape(p)
+	signed := make([]int64, r.N)
+	for j := range signed {
+		signed[j] = int64(s.rng.Intn(3)) - 1
+	}
+	setSigned(r, signed, p)
+	return signed
+}
+
+// TernaryHWTPoly fills p with a sparse ternary polynomial of exactly h
+// non-zero coefficients (±1 with equal probability) — the sparse-secret
+// distribution CKKS bootstrapping uses to bound the modular-reduction range
+// K of EvalMod. Returns the signed coefficients.
+func (s *Sampler) TernaryHWTPoly(r *Ring, h int, p Poly) []int64 {
+	r.checkShape(p)
+	if h > r.N {
+		h = r.N
+	}
+	signed := make([]int64, r.N)
+	perm := s.rng.Perm(r.N)
+	for i := 0; i < h; i++ {
+		if s.rng.Intn(2) == 0 {
+			signed[perm[i]] = 1
+		} else {
+			signed[perm[i]] = -1
+		}
+	}
+	setSigned(r, signed, p)
+	return signed
+}
+
+// GaussianPoly fills p with discrete-Gaussian noise of standard deviation
+// sigma truncated at 6 sigma, identical across limbs.
+func (s *Sampler) GaussianPoly(r *Ring, sigma float64, p Poly) {
+	r.checkShape(p)
+	signed := make([]int64, r.N)
+	bound := 6 * sigma
+	for j := range signed {
+		for {
+			v := s.rng.NormFloat64() * sigma
+			if math.Abs(v) <= bound {
+				signed[j] = int64(math.Round(v))
+				break
+			}
+		}
+	}
+	setSigned(r, signed, p)
+}
+
+// setSigned reduces small signed coefficients into every limb of p.
+func setSigned(r *Ring, signed []int64, p Poly) {
+	for i, m := range r.Moduli {
+		ci := p.Coeffs[i]
+		for j, v := range signed {
+			if v >= 0 {
+				ci[j] = uint64(v) % m.Q
+			} else {
+				ci[j] = m.Q - uint64(-v)%m.Q
+				if ci[j] == m.Q {
+					ci[j] = 0
+				}
+			}
+		}
+	}
+}

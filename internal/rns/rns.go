@@ -1,0 +1,206 @@
+// Package rns provides the residue-number-system tools the CKKS scheme and
+// the FAST accelerator's BConv units operate on: approximate base conversion
+// between RNS bases (the BConv kernel), ModUp/ModDown for key-switching, and
+// rescaling. All routines work on polynomials in coefficient representation.
+//
+// The base conversion implemented here is the Halevi–Polyak–Shoup fast
+// approximate conversion: it may add a small multiple u*Q of the source
+// modulus (0 <= u < #source limbs) to the converted value. Every consumer in
+// this codebase is designed for that contract (key-switching absorbs the
+// Q-multiple into the key gadget, ModDown removes it with the rounding
+// correction).
+package rns
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/fastfhe/fast/internal/ring"
+)
+
+// Extender converts RNS representations from a source basis Q = {q_i} to a
+// target basis P = {p_j}. The precomputations follow the standard CRT
+// factorisation x = sum_i [x_i * (Q/q_i)^-1]_{q_i} * (Q/q_i) (mod Q).
+type Extender struct {
+	From, To []ring.Modulus
+
+	qhatInv    []uint64   // (Q/q_i)^-1 mod q_i
+	qhatInvSho []uint64   // Shoup companions of qhatInv
+	qhatModP   [][]uint64 // [j][i] = (Q/q_i) mod p_j
+}
+
+// NewExtender precomputes the conversion tables from the `from` chain to the
+// `to` chain. The two chains must be disjoint.
+func NewExtender(from, to []ring.Modulus) (*Extender, error) {
+	if len(from) == 0 || len(to) == 0 {
+		return nil, fmt.Errorf("rns: empty basis (from=%d, to=%d limbs)", len(from), len(to))
+	}
+	for _, f := range from {
+		for _, t := range to {
+			if f.Q == t.Q {
+				return nil, fmt.Errorf("rns: bases overlap at prime %d", f.Q)
+			}
+		}
+	}
+	e := &Extender{From: from, To: to}
+
+	Q := big.NewInt(1)
+	for _, m := range from {
+		Q.Mul(Q, new(big.Int).SetUint64(m.Q))
+	}
+	e.qhatInv = make([]uint64, len(from))
+	e.qhatInvSho = make([]uint64, len(from))
+	qhat := make([]*big.Int, len(from))
+	for i, m := range from {
+		qi := new(big.Int).SetUint64(m.Q)
+		qhat[i] = new(big.Int).Div(Q, qi)
+		rem := new(big.Int).Mod(qhat[i], qi).Uint64()
+		e.qhatInv[i] = m.InvMod(rem)
+		e.qhatInvSho[i] = m.ShoupPrecomp(e.qhatInv[i])
+	}
+	e.qhatModP = make([][]uint64, len(to))
+	for j, mp := range to {
+		e.qhatModP[j] = make([]uint64, len(from))
+		pj := new(big.Int).SetUint64(mp.Q)
+		for i := range from {
+			e.qhatModP[j][i] = new(big.Int).Mod(qhat[i], pj).Uint64()
+		}
+	}
+	return e, nil
+}
+
+// Convert performs the approximate base conversion of src (one value per
+// source limb: src[i][k] is coefficient k mod q_i) into dst (dst[j][k] mod
+// p_j). src and dst must have matching coefficient counts. The scratch slice,
+// if non-nil, must have len(src) rows of the coefficient count and is used to
+// hold the scaled residues.
+func (e *Extender) Convert(src, dst [][]uint64) {
+	if len(src) != len(e.From) || len(dst) != len(e.To) {
+		panic(fmt.Sprintf("rns: Convert limb mismatch: src %d/%d, dst %d/%d",
+			len(src), len(e.From), len(dst), len(e.To)))
+	}
+	n := len(src[0])
+	// t_i = x_i * (Q/q_i)^-1 mod q_i
+	t := make([][]uint64, len(src))
+	for i, m := range e.From {
+		t[i] = make([]uint64, n)
+		inv, invSho := e.qhatInv[i], e.qhatInvSho[i]
+		for k := 0; k < n; k++ {
+			t[i][k] = m.MulModShoup(src[i][k], inv, invSho)
+		}
+	}
+	// y_j = sum_i t_i * (Q/q_i) mod p_j  — this is the matrix product the
+	// accelerator's BConvU systolic array executes (limbs x base-table).
+	for j, mp := range e.To {
+		dj := dst[j]
+		for k := 0; k < n; k++ {
+			dj[k] = 0
+		}
+		for i := range e.From {
+			w := e.qhatModP[j][i]
+			wSho := mp.ShoupPrecomp(w)
+			ti := t[i]
+			for k := 0; k < n; k++ {
+				dj[k] = mp.AddMod(dj[k], mp.MulModShoup(ti[k], w, wSho))
+			}
+		}
+	}
+}
+
+// ModDowner removes an auxiliary modulus P from a value defined over Q*P:
+// out = round(x / P) mod Q, the final step of both key-switching methods.
+type ModDowner struct {
+	Q, P []ring.Modulus
+
+	conv    *Extender // P -> Q
+	pInvMod []uint64  // P^-1 mod q_i
+}
+
+// NewModDowner precomputes the ModDown tables for main chain Q and auxiliary
+// chain P.
+func NewModDowner(q, p []ring.Modulus) (*ModDowner, error) {
+	conv, err := NewExtender(p, q)
+	if err != nil {
+		return nil, err
+	}
+	d := &ModDowner{Q: q, P: p, conv: conv}
+	Pprod := big.NewInt(1)
+	for _, m := range p {
+		Pprod.Mul(Pprod, new(big.Int).SetUint64(m.Q))
+	}
+	d.pInvMod = make([]uint64, len(q))
+	for i, m := range q {
+		rem := new(big.Int).Mod(Pprod, new(big.Int).SetUint64(m.Q)).Uint64()
+		d.pInvMod[i] = m.InvMod(rem)
+	}
+	return d, nil
+}
+
+// ModDown computes out_i = (xQ_i - conv(xP)_i) * P^-1 mod q_i for each main
+// limb. xQ has len(Q) rows, xP len(P) rows, out len(Q) rows; all in
+// coefficient form.
+func (d *ModDowner) ModDown(xQ, xP, out [][]uint64) {
+	if len(xQ) != len(d.Q) || len(xP) != len(d.P) || len(out) != len(d.Q) {
+		panic("rns: ModDown limb mismatch")
+	}
+	n := len(xQ[0])
+	tmp := make([][]uint64, len(d.Q))
+	for i := range tmp {
+		tmp[i] = make([]uint64, n)
+	}
+	d.conv.Convert(xP, tmp)
+	for i, m := range d.Q {
+		inv := d.pInvMod[i]
+		invSho := m.ShoupPrecomp(inv)
+		xi, ti, oi := xQ[i], tmp[i], out[i]
+		for k := 0; k < n; k++ {
+			oi[k] = m.MulModShoup(m.SubMod(xi[k], ti[k]), inv, invSho)
+		}
+	}
+}
+
+// Rescaler divides a ciphertext polynomial by its top limb prime, the CKKS
+// rescale operation that keeps the scale bounded after multiplications.
+type Rescaler struct {
+	Moduli []ring.Modulus
+	// qlInv[level][i] = q_level^-1 mod q_i for i < level
+	qlInv [][]uint64
+}
+
+// NewRescaler precomputes the per-level inverse tables for the given chain.
+func NewRescaler(moduli []ring.Modulus) *Rescaler {
+	r := &Rescaler{Moduli: moduli, qlInv: make([][]uint64, len(moduli))}
+	for l := 1; l < len(moduli); l++ {
+		r.qlInv[l] = make([]uint64, l)
+		ql := moduli[l].Q
+		for i := 0; i < l; i++ {
+			r.qlInv[l][i] = moduli[i].InvMod(ql % moduli[i].Q)
+		}
+	}
+	return r
+}
+
+// Rescale drops the last limb of x (level = len(x)-1) writing (x - x_l)/q_l
+// into out, which must have one fewer limb. Inputs in coefficient form.
+func (r *Rescaler) Rescale(x, out [][]uint64) {
+	l := len(x) - 1
+	if l < 1 || len(out) != l {
+		panic(fmt.Sprintf("rns: Rescale needs >=2 limbs and out of %d rows", l))
+	}
+	n := len(x[0])
+	xl := x[l]
+	for i := 0; i < l; i++ {
+		m := r.Moduli[i]
+		inv := r.qlInv[l][i]
+		invSho := m.ShoupPrecomp(inv)
+		xi, oi := x[i], out[i]
+		for k := 0; k < n; k++ {
+			// Reduce the top-limb residue into q_i before subtracting;
+			// centering the residue halves the rounding error but the
+			// plain variant keeps the error below q_l which the CKKS
+			// scale absorbs.
+			v := xl[k] % m.Q
+			oi[k] = m.MulModShoup(m.SubMod(xi[k], v), inv, invSho)
+		}
+	}
+}

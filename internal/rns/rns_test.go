@@ -1,0 +1,243 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/fastfhe/fast/internal/ring"
+)
+
+func moduli(t *testing.T, bitSize, logN, count int) []ring.Modulus {
+	t.Helper()
+	ps, err := ring.GenerateNTTPrimes(bitSize, logN, count)
+	if err != nil {
+		t.Fatalf("GenerateNTTPrimes: %v", err)
+	}
+	ms := make([]ring.Modulus, len(ps))
+	for i, p := range ps {
+		ms[i], err = ring.NewModulus(p)
+		if err != nil {
+			t.Fatalf("NewModulus: %v", err)
+		}
+	}
+	return ms
+}
+
+func prod(ms []ring.Modulus) *big.Int {
+	p := big.NewInt(1)
+	for _, m := range ms {
+		p.Mul(p, new(big.Int).SetUint64(m.Q))
+	}
+	return p
+}
+
+// encodeRNS reduces v (non-negative) into each limb.
+func encodeRNS(v *big.Int, ms []ring.Modulus, col int, dst [][]uint64) {
+	t := new(big.Int)
+	for i, m := range ms {
+		dst[i][col] = t.Mod(v, new(big.Int).SetUint64(m.Q)).Uint64()
+	}
+}
+
+// decodeRNS CRT-reconstructs column col over the limbs ms.
+func decodeRNS(src [][]uint64, ms []ring.Modulus, col int) *big.Int {
+	P := prod(ms)
+	acc := new(big.Int)
+	for i, m := range ms {
+		qi := new(big.Int).SetUint64(m.Q)
+		hat := new(big.Int).Div(P, qi)
+		inv := m.InvMod(new(big.Int).Mod(hat, qi).Uint64())
+		term := new(big.Int).SetUint64(m.MulMod(src[i][col], inv))
+		term.Mul(term, hat)
+		acc.Add(acc, term)
+	}
+	return acc.Mod(acc, P)
+}
+
+func rows(limbs, n int) [][]uint64 {
+	out := make([][]uint64, limbs)
+	for i := range out {
+		out[i] = make([]uint64, n)
+	}
+	return out
+}
+
+func TestNewExtenderValidation(t *testing.T) {
+	q := moduli(t, 36, 10, 2)
+	if _, err := NewExtender(nil, q); err == nil {
+		t.Error("expected error for empty source basis")
+	}
+	if _, err := NewExtender(q, q); err == nil {
+		t.Error("expected error for overlapping bases")
+	}
+}
+
+// The approximate conversion must return x + u*Q with 0 <= u < len(from).
+func TestConvertApproximationBound(t *testing.T) {
+	const n = 16
+	q := moduli(t, 36, 10, 4)
+	p := moduli(t, 60, 10, 3)
+	ext, err := NewExtender(q, p)
+	if err != nil {
+		t.Fatalf("NewExtender: %v", err)
+	}
+	Q := prod(q)
+	P := prod(p)
+	rng := rand.New(rand.NewSource(5))
+	src, dst := rows(len(q), n), rows(len(p), n)
+	want := make([]*big.Int, n)
+	for k := 0; k < n; k++ {
+		v := new(big.Int).Rand(rng, Q)
+		want[k] = v
+		encodeRNS(v, q, k, src)
+	}
+	ext.Convert(src, dst)
+	for k := 0; k < n; k++ {
+		got := decodeRNS(dst, p, k)
+		// got ≡ want + u*Q (mod P) for small u >= 0.
+		diff := new(big.Int).Sub(got, want[k])
+		diff.Mod(diff, P)
+		u := new(big.Int)
+		rem := new(big.Int)
+		u.DivMod(diff, Q, rem)
+		if rem.Sign() != 0 {
+			t.Fatalf("col %d: conversion error is not a multiple of Q (rem=%s)", k, rem)
+		}
+		if u.Cmp(big.NewInt(int64(len(q)))) >= 0 {
+			t.Fatalf("col %d: overflow multiple u=%s too large", k, u)
+		}
+	}
+}
+
+func TestConvertPreservesValueModQ(t *testing.T) {
+	// When the target basis is much larger than u*Q the reconstruction does
+	// not wrap, so the converted value must be congruent to the input mod Q.
+	const n = 8
+	q := moduli(t, 36, 10, 3)
+	p := moduli(t, 60, 11, 4)
+	ext, err := NewExtender(q, p)
+	if err != nil {
+		t.Fatalf("NewExtender: %v", err)
+	}
+	Q := prod(q)
+	src, dst := rows(len(q), n), rows(len(p), n)
+	for k := 0; k < n; k++ {
+		encodeRNS(big.NewInt(int64(k*977+3)), q, k, src)
+	}
+	ext.Convert(src, dst)
+	for k := 0; k < n; k++ {
+		got := decodeRNS(dst, p, k)
+		got.Mod(got, Q)
+		if got.Int64() != int64(k*977+3) {
+			t.Fatalf("col %d: got %s want %d (mod Q)", k, got, k*977+3)
+		}
+	}
+}
+
+func TestConvertShapePanics(t *testing.T) {
+	q := moduli(t, 36, 10, 2)
+	p := moduli(t, 38, 11, 2)
+	ext, _ := NewExtender(q, p)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on limb mismatch")
+		}
+	}()
+	ext.Convert(rows(1, 4), rows(2, 4))
+}
+
+// ModDown(x*P + e) must equal x + small error, for x < Q.
+func TestModDownRemovesAuxiliaryModulus(t *testing.T) {
+	const n = 16
+	q := moduli(t, 36, 10, 4)
+	p := moduli(t, 60, 10, 2)
+	d, err := NewModDowner(q, p)
+	if err != nil {
+		t.Fatalf("NewModDowner: %v", err)
+	}
+	Q, P := prod(q), prod(p)
+	rng := rand.New(rand.NewSource(6))
+	xQ, xP, out := rows(len(q), n), rows(len(p), n), rows(len(q), n)
+	want := make([]*big.Int, n)
+	for k := 0; k < n; k++ {
+		x := new(big.Int).Rand(rng, Q)
+		want[k] = x
+		v := new(big.Int).Mul(x, P) // exact multiple: ModDown must invert it
+		vModQP := new(big.Int).Mod(v, new(big.Int).Mul(Q, P))
+		encodeRNS(vModQP, q, k, xQ)
+		encodeRNS(vModQP, p, k, xP)
+	}
+	d.ModDown(xQ, xP, out)
+	for k := 0; k < n; k++ {
+		got := decodeRNS(out, q, k)
+		// Allow error of a few units from the approximate conversion:
+		// |got - want| mod Q must be < len(p)+1 in centered representation.
+		diff := new(big.Int).Sub(got, want[k])
+		diff.Mod(diff, Q)
+		half := new(big.Int).Rsh(Q, 1)
+		if diff.Cmp(half) > 0 {
+			diff.Sub(diff, Q)
+		}
+		if diff.CmpAbs(big.NewInt(int64(len(p)+1))) > 0 {
+			t.Fatalf("col %d: ModDown error %s exceeds bound", k, diff)
+		}
+	}
+}
+
+func TestModDownShapePanics(t *testing.T) {
+	q := moduli(t, 36, 10, 2)
+	p := moduli(t, 38, 11, 1)
+	d, err := NewModDowner(q, p)
+	if err != nil {
+		t.Fatalf("NewModDowner: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on limb mismatch")
+		}
+	}()
+	d.ModDown(rows(2, 4), rows(2, 4), rows(2, 4))
+}
+
+// Rescale(x) must equal round towards the congruent value: the output y
+// satisfies y ≡ (x - [x]_{q_l}) / q_l, i.e. |y - x/q_l| < 1.
+func TestRescaleDividesByTopLimb(t *testing.T) {
+	const n = 16
+	q := moduli(t, 36, 10, 4)
+	rs := NewRescaler(q)
+	Q := prod(q)
+	Ql := prod(q[:3])
+	ql := new(big.Int).SetUint64(q[3].Q)
+	rng := rand.New(rand.NewSource(7))
+	x, out := rows(4, n), rows(3, n)
+	want := make([]*big.Int, n)
+	for k := 0; k < n; k++ {
+		v := new(big.Int).Rand(rng, Q)
+		want[k] = v
+		encodeRNS(v, q, k, x)
+	}
+	rs.Rescale(x, out)
+	for k := 0; k < n; k++ {
+		got := decodeRNS(out, q[:3], k)
+		// Exact identity: got ≡ (v - (v mod q_l)) * q_l^-1 (mod Ql).
+		exact := new(big.Int).Mod(want[k], ql)
+		exact.Sub(want[k], exact)
+		exact.Div(exact, ql)
+		exact.Mod(exact, Ql)
+		if got.Cmp(exact) != 0 {
+			t.Fatalf("col %d: got %s want %s", k, got, exact)
+		}
+	}
+}
+
+func TestRescalePanicsOnSingleLimb(t *testing.T) {
+	q := moduli(t, 36, 10, 2)
+	rs := NewRescaler(q)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic rescaling a single-limb value")
+		}
+	}()
+	rs.Rescale(rows(1, 4), rows(0, 4))
+}

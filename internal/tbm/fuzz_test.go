@@ -1,0 +1,23 @@
+package tbm
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzMul60 cross-checks the TBM decomposition against the hardware-free
+// 128-bit reference on fuzzer-chosen operands.
+func FuzzMul60(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(1)<<60-1, uint64(1)<<60-1)
+	f.Add(uint64(123456789), uint64(987654321))
+	f.Fuzz(func(t *testing.T, x, y uint64) {
+		x &= 1<<60 - 1
+		y &= 1<<60 - 1
+		gh, gl := Mul60(x, y)
+		wh, wl := bits.Mul64(x, y)
+		if gh != wh || gl != wl {
+			t.Fatalf("Mul60(%d,%d) = (%d,%d), want (%d,%d)", x, y, gh, gl, wh, wl)
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package tbm
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMul60MatchesMul64(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		x := rng.Uint64() & ((1 << 60) - 1)
+		y := rng.Uint64() & ((1 << 60) - 1)
+		whi, wlo := bits.Mul64(x, y)
+		ghi, glo := Mul60(x, y)
+		if ghi != whi || glo != wlo {
+			t.Fatalf("Mul60(%d,%d) = (%d,%d), want (%d,%d)", x, y, ghi, glo, whi, wlo)
+		}
+	}
+}
+
+func TestMul60EdgeCases(t *testing.T) {
+	max60 := uint64(1)<<60 - 1
+	cases := [][2]uint64{
+		{0, 0}, {1, 1}, {max60, max60}, {max60, 1}, {1 << 36, 1 << 36},
+		{(1 << 36) - 1, (1 << 36) - 1}, {1 << 59, 2},
+	}
+	for _, c := range cases {
+		whi, wlo := bits.Mul64(c[0], c[1])
+		ghi, glo := Mul60(c[0], c[1])
+		if ghi != whi || glo != wlo {
+			t.Fatalf("Mul60(%d,%d) wrong", c[0], c[1])
+		}
+	}
+}
+
+func TestMul60Property(t *testing.T) {
+	f := func(x, y uint64) bool {
+		x &= (1 << 60) - 1
+		y &= (1 << 60) - 1
+		whi, wlo := bits.Mul64(x, y)
+		ghi, glo := Mul60(x, y)
+		return ghi == whi && glo == wlo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMul60RejectsWideOperands(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 61-bit operand")
+		}
+	}()
+	Mul60(1<<60, 1)
+}
+
+func TestMul36Pair(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		a0 := rng.Uint64() & ((1 << 36) - 1)
+		b0 := rng.Uint64() & ((1 << 36) - 1)
+		a1 := rng.Uint64() & ((1 << 36) - 1)
+		b1 := rng.Uint64() & ((1 << 36) - 1)
+		h0, l0, h1, l1 := Mul36Pair(a0, b0, a1, b1)
+		wh0, wl0 := bits.Mul64(a0, b0)
+		wh1, wl1 := bits.Mul64(a1, b1)
+		if h0 != wh0 || l0 != wl0 || h1 != wh1 || l1 != wl1 {
+			t.Fatal("Mul36Pair mismatch")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 37-bit operand")
+		}
+	}()
+	Mul36Pair(1<<36, 1, 1, 1)
+}
+
+// The scaling model must reproduce the paper's published points: 60-bit
+// modular multiplier = 2.9x area / 2.8x power of 36-bit; multiplier-only =
+// 2.8x / 2.7x.
+func TestALUScalingAnchors(t *testing.T) {
+	check := func(got, want, tol float64, what string) {
+		t.Helper()
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %.3f, want %.2f", what, got, want)
+		}
+	}
+	check(RelativeArea(ModMult, 60), 2.9, 0.05, "modmult area 60b")
+	check(RelativePower(ModMult, 60), 2.8, 0.05, "modmult power 60b")
+	check(RelativeArea(MultOnly, 60), 2.8, 0.05, "mult area 60b")
+	check(RelativePower(MultOnly, 60), 2.7, 0.05, "mult power 60b")
+	check(RelativeArea(ModMult, 36), 1.0, 1e-9, "modmult area 36b")
+	check(RelativePower(MultOnly, 36), 1.0, 1e-9, "mult power 36b")
+}
+
+func TestALUScalingMonotone(t *testing.T) {
+	prevA, prevP := 0.0, 0.0
+	for _, w := range []int{28, 32, 36, 48, 60, 64} {
+		a, p := RelativeArea(ModMult, w), RelativePower(ModMult, w)
+		if a <= prevA || p <= prevP {
+			t.Fatalf("scaling not monotone at %d bits", w)
+		}
+		prevA, prevP = a, p
+	}
+}
+
+func TestTBMOverheads(t *testing.T) {
+	// One TBM = 2x 36-bit throughput at 1.28x the area of a 60-bit
+	// multiplier; it must still be cheaper than two independent 60-bit
+	// multipliers and than the 4x36 construction.
+	tbmArea := TBMRelativeArea()
+	if tbmArea >= 2*RelativeArea(ModMult, 60) {
+		t.Error("TBM should cost less than two 60-bit multipliers")
+	}
+	fourWay := RelativeArea(ModMult, 60) * FourWayAreaFactor
+	if tbmArea >= fourWay {
+		t.Errorf("TBM area %.2f should be below the 4x36 construction %.2f", tbmArea, fourWay)
+	}
+	if Throughput36(true) != 2 || Throughput36(false) != 1 {
+		t.Error("throughput model wrong")
+	}
+}

@@ -1,0 +1,110 @@
+package trace
+
+import "testing"
+
+func TestOpKindStrings(t *testing.T) {
+	kinds := []OpKind{HMult, HRot, PMult, PAdd, HAdd, CMult, Rescale, ModRaise}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if OpKind(99).String() == "" {
+		t.Error("unknown kind should print")
+	}
+}
+
+func TestNeedsKeySwitch(t *testing.T) {
+	if !HMult.NeedsKeySwitch() || !HRot.NeedsKeySwitch() {
+		t.Error("HMult/HRot must need key-switching")
+	}
+	for _, k := range []OpKind{PMult, PAdd, HAdd, CMult, Rescale, ModRaise} {
+		if k.NeedsKeySwitch() {
+			t.Errorf("%v should not need key-switching", k)
+		}
+	}
+}
+
+func TestKeyID(t *testing.T) {
+	mult := Op{Kind: HMult, Level: 3}
+	if got := mult.KeyID("hybrid", 0); got != "hybrid/relin" {
+		t.Errorf("HMult key id %q", got)
+	}
+	rot := Op{Kind: HRot, Level: 3, Rotations: []int{5}}
+	if got := rot.KeyID("klss", 5); got != "klss/rot5" {
+		t.Errorf("HRot key id %q", got)
+	}
+	if got := (Op{Kind: PMult}).KeyID("hybrid", 0); got != "" {
+		t.Errorf("PMult should have no key, got %q", got)
+	}
+}
+
+func TestHoistCount(t *testing.T) {
+	if (Op{Kind: HRot, Hoist: 4, Rotations: []int{1, 2, 3, 4}}).HoistCount() != 4 {
+		t.Error("hoisted group count wrong")
+	}
+	if (Op{Kind: HRot, Rotations: []int{1}}).HoistCount() != 1 {
+		t.Error("default hoist should be 1")
+	}
+	if (Op{Kind: HMult, Hoist: 4}).HoistCount() != 1 {
+		t.Error("non-HRot hoist must clamp to 1")
+	}
+}
+
+func TestAppendDefaultsHoist(t *testing.T) {
+	var tr Trace
+	tr.Append(Op{Kind: PMult, Level: 2})
+	if tr.Ops[0].Hoist != 1 {
+		t.Error("Append should default Hoist to 1")
+	}
+}
+
+func TestKeySwitchCount(t *testing.T) {
+	tr := Trace{Name: "t"}
+	tr.Append(Op{Kind: HMult, Level: 5})
+	tr.Append(Op{Kind: HRot, Level: 5, Hoist: 4, Rotations: []int{1, 2, 3, 4}})
+	tr.Append(Op{Kind: PMult, Level: 5})
+	if got := tr.KeySwitchCount(); got != 5 {
+		t.Errorf("KeySwitchCount = %d, want 5", got)
+	}
+}
+
+func TestPhases(t *testing.T) {
+	tr := Trace{}
+	tr.Append(Op{Kind: PMult, Phase: "A"})
+	tr.Append(Op{Kind: PMult, Phase: "B"})
+	tr.Append(Op{Kind: PMult, Phase: "A"})
+	tr.Append(Op{Kind: PMult})
+	ph := tr.Phases()
+	if len(ph) != 2 || ph[0] != "A" || ph[1] != "B" {
+		t.Errorf("Phases = %v", ph)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Trace{Name: "g"}
+	good.Append(Op{Kind: HRot, Level: 3, Hoist: 2, Rotations: []int{1, 2}})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+
+	bad := Trace{Name: "b1"}
+	bad.Append(Op{Kind: PMult, Level: -1})
+	if bad.Validate() == nil {
+		t.Error("negative level accepted")
+	}
+
+	bad2 := Trace{Name: "b2"}
+	bad2.Append(Op{Kind: HRot, Level: 1, Hoist: 3, Rotations: []int{1}})
+	if bad2.Validate() == nil {
+		t.Error("rotation/hoist mismatch accepted")
+	}
+
+	bad3 := Trace{Name: "b3", Ops: []Op{{Kind: HMult, Level: 1, Hoist: 2}}}
+	if bad3.Validate() == nil {
+		t.Error("hoisted HMult accepted")
+	}
+}
