@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench tables cover fmt vet clean
+.PHONY: all check build test test-short race bench tables cover fmt vet clean
 
 all: build test
+
+# The default pre-merge gate: static analysis, the full suite, and the race
+# detector over the concurrency tests.
+check: vet test race
 
 build:
 	$(GO) build ./...
@@ -15,6 +19,11 @@ test:
 # Skips the slow functional-bootstrapping tests (~40 s).
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the whole module (the concurrency-model contract:
+# one Context serving many goroutines). Uses -short so the gate stays fast.
+race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

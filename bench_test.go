@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/fastfhe/fast/internal/arch"
@@ -413,10 +414,9 @@ func BenchmarkFunctionalEncrypt(b *testing.B) {
 func BenchmarkFunctionalMulHybrid(b *testing.B) {
 	ctx := benchCtx(b)
 	ct, _ := ctx.Encrypt(randomVec(ctx.Slots()))
-	ctx.SetMethod(Hybrid)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Mul(ct, ct); err != nil {
+		if _, err := ctx.Mul(ct, ct, WithMethod(Hybrid)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -425,7 +425,91 @@ func BenchmarkFunctionalMulHybrid(b *testing.B) {
 func BenchmarkFunctionalMulKLSS(b *testing.B) {
 	ctx := benchCtx(b)
 	ct, _ := ctx.Encrypt(randomVec(ctx.Slots()))
-	ctx.SetMethod(KLSS)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Mul(ct, ct, WithMethod(KLSS)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Throughput: one Context shared by concurrent request streams ---
+//
+// The concurrency model targets the server scenario of §6: many independent
+// homomorphic requests against one key set. Scratch pooling plus the
+// stateless per-call options mean ops/sec should scale with the number of
+// caller goroutines (the acceptance bar is >= 1.5x at 4 goroutines).
+// Compare:
+//
+//	go test -bench 'BenchmarkThroughputMul/goroutines=(1|4|8)' -benchmem
+
+func benchThroughput(b *testing.B, goroutines int, op func(i int) error) {
+	b.Helper()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	next := int64(0)
+	fail := func(err error) {
+		b.Error(err)
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= b.N {
+					return
+				}
+				if err := op(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkThroughputMul(b *testing.B) {
+	ctx := benchCtx(b)
+	ct, _ := ctx.Encrypt(randomVec(ctx.Slots()))
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			benchThroughput(b, g, func(int) error {
+				_, err := ctx.Mul(ct, ct, WithMethod(Hybrid))
+				return err
+			})
+		})
+	}
+}
+
+func BenchmarkThroughputRotate(b *testing.B) {
+	ctx := benchCtx(b)
+	ct, _ := ctx.Encrypt(randomVec(ctx.Slots()))
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			benchThroughput(b, g, func(i int) error {
+				// Alternate backends to stress per-call method resolution.
+				m := Hybrid
+				if i%2 == 1 {
+					m = KLSS
+				}
+				_, err := ctx.Rotate(ct, 1, WithMethod(m))
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkLatencyMulParallel measures the other use of the same knob: a
+// single stream with per-operation limb parallelism (WithParallelism) instead
+// of request parallelism.
+func BenchmarkLatencyMulParallel(b *testing.B) {
+	ctx, err := NewContext(DefaultConfig(), WithParallelism(-1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, _ := ctx.Encrypt(randomVec(ctx.Slots()))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ctx.Mul(ct, ct); err != nil {

@@ -1,0 +1,309 @@
+package fast
+
+import (
+	"fmt"
+	"math/cmplx"
+	"sync"
+	"testing"
+)
+
+// sharedCtx builds one Context reused by the concurrency tests (context
+// construction generates all keys, the expensive part).
+var (
+	sharedOnce sync.Once
+	sharedC    *Context
+	sharedErr  error
+)
+
+func sharedConcCtx(t *testing.T) *Context {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedC, sharedErr = NewContext(DefaultConfig())
+	})
+	if sharedErr != nil {
+		t.Fatalf("NewContext: %v", sharedErr)
+	}
+	return sharedC
+}
+
+// TestConcurrentEvaluation runs mixed Mul/Rotate/Rescale/Conjugate traffic
+// from many goroutines against a single Context and verifies every decrypted
+// result. Run with -race to check the synchronisation claims of the
+// concurrency model (README "Concurrency model").
+func TestConcurrentEvaluation(t *testing.T) {
+	ctx := sharedConcCtx(t)
+	n := ctx.Slots()
+
+	const goroutines = 8
+	const iters = 3
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Per-goroutine method: half the workers drive the hybrid
+			// backend, half KLSS — through the same evaluator.
+			method := Hybrid
+			if g%2 == 1 {
+				method = KLSS
+			}
+			a := make([]complex128, n)
+			b := make([]complex128, n)
+			for i := range a {
+				a[i] = complex(float64((i+g)%9)/20, float64(g%3)/10)
+				b[i] = complex(0.3, -float64((i+2*g)%5)/25)
+			}
+			ca, err := ctx.Encrypt(a)
+			if err != nil {
+				errs <- fmt.Errorf("g%d: encrypt a: %v", g, err)
+				return
+			}
+			cb, err := ctx.Encrypt(b)
+			if err != nil {
+				errs <- fmt.Errorf("g%d: encrypt b: %v", g, err)
+				return
+			}
+			for it := 0; it < iters; it++ {
+				// conj(rot((a+b)*a, 1)) with a deferred rescale in the
+				// middle, exercising Add, Mul(NoRescale), Rescale, Rotate
+				// and Conjugate concurrently.
+				sum, err := ctx.Add(ca, cb)
+				if err != nil {
+					errs <- fmt.Errorf("g%d: add: %v", g, err)
+					return
+				}
+				prod, err := ctx.Mul(sum, ca, WithMethod(method), NoRescale())
+				if err != nil {
+					errs <- fmt.Errorf("g%d: mul: %v", g, err)
+					return
+				}
+				if prod, err = ctx.Rescale(prod); err != nil {
+					errs <- fmt.Errorf("g%d: rescale: %v", g, err)
+					return
+				}
+				rot, err := ctx.Rotate(prod, 1, WithMethod(method))
+				if err != nil {
+					errs <- fmt.Errorf("g%d: rotate: %v", g, err)
+					return
+				}
+				conj, err := ctx.Conjugate(rot, WithMethod(method))
+				if err != nil {
+					errs <- fmt.Errorf("g%d: conjugate: %v", g, err)
+					return
+				}
+				got := ctx.Decrypt(conj)
+				for i := 0; i < n; i++ {
+					j := (i + 1) % n
+					want := cmplx.Conj((a[j] + b[j]) * a[j])
+					if e := cmplx.Abs(got[i] - want); e > 1e-4 {
+						errs <- fmt.Errorf("g%d it%d: slot %d: |err|=%.3e (got %v want %v)",
+							g, it, i, e, got[i], want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestWithMethodMatchesSetMethod pins the acceptance criterion that the
+// per-call option path is bit-identical to the deprecated SetMethod path.
+func TestWithMethodMatchesSetMethod(t *testing.T) {
+	ctx := testCtx(t)
+	n := ctx.Slots()
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(float64(i%11)/22, -float64(i%5)/10)
+	}
+	ct, err := ctx.Encrypt(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, method := range []Method{Hybrid, KLSS} {
+		// Old path: mutate the context default, call without options.
+		if err := ctx.SetMethod(method); err != nil {
+			t.Fatal(err)
+		}
+		oldMul, err := ctx.Mul(ct, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldRot, err := ctx.Rotate(ct, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reset the default to the *other* method so the per-call option is
+		// what decides, then compare bit-for-bit.
+		other := Hybrid
+		if method == Hybrid {
+			other = KLSS
+		}
+		if err := ctx.SetMethod(other); err != nil {
+			t.Fatal(err)
+		}
+		newMul, err := ctx.Mul(ct, ct, WithMethod(method))
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRot, err := ctx.Rotate(ct, 2, WithMethod(method))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, pair := range map[string][2]*Ciphertext{
+			"mul":    {oldMul, newMul},
+			"rotate": {oldRot, newRot},
+		} {
+			a, b := pair[0].ct, pair[1].ct
+			if a.Level != b.Level || a.Scale != b.Scale {
+				t.Fatalf("%s %v: level/scale mismatch: %d/%g vs %d/%g",
+					name, method, a.Level, a.Scale, b.Level, b.Scale)
+			}
+			if !a.C0.Equal(b.C0) || !a.C1.Equal(b.C1) {
+				t.Fatalf("%s %v: per-call WithMethod result differs from SetMethod path", name, method)
+			}
+		}
+	}
+	if err := ctx.SetMethod(Hybrid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoRescaleSemantics checks that NoRescale defers exactly the rescale:
+// level and product scale are kept, and a later Context.Rescale yields the
+// same ciphertext the eager path produces.
+func TestNoRescaleSemantics(t *testing.T) {
+	ctx := testCtx(t)
+	n := ctx.Slots()
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(0.4, float64(i%4)/16)
+	}
+	ct, err := ctx.Encrypt(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eager, err := ctx.Mul(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deferred, err := ctx.Mul(ct, ct, NoRescale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deferred.Level() != ct.Level() {
+		t.Fatalf("NoRescale dropped a level: %d -> %d", ct.Level(), deferred.Level())
+	}
+	if deferred.Scale() <= eager.Scale() {
+		t.Fatalf("NoRescale result should carry the product scale: %g <= %g",
+			deferred.Scale(), eager.Scale())
+	}
+	late, err := ctx.Rescale(deferred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.Level() != eager.Level() || late.Scale() != eager.Scale() {
+		t.Fatalf("deferred rescale landed at level %d scale %g, eager at %d/%g",
+			late.Level(), late.Scale(), eager.Level(), eager.Scale())
+	}
+	if !late.ct.C0.Equal(eager.ct.C0) || !late.ct.C1.Equal(eager.ct.C1) {
+		t.Fatal("Mul(NoRescale)+Rescale differs from eager Mul")
+	}
+}
+
+// TestNewContextOptions covers the construction-time options surface.
+func TestNewContextOptions(t *testing.T) {
+	// WithDefaultMethod changes what option-less calls use.
+	ctx, err := NewContext(DefaultConfig(), WithDefaultMethod(KLSS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Method() != KLSS {
+		t.Fatalf("WithDefaultMethod(KLSS): Method() = %v", ctx.Method())
+	}
+
+	// KLSS default without the KLSS key chain must be rejected.
+	if _, err := NewContext(DefaultConfig(), WithKLSS(false), WithDefaultMethod(KLSS)); err == nil {
+		t.Fatal("WithDefaultMethod(KLSS) without KLSS keys should fail")
+	}
+
+	// Options are applied even when cfg is the zero value (DefaultConfig
+	// substitution must re-apply them).
+	ctx2, err := NewContext(ContextConfig{}, WithRotations(3), WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]complex128, ctx2.Slots())
+	v[3] = complex(1, 0)
+	ct, err := ctx2.Encrypt(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot, err := ctx2.Rotate(ct, 3)
+	if err != nil {
+		t.Fatalf("WithRotations(3) did not install the key: %v", err)
+	}
+	if got := ctx2.Decrypt(rot); cmplx.Abs(got[0]-complex(1, 0)) > 1e-4 {
+		t.Fatalf("rotation by 3: slot 0 = %v, want 1", got[0])
+	}
+	// A rotation without a key still fails cleanly.
+	if _, err := ctx2.Rotate(ct, 5); err == nil {
+		t.Fatal("rotation without a generated key should fail")
+	}
+
+	// WithParallelism must not change results: compare against a serial
+	// context built from the same seed.
+	serial, err := NewContext(ContextConfig{}, WithRotations(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctSerial, err := serial.Encrypt(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mulP, err := ctx2.Mul(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mulS, err := serial.Mul(ctSerial, ctSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mulP.ct.C0.Equal(mulS.ct.C0) || !mulP.ct.C1.Equal(mulS.ct.C1) {
+		t.Fatal("WithParallelism(2) changed Mul results vs serial evaluation")
+	}
+}
+
+// TestSeedDeterminism verifies that two contexts with the same seed produce
+// bit-identical ciphertexts — i.e. the sampler serialisation added for
+// concurrency kept the deterministic stream order.
+func TestSeedDeterminism(t *testing.T) {
+	build := func() (*Context, *Ciphertext) {
+		ctx, err := NewContext(DefaultConfig(), WithSeed(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := make([]complex128, ctx.Slots())
+		for i := range v {
+			v[i] = complex(float64(i%13)/26, 0)
+		}
+		ct, err := ctx.Encrypt(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctx, ct
+	}
+	_, ct1 := build()
+	_, ct2 := build()
+	if !ct1.ct.C0.Equal(ct2.ct.C0) || !ct1.ct.C1.Equal(ct2.ct.C1) {
+		t.Fatal("same seed produced different ciphertexts: sampler stream order changed")
+	}
+}

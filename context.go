@@ -2,6 +2,7 @@ package fast
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/fastfhe/fast/internal/ckks"
 )
@@ -51,6 +52,11 @@ type ContextConfig struct {
 	EnableKLSS bool
 	// Seed makes all randomness deterministic (0 uses a fixed default).
 	Seed int64
+	// Parallelism caps the per-operation goroutine fan-out of the
+	// limb-level kernels (see WithParallelism): 0 or 1 = serial per op
+	// (default; concurrency comes from callers), n >= 2 = up to n workers
+	// per op, negative = GOMAXPROCS.
+	Parallelism int
 }
 
 // DefaultConfig returns a laptop-friendly configuration exercising both
@@ -69,6 +75,12 @@ func DefaultConfig() ContextConfig {
 
 // Context owns a key set and evaluator over one CKKS parameter set. It is
 // the entry point of the functional layer.
+//
+// A Context is safe for concurrent use by multiple goroutines: every
+// operation draws scratch from pooled buffers, per-call options carry the
+// key-switching method instead of shared state, and the deprecated SetMethod
+// default is stored atomically. See README.md ("Concurrency model") for what
+// is shared and what is pooled.
 type Context struct {
 	params  *ckks.Parameters
 	encoder *ckks.Encoder
@@ -77,6 +89,7 @@ type Context struct {
 	dec     *ckks.Decryptor
 	keys    *ckks.EvaluationKeySet
 	eval    *ckks.Evaluator
+	method  atomic.Int32 // default Method for calls without WithMethod
 }
 
 // Ciphertext is an encrypted vector of complex values.
@@ -91,10 +104,20 @@ func (c *Ciphertext) Level() int { return c.ct.Level }
 func (c *Ciphertext) Scale() float64 { return c.ct.Scale }
 
 // NewContext compiles the configuration, generates all keys and returns a
-// ready-to-use context.
-func NewContext(cfg ContextConfig) (*Context, error) {
+// ready-to-use context. Options are applied on top of cfg (last writer
+// wins): NewContext(fast.DefaultConfig(), fast.WithParallelism(4),
+// fast.WithDefaultMethod(fast.KLSS)).
+func NewContext(cfg ContextConfig, opts ...Option) (*Context, error) {
+	settings := contextSettings{cfg: &cfg, defaultMethod: Hybrid}
+	for _, o := range opts {
+		o(&settings)
+	}
 	if cfg.LogN == 0 {
 		cfg = DefaultConfig()
+		settings.cfg = &cfg
+		for _, o := range opts {
+			o(&settings)
+		}
 	}
 	if cfg.LogSlots == 0 {
 		cfg.LogSlots = cfg.LogN - 1
@@ -107,6 +130,9 @@ func NewContext(cfg ContextConfig) (*Context, error) {
 	}
 	if cfg.Levels < 1 {
 		return nil, fmt.Errorf("fast: need at least one multiplicative level")
+	}
+	if settings.defaultMethod == KLSS && !cfg.EnableKLSS {
+		return nil, fmt.Errorf("fast: WithDefaultMethod(KLSS) requires EnableKLSS")
 	}
 
 	logQ := make([]int, cfg.Levels+1)
@@ -151,11 +177,26 @@ func NewContext(cfg ContextConfig) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx.eval, err = ckks.NewEvaluator(params, ctx.keys)
+	ctx.eval, err = ckks.NewEvaluatorOptions(params, ctx.keys, ckks.EvaluatorOptions{
+		Parallelism: cfg.Parallelism,
+	})
 	if err != nil {
 		return nil, err
 	}
+	ctx.method.Store(int32(settings.defaultMethod))
+	if err := ctx.eval.SetMethod(settings.defaultMethod.internal()); err != nil {
+		return nil, err
+	}
 	return ctx, nil
+}
+
+// settings resolves per-call options against the context default.
+func (c *Context) settings(opts []OpOption) opSettings {
+	s := opSettings{method: Method(c.method.Load())}
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
 }
 
 // Slots returns the number of packed values per ciphertext.
@@ -176,11 +217,28 @@ func (c *Context) SecurityEstimate() float64 { return c.params.SecurityEstimate(
 // IsSecure reports whether the estimate clears 128 bits.
 func (c *Context) IsSecure() bool { return c.params.IsSecure() }
 
-// SetMethod routes subsequent HMult/HRot operations through the given
-// key-switching backend — the hook the Aether planner drives.
-func (c *Context) SetMethod(m Method) error { return c.eval.SetMethod(m.internal()) }
+// SetMethod changes the default key-switching backend for operations that do
+// not pass WithMethod. The update is atomic (safe to call concurrently), but
+// it is a process-wide mode change: operations already in flight keep the
+// method they resolved at entry.
+//
+// Deprecated: pass the per-call option instead — ctx.Mul(a, b,
+// fast.WithMethod(fast.KLSS)) — or set a default at construction with
+// fast.WithDefaultMethod. Per-call options mutate no shared state, so they
+// compose under concurrency; SetMethod survives only as a shim for old code.
+func (c *Context) SetMethod(m Method) error {
+	if err := c.eval.SetMethod(m.internal()); err != nil {
+		return err
+	}
+	c.method.Store(int32(m))
+	return nil
+}
 
-// Encrypt encodes and encrypts a vector (padded to the slot count).
+// Method returns the current default key-switching backend.
+func (c *Context) Method() Method { return Method(c.method.Load()) }
+
+// Encrypt encodes and encrypts a vector (padded to the slot count). Safe for
+// concurrent use (the sampler behind the encryptor is serialised).
 func (c *Context) Encrypt(values []complex128) (*Ciphertext, error) {
 	pt, err := c.encoder.Encode(values)
 	if err != nil {
@@ -210,18 +268,26 @@ func (c *Context) Sub(a, b *Ciphertext) (*Ciphertext, error) {
 	return wrap(out, err)
 }
 
-// Mul returns a*b, relinearised and rescaled.
-func (c *Context) Mul(a, b *Ciphertext) (*Ciphertext, error) {
-	prod, err := c.eval.MulRelin(a.ct, b.ct)
+// Mul returns a*b, relinearised and (unless NoRescale is passed) rescaled.
+// The key-switching backend is chosen per call: ctx.Mul(a, b,
+// fast.WithMethod(fast.KLSS)).
+func (c *Context) Mul(a, b *Ciphertext, opts ...OpOption) (*Ciphertext, error) {
+	s := c.settings(opts)
+	prod, err := c.eval.MulRelinWith(a.ct, b.ct, s.method.internal())
 	if err != nil {
 		return nil, err
+	}
+	if s.noRescale {
+		return &Ciphertext{prod}, nil
 	}
 	out, err := c.eval.Rescale(prod)
 	return wrap(out, err)
 }
 
-// MulPlain multiplies by a plaintext vector and rescales.
-func (c *Context) MulPlain(a *Ciphertext, values []complex128) (*Ciphertext, error) {
+// MulPlain multiplies by a plaintext vector and (unless NoRescale is passed)
+// rescales.
+func (c *Context) MulPlain(a *Ciphertext, values []complex128, opts ...OpOption) (*Ciphertext, error) {
+	s := c.settings(opts)
 	pt, err := c.encoder.EncodeAtLevel(values, a.ct.Level, c.params.Scale())
 	if err != nil {
 		return nil, err
@@ -229,6 +295,9 @@ func (c *Context) MulPlain(a *Ciphertext, values []complex128) (*Ciphertext, err
 	prod, err := c.eval.MulPlain(a.ct, pt)
 	if err != nil {
 		return nil, err
+	}
+	if s.noRescale {
+		return &Ciphertext{prod}, nil
 	}
 	out, err := c.eval.Rescale(prod)
 	return wrap(out, err)
@@ -244,11 +313,16 @@ func (c *Context) AddPlain(a *Ciphertext, values []complex128) (*Ciphertext, err
 	return wrap(out, err)
 }
 
-// MulConst multiplies by a real constant and rescales.
-func (c *Context) MulConst(a *Ciphertext, v float64) (*Ciphertext, error) {
+// MulConst multiplies by a real constant and (unless NoRescale is passed)
+// rescales.
+func (c *Context) MulConst(a *Ciphertext, v float64, opts ...OpOption) (*Ciphertext, error) {
+	s := c.settings(opts)
 	prod, err := c.eval.MulConst(a.ct, v)
 	if err != nil {
 		return nil, err
+	}
+	if s.noRescale {
+		return &Ciphertext{prod}, nil
 	}
 	out, err := c.eval.Rescale(prod)
 	return wrap(out, err)
@@ -260,17 +334,27 @@ func (c *Context) AddConst(a *Ciphertext, v float64) (*Ciphertext, error) {
 	return wrap(out, err)
 }
 
+// Rescale divides a by its top chain prime, dropping one level and the
+// corresponding scale factor. Pairs with NoRescale: accumulate several
+// unrescaled products at the same scale, then rescale the sum once.
+func (c *Context) Rescale(a *Ciphertext) (*Ciphertext, error) {
+	out, err := c.eval.Rescale(a.ct)
+	return wrap(out, err)
+}
+
 // Rotate cyclically rotates the slots by r (positive = towards lower
-// indices).
-func (c *Context) Rotate(a *Ciphertext, r int) (*Ciphertext, error) {
-	out, err := c.eval.Rotate(a.ct, r)
+// indices). The key-switching backend is chosen per call via WithMethod.
+func (c *Context) Rotate(a *Ciphertext, r int, opts ...OpOption) (*Ciphertext, error) {
+	s := c.settings(opts)
+	out, err := c.eval.RotateWith(a.ct, r, s.method.internal())
 	return wrap(out, err)
 }
 
 // RotateHoisted produces all requested rotations of one ciphertext sharing a
 // single decomposition (the hoisting optimisation, §2.2.3).
-func (c *Context) RotateHoisted(a *Ciphertext, rotations []int) (map[int]*Ciphertext, error) {
-	outs, err := c.eval.RotateHoisted(a.ct, rotations)
+func (c *Context) RotateHoisted(a *Ciphertext, rotations []int, opts ...OpOption) (map[int]*Ciphertext, error) {
+	s := c.settings(opts)
+	outs, err := c.eval.RotateHoistedWith(a.ct, rotations, s.method.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -282,8 +366,9 @@ func (c *Context) RotateHoisted(a *Ciphertext, rotations []int) (map[int]*Cipher
 }
 
 // Conjugate returns the slot-wise complex conjugate.
-func (c *Context) Conjugate(a *Ciphertext) (*Ciphertext, error) {
-	out, err := c.eval.Conjugate(a.ct)
+func (c *Context) Conjugate(a *Ciphertext, opts ...OpOption) (*Ciphertext, error) {
+	s := c.settings(opts)
+	out, err := c.eval.ConjugateWith(a.ct, s.method.internal())
 	return wrap(out, err)
 }
 

@@ -29,25 +29,62 @@ func ExampleContext() {
 	// Output: 0.5 * 0.25 = 0.1250
 }
 
-// Route a rotation through the KLSS (60-bit) backend.
-func ExampleContext_SetMethod() {
+// Route a rotation through the KLSS (60-bit) backend with a per-call option.
+func ExampleWithMethod() {
 	ctx, err := fast.NewContext(fast.DefaultConfig())
 	if err != nil {
-		panic(err)
-	}
-	if err := ctx.SetMethod(fast.KLSS); err != nil {
 		panic(err)
 	}
 	v := make([]complex128, ctx.Slots())
 	v[1] = complex(1, 0)
 	ct, _ := ctx.Encrypt(v)
-	rot, err := ctx.Rotate(ct, 1)
+	rot, err := ctx.Rotate(ct, 1, fast.WithMethod(fast.KLSS))
 	if err != nil {
 		panic(err)
 	}
 	got := ctx.Decrypt(rot)
 	fmt.Printf("slot 0 after rotating by 1: %.2f\n", math.Round(real(got[0])*100)/100)
 	// Output: slot 0 after rotating by 1: 1.00
+}
+
+// Defer the rescale of a multiply-accumulate chain: the three products keep
+// their product scale, are summed, and pay a single rescale at the end.
+func ExampleNoRescale() {
+	ctx, err := fast.NewContext(fast.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	n := ctx.Slots()
+	vec := func(v float64) []complex128 {
+		s := make([]complex128, n)
+		for i := range s {
+			s[i] = complex(v, 0)
+		}
+		return s
+	}
+	ca, _ := ctx.Encrypt(vec(0.5))
+	cb, _ := ctx.Encrypt(vec(0.25))
+
+	// acc = a*b + a*b + a*b, rescaled once.
+	acc, err := ctx.Mul(ca, cb, fast.NoRescale())
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 2; i++ {
+		term, err := ctx.Mul(ca, cb, fast.NoRescale())
+		if err != nil {
+			panic(err)
+		}
+		if acc, err = ctx.Add(acc, term); err != nil {
+			panic(err)
+		}
+	}
+	if acc, err = ctx.Rescale(acc); err != nil {
+		panic(err)
+	}
+	got := ctx.Decrypt(acc)
+	fmt.Printf("3 * 0.5 * 0.25 = %.4f\n", math.Round(real(got[0])*1e4)/1e4)
+	// Output: 3 * 0.5 * 0.25 = 0.3750
 }
 
 // Simulate the bootstrapping benchmark on the modelled FAST accelerator.

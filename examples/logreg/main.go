@@ -23,9 +23,7 @@ func main() {
 	for r := 1; r < features; r *= 2 {
 		rots = append(rots, r)
 	}
-	cfg := fast.DefaultConfig()
-	cfg.Rotations = rots
-	ctx, err := fast.NewContext(cfg)
+	ctx, err := fast.NewContext(fast.DefaultConfig(), fast.WithRotations(rots...))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +52,10 @@ func main() {
 	for i := range wRep {
 		wRep[i] = complex(weights[i%features], 0)
 	}
-	acc, err := ctx.MulPlain(ct, wRep)
+	// NoRescale defers the post-multiplication rescale: the rotation tree
+	// runs on the product scale and the sum pays a single rescale at the
+	// end instead of one before the fold.
+	acc, err := ctx.MulPlain(ct, wRep, fast.NoRescale())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,6 +67,9 @@ func main() {
 		if acc, err = ctx.Add(acc, rot); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if acc, err = ctx.Rescale(acc); err != nil {
+		log.Fatal(err)
 	}
 
 	// Sigmoid: 0.5 + 0.15*z - 0.0015*z^3 (Horner on the encrypted z).

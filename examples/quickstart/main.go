@@ -39,18 +39,17 @@ func main() {
 	}
 
 	for _, method := range []fast.Method{fast.Hybrid, fast.KLSS} {
-		if err := ctx.SetMethod(method); err != nil {
-			log.Fatal(err)
-		}
+		// Method selection is per call (fast.WithMethod): no shared mode is
+		// mutated, so the same loop could run from many goroutines at once.
 		sum, err := ctx.Add(ca, cb)
 		if err != nil {
 			log.Fatal(err)
 		}
-		prod, err := ctx.Mul(sum, ca) // (a+b)*a — key-switched by `method`
+		prod, err := ctx.Mul(sum, ca, fast.WithMethod(method)) // (a+b)*a — key-switched by `method`
 		if err != nil {
 			log.Fatal(err)
 		}
-		rot, err := ctx.Rotate(prod, 2)
+		rot, err := ctx.Rotate(prod, 2, fast.WithMethod(method))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,46 @@
+package ckks
+
+import "testing"
+
+// TestKeySwitchAllocs pins the steady-state allocation count of the hot
+// key-switch path (MulRelin = tensor + relinearisation key-switch). All
+// scratch comes from the evaluator's and switcher's polynomial pools, so
+// the only allocations left are the polynomials that escape into the result
+// ciphertext and a handful of fixed-size headers. A large jump here means a
+// pooling regression: some scratch buffer went back to make/NewPoly.
+func TestKeySwitchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime instruments sync.Pool and inflates AllocsPerRun")
+	}
+	tc := newTestContext(t)
+	values := randomValues(tc.params.Slots(), 77)
+	pt, _ := tc.enc.Encode(values)
+	ct, err := tc.encr.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, method := range []KeySwitchMethod{Hybrid, KLSS} {
+		// Warm the pools: the first calls populate the sync.Pools.
+		for i := 0; i < 3; i++ {
+			if _, err := tc.eval.MulRelinWith(ct, ct, method); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := tc.eval.MulRelinWith(ct, ct, method); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// The escaping result accounts for ~2 polynomials (row slices +
+		// contiguous backings) plus headers; leave headroom for pool misses
+		// under GC pressure but fail loudly if scratch stops being pooled
+		// (which shows up as hundreds of per-limb allocations).
+		const maxAllocs = 64
+		t.Logf("MulRelin %v: %.0f allocs/op", method, allocs)
+		if allocs > maxAllocs {
+			t.Errorf("MulRelin %v allocates %.0f times per op, want <= %d (pooling regression?)",
+				method, allocs, maxAllocs)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package ckks
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/fastfhe/fast/internal/ring"
 )
@@ -19,10 +20,16 @@ func (ct *Ciphertext) CopyNew() *Ciphertext {
 	return &Ciphertext{C0: ct.C0.Clone(), C1: ct.C1.Clone(), Level: ct.Level, Scale: ct.Scale}
 }
 
-// Encryptor encrypts plaintexts under a public key.
+// Encryptor encrypts plaintexts under a public key. It is safe for
+// concurrent use: the deterministic sampler stream is the only mutable
+// state and is serialised by a mutex (the sampled values still form one
+// deterministic sequence, though their assignment to concurrent Encrypt
+// calls depends on scheduling order).
 type Encryptor struct {
-	params  *Parameters
-	pk      *PublicKey
+	params *Parameters
+	pk     *PublicKey
+
+	mu      sync.Mutex
 	sampler *ring.Sampler
 }
 
@@ -39,11 +46,13 @@ func (e *Encryptor) Encrypt(pt *Plaintext) (*Ciphertext, error) {
 	rq := e.params.ringQ.AtLevel(pt.Level)
 	// u ternary, e0/e1 gaussian; (c0, c1) = (b*u + e0 + m, a*u + e1).
 	u := rq.NewPoly()
-	e.sampler.TernaryPoly(rq, u)
-	rq.NTT(u)
 	e0, e1 := rq.NewPoly(), rq.NewPoly()
+	e.mu.Lock()
+	e.sampler.TernaryPoly(rq, u)
 	e.sampler.GaussianPoly(rq, e.params.sigma, e0)
 	e.sampler.GaussianPoly(rq, e.params.sigma, e1)
+	e.mu.Unlock()
+	rq.NTT(u)
 	rq.NTT(e0)
 	rq.NTT(e1)
 

@@ -4,41 +4,78 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync/atomic"
 
 	"github.com/fastfhe/fast/internal/ring"
 	"github.com/fastfhe/fast/internal/rns"
 )
 
 // Evaluator executes homomorphic operations. It owns one KeySwitcher per
-// enabled backend and routes every HMult/HRot through the backend chosen by
-// SetMethod — the hook the Aether planner drives when it assigns a
-// key-switching method per operation (paper §4.1).
+// enabled backend and routes every HMult/HRot through a per-call backend
+// choice (the ...With variants) or the stored default — the hook the Aether
+// planner drives when it assigns a key-switching method per operation (paper
+// §4.1).
+//
+// Concurrency: an Evaluator is safe for concurrent use from many goroutines.
+// The default method is stored atomically, the switcher map is immutable
+// after construction, and every hot path draws its scratch polynomials from
+// sync.Pool-backed buffer pools sized off the parameter set instead of
+// sharing per-evaluator temporaries.
 type Evaluator struct {
-	params   *Parameters
-	keys     *EvaluationKeySet
-	method   KeySwitchMethod
-	switcher map[KeySwitchMethod]*KeySwitcher
-	rescaler *rns.Rescaler
+	params      *Parameters
+	keys        *EvaluationKeySet
+	method      atomic.Int32
+	switcher    map[KeySwitchMethod]*KeySwitcher
+	rescaler    *rns.Rescaler
+	parallelism int
+	pool        *ring.PolyPool // ciphertext-shaped scratch (N x full Q chain)
 }
 
-// NewEvaluator builds an evaluator over the given key set. The hybrid
-// backend is always available; the KLSS backend is constructed when the
-// parameter set carries an auxiliary chain.
-func NewEvaluator(params *Parameters, keys *EvaluationKeySet) (*Evaluator, error) {
-	ev := &Evaluator{
-		params:   params,
-		keys:     keys,
-		method:   Hybrid,
-		switcher: map[KeySwitchMethod]*KeySwitcher{},
-		rescaler: rns.NewRescaler(params.ringQ.Moduli),
+// EvaluatorOptions tunes evaluator construction.
+type EvaluatorOptions struct {
+	// Parallelism caps the number of worker goroutines the limb-level
+	// kernels (NTT, BConv/ModUp, KeyMult, ModDown, Rescale) fan out to,
+	// following ring.Workers semantics: 0 or 1 keeps every operation on the
+	// calling goroutine (best aggregate throughput when many goroutines
+	// evaluate concurrently), n >= 2 uses up to n workers per operation
+	// (best single-operation latency), and negative values use GOMAXPROCS.
+	Parallelism int
+}
+
+func (o EvaluatorOptions) workers() int {
+	if o.Parallelism == 0 {
+		return 1
 	}
-	hy, err := NewKeySwitcher(params, Hybrid)
+	return o.Parallelism
+}
+
+// NewEvaluator builds an evaluator over the given key set with serial
+// limb-level kernels. The hybrid backend is always available; the KLSS
+// backend is constructed when the parameter set carries an auxiliary chain.
+func NewEvaluator(params *Parameters, keys *EvaluationKeySet) (*Evaluator, error) {
+	return NewEvaluatorOptions(params, keys, EvaluatorOptions{})
+}
+
+// NewEvaluatorOptions builds an evaluator with explicit tuning options.
+func NewEvaluatorOptions(params *Parameters, keys *EvaluationKeySet, opts EvaluatorOptions) (*Evaluator, error) {
+	workers := opts.workers()
+	ev := &Evaluator{
+		params:      params,
+		keys:        keys,
+		switcher:    map[KeySwitchMethod]*KeySwitcher{},
+		rescaler:    rns.NewRescaler(params.ringQ.Moduli),
+		parallelism: workers,
+		pool:        ring.NewPolyPool(params.N(), params.MaxLevel()+1),
+	}
+	ev.rescaler.Workers = workers
+	ev.method.Store(int32(Hybrid))
+	hy, err := NewKeySwitcherWorkers(params, Hybrid, workers)
 	if err != nil {
 		return nil, err
 	}
 	ev.switcher[Hybrid] = hy
 	if params.SupportsKLSS() {
-		kl, err := NewKeySwitcher(params, KLSS)
+		kl, err := NewKeySwitcherWorkers(params, KLSS, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -47,17 +84,32 @@ func NewEvaluator(params *Parameters, keys *EvaluationKeySet) (*Evaluator, error
 	return ev, nil
 }
 
-// SetMethod selects the key-switching backend for subsequent operations.
+// SetMethod selects the default key-switching backend for subsequent
+// operations that do not pass one explicitly. The store is atomic, so
+// SetMethod is safe to call concurrently — but operations already in flight
+// keep the method they resolved at entry. Prefer the per-call ...With
+// variants (or the fast package's WithMethod option) in concurrent code.
+//
+// Deprecated: use the ...With method variants for per-call selection.
 func (ev *Evaluator) SetMethod(m KeySwitchMethod) error {
 	if _, ok := ev.switcher[m]; !ok {
 		return fmt.Errorf("ckks: evaluator has no %v backend", m)
 	}
-	ev.method = m
+	ev.method.Store(int32(m))
 	return nil
 }
 
-// Method returns the active key-switching backend.
-func (ev *Evaluator) Method() KeySwitchMethod { return ev.method }
+// Method returns the current default key-switching backend.
+func (ev *Evaluator) Method() KeySwitchMethod { return KeySwitchMethod(ev.method.Load()) }
+
+// switcherFor resolves the switcher for a backend.
+func (ev *Evaluator) switcherFor(m KeySwitchMethod) (*KeySwitcher, error) {
+	sw, ok := ev.switcher[m]
+	if !ok {
+		return nil, fmt.Errorf("ckks: evaluator has no %v backend", m)
+	}
+	return sw, nil
+}
 
 // alignLevels drops both ciphertexts to the lower of their levels.
 func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext) {
@@ -169,7 +221,8 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c float64) (*Ciphertext, error) {
 	out := ct.CopyNew()
 	// The constant lands on coefficient 0 in coefficient form, which is the
 	// all-k vector in NTT form (the NTT of a constant is that constant).
-	kModQ := ring.NewPoly(ev.params.N(), ct.Level+1)
+	kModQ := ev.pool.Get(ct.Level + 1)
+	defer ev.pool.Put(kModQ)
 	tmp := new(big.Int)
 	for i, m := range rq.Moduli {
 		v := tmp.Mod(k, new(big.Int).SetUint64(m.Q)).Uint64()
@@ -182,26 +235,38 @@ func (ev *Evaluator) AddConst(ct *Ciphertext, c float64) (*Ciphertext, error) {
 	return out, nil
 }
 
-// MulRelin returns a*b with relinearisation through the active backend
+// MulRelin returns a*b with relinearisation through the default backend
 // (HMult). No rescale is performed; the output scale is the product.
 func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
+	return ev.MulRelinWith(a, b, ev.Method())
+}
+
+// MulRelinWith is MulRelin with an explicit key-switching backend, enabling
+// stateless per-call method selection under concurrency.
+func (ev *Evaluator) MulRelinWith(a, b *Ciphertext, m KeySwitchMethod) (*Ciphertext, error) {
+	sw, err := ev.switcherFor(m)
+	if err != nil {
+		return nil, err
+	}
+	rlk, err := ev.keys.RelinKey(m)
+	if err != nil {
+		return nil, err
+	}
 	a, b = ev.alignLevels(a, b)
 	level := a.Level
 	rq := ev.params.ringQ.AtLevel(level)
 
-	// Tensor: (d0, d1, d2) = (a0*b0, a0*b1 + a1*b0, a1*b1).
-	d0, d1, d2 := rq.NewPoly(), rq.NewPoly(), rq.NewPoly()
+	// Tensor: (d0, d1, d2) = (a0*b0, a0*b1 + a1*b0, a1*b1). d0 and d1
+	// escape into the output; the quadratic term d2 is scratch.
+	d0, d1 := rq.NewPoly(), rq.NewPoly()
+	d2 := ev.pool.Get(level + 1)
+	defer ev.pool.Put(d2)
 	rq.MulCoeffs(a.C0, b.C0, d0)
 	rq.MulCoeffs(a.C0, b.C1, d1)
 	rq.MulCoeffsThenAdd(a.C1, b.C0, d1)
 	rq.MulCoeffs(a.C1, b.C1, d2)
 
 	// Relinearise d2 with the s^2 key.
-	sw := ev.switcher[ev.method]
-	rlk, err := ev.keys.RelinKey(ev.method)
-	if err != nil {
-		return nil, err
-	}
 	e0, e1, err := sw.Switch(d2, rlk, level)
 	if err != nil {
 		return nil, err
@@ -220,37 +285,53 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	}
 	level := ct.Level
 	rqIn := ev.params.ringQ.AtLevel(level)
+	rqOut := ev.params.ringQ.AtLevel(level - 1)
 	out := &Ciphertext{
 		C0:    ring.NewPoly(ev.params.N(), level),
 		C1:    ring.NewPoly(ev.params.N(), level),
 		Level: level - 1,
 		Scale: ct.Scale / float64(ev.params.qChain[level]),
 	}
+	tmp := ev.pool.Get(level + 1)
+	defer ev.pool.Put(tmp)
 	for _, pair := range []struct{ in, out ring.Poly }{{ct.C0, out.C0}, {ct.C1, out.C1}} {
-		tmp := pair.in.Clone()
-		rqIn.INTT(tmp)
+		tmp.CopyValues(pair.in)
+		rqIn.INTTWorkers(tmp, ev.parallelism)
 		ev.rescaler.Rescale(tmp.Coeffs, pair.out.Coeffs)
-		ev.params.ringQ.AtLevel(level - 1).NTT(pair.out)
+		rqOut.NTTWorkers(pair.out, ev.parallelism)
 	}
 	return out, nil
 }
 
 // Rotate returns ct with its slots cyclically rotated by r (HRot), via the
-// active backend's Galois key.
+// default backend's Galois key.
 func (ev *Evaluator) Rotate(ct *Ciphertext, r int) (*Ciphertext, error) {
+	return ev.RotateWith(ct, r, ev.Method())
+}
+
+// RotateWith is Rotate with an explicit key-switching backend.
+func (ev *Evaluator) RotateWith(ct *Ciphertext, r int, m KeySwitchMethod) (*Ciphertext, error) {
 	galEl := ring.GaloisElementForRotation(ev.params.LogN(), r)
-	return ev.automorphism(ct, galEl)
+	return ev.automorphism(ct, galEl, m)
 }
 
 // Conjugate returns the slot-wise complex conjugate of ct.
 func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
-	galEl := ring.GaloisElementForConjugation(ev.params.LogN())
-	return ev.automorphism(ct, galEl)
+	return ev.ConjugateWith(ct, ev.Method())
 }
 
-func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64) (*Ciphertext, error) {
-	sw := ev.switcher[ev.method]
-	key, err := ev.keys.GaloisKey(ev.method, galEl)
+// ConjugateWith is Conjugate with an explicit key-switching backend.
+func (ev *Evaluator) ConjugateWith(ct *Ciphertext, m KeySwitchMethod) (*Ciphertext, error) {
+	galEl := ring.GaloisElementForConjugation(ev.params.LogN())
+	return ev.automorphism(ct, galEl, m)
+}
+
+func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64, m KeySwitchMethod) (*Ciphertext, error) {
+	sw, err := ev.switcherFor(m)
+	if err != nil {
+		return nil, err
+	}
+	key, err := ev.keys.GaloisKey(m, galEl)
 	if err != nil {
 		return nil, err
 	}
@@ -259,13 +340,15 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64) (*Ciphertext, er
 	idx := ring.AutomorphismNTTIndex(ev.params.N(), ev.params.LogN(), galEl)
 
 	// Switch φ(c1) under the rotated key, then add φ(c0).
-	c1Rot := rq.NewPoly()
+	c1Rot := ev.pool.Get(level + 1)
+	defer ev.pool.Put(c1Rot)
 	rq.AutomorphismNTT(ct.C1, c1Rot, idx)
 	d0, d1, err := sw.Switch(c1Rot, key, level)
 	if err != nil {
 		return nil, err
 	}
-	c0Rot := rq.NewPoly()
+	c0Rot := ev.pool.Get(level + 1)
+	defer ev.pool.Put(c0Rot)
 	rq.AutomorphismNTT(ct.C0, c0Rot, idx)
 	rq.Add(d0, c0Rot, d0)
 	return &Ciphertext{C0: d0, C1: d1, Level: level, Scale: ct.Scale}, nil
@@ -275,13 +358,22 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64) (*Ciphertext, er
 // decomposition (ModUp) only once — the hoisting optimisation the FAST
 // accelerator schedules (paper §2.2.3). Results are keyed by rotation amount.
 func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ciphertext, error) {
-	sw := ev.switcher[ev.method]
+	return ev.RotateHoistedWith(ct, rotations, ev.Method())
+}
+
+// RotateHoistedWith is RotateHoisted with an explicit key-switching backend.
+func (ev *Evaluator) RotateHoistedWith(ct *Ciphertext, rotations []int, m KeySwitchMethod) (map[int]*Ciphertext, error) {
+	sw, err := ev.switcherFor(m)
+	if err != nil {
+		return nil, err
+	}
 	level := ct.Level
 	rq := ev.params.ringQ.AtLevel(level)
 	dec, err := sw.Decompose(ct.C1, level)
 	if err != nil {
 		return nil, err
 	}
+	defer sw.Release(dec)
 	out := make(map[int]*Ciphertext, len(rotations))
 	for _, r := range rotations {
 		if r == 0 {
@@ -289,19 +381,21 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 			continue
 		}
 		galEl := ring.GaloisElementForRotation(ev.params.LogN(), r)
-		key, err := ev.keys.GaloisKey(ev.method, galEl)
+		key, err := ev.keys.GaloisKey(m, galEl)
 		if err != nil {
 			return nil, err
 		}
 		idx := ring.AutomorphismNTTIndex(ev.params.N(), ev.params.LogN(), galEl)
 		rotDec := sw.Automorph(dec, idx)
 		d0, d1, err := sw.KeyMult(rotDec, key, level)
+		sw.Release(rotDec)
 		if err != nil {
 			return nil, err
 		}
-		c0Rot := rq.NewPoly()
+		c0Rot := ev.pool.Get(level + 1)
 		rq.AutomorphismNTT(ct.C0, c0Rot, idx)
 		rq.Add(d0, c0Rot, d0)
+		ev.pool.Put(c0Rot)
 		out[r] = &Ciphertext{C0: d0, C1: d1, Level: level, Scale: ct.Scale}
 	}
 	return out, nil

@@ -16,6 +16,11 @@ import (
 // the accelerator's 60-bit datapath. The β·α grouping, gadget selectors and
 // ModDown rounding are identical mathematics; only the chain (and hence the
 // per-kernel operation counts, see internal/costmodel) differs.
+//
+// A KeySwitcher is safe for concurrent use: all mutable state is either
+// guarded (the lazily built extender/downer tables) or drawn from a
+// sync.Pool-backed scratch-buffer pool sized off the parameter set, so no
+// per-operation state is shared between goroutines.
 type KeySwitcher struct {
 	params *Parameters
 	method KeySwitchMethod
@@ -24,6 +29,14 @@ type KeySwitcher struct {
 	sLen    int // number of special limbs
 	alpha   int
 
+	// parallelism caps the goroutine fan-out of the limb-level kernels
+	// (ModUp NTTs, BConv, KeyMult rows, ModDown) following ring.Workers
+	// semantics. Fixed at construction.
+	parallelism int
+
+	// pool recycles scratch polynomials of the extended (Q++special) shape.
+	pool *ring.PolyPool
+
 	mu        sync.Mutex
 	extenders map[extKey]*rns.Extender
 	downers   map[int]*rns.ModDowner
@@ -31,20 +44,29 @@ type KeySwitcher struct {
 
 type extKey struct{ level, group int }
 
-// NewKeySwitcher builds the switcher for the chosen backend.
+// NewKeySwitcher builds the switcher for the chosen backend with serial
+// limb-level kernels.
 func NewKeySwitcher(params *Parameters, method KeySwitchMethod) (*KeySwitcher, error) {
+	return NewKeySwitcherWorkers(params, method, 1)
+}
+
+// NewKeySwitcherWorkers builds the switcher with the given limb-parallelism
+// fan-out (ring.Workers convention: <=0 means GOMAXPROCS, 1 serial).
+func NewKeySwitcherWorkers(params *Parameters, method KeySwitchMethod, workers int) (*KeySwitcher, error) {
 	kr, sLen, err := params.keyRing(method)
 	if err != nil {
 		return nil, err
 	}
 	return &KeySwitcher{
-		params:    params,
-		method:    method,
-		keyRing:   kr,
-		sLen:      sLen,
-		alpha:     params.groupAlpha(method),
-		extenders: map[extKey]*rns.Extender{},
-		downers:   map[int]*rns.ModDowner{},
+		params:      params,
+		method:      method,
+		keyRing:     kr,
+		sLen:        sLen,
+		alpha:       params.groupAlpha(method),
+		parallelism: workers,
+		pool:        ring.NewPolyPool(params.N(), len(kr.Moduli)),
+		extenders:   map[extKey]*rns.Extender{},
+		downers:     map[int]*rns.ModDowner{},
 	}, nil
 }
 
@@ -84,6 +106,7 @@ func (ks *KeySwitcher) extender(level, j int) (*rns.Extender, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.Workers = ks.parallelism
 	ks.extenders[k] = e
 	return e, nil
 }
@@ -99,6 +122,7 @@ func (ks *KeySwitcher) downer(level int) (*rns.ModDowner, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.SetWorkers(ks.parallelism)
 	ks.downers[level] = d
 	return d, nil
 }
@@ -108,9 +132,24 @@ func (ks *KeySwitcher) downer(level int) (*rns.ModDowner, error) {
 // basis, in NTT form. Computing it costs the bulk of the key-switch NTTs;
 // hoisted rotations reuse one Decomposition across many rotations, which is
 // exactly the saving the paper's hoisting analysis (§2.2.3, Fig. 3) counts.
+//
+// Decompositions hold pooled buffers: callers that obtained one from
+// Decompose or Automorph must hand it back with Release once dead.
 type Decomposition struct {
 	Level  int
 	Groups []ring.Poly // each has level+1+sLen limbs: rows [0,level] mod q_i, rest mod special
+}
+
+// Release returns the decomposition's buffers to the switcher's pool. The
+// decomposition must not be used afterwards. Safe to call on nil.
+func (ks *KeySwitcher) Release(d *Decomposition) {
+	if d == nil {
+		return
+	}
+	for _, g := range d.Groups {
+		ks.pool.Put(g)
+	}
+	d.Groups = nil
 }
 
 // tableFor returns the NTT table of logical row i of an extended polynomial
@@ -136,17 +175,24 @@ func (ks *KeySwitcher) modFor(level, i int) ring.Modulus {
 // splits the limbs into β groups of α and extends each group to the full
 // active basis. The group's own limbs are reused in NTT form; converted
 // limbs are transformed with one NTT each — the count the cost model and the
-// accelerator's NTTU schedule charge for ModUp.
+// accelerator's NTTU schedule charge for ModUp. The per-limb INTT/BConv/NTT
+// work is fanned out across the switcher's worker budget (the FAST
+// lane-parallel ModUp dataflow).
+//
+// The returned decomposition holds pooled buffers; Release it when done.
 func (ks *KeySwitcher) Decompose(c ring.Poly, level int) (*Decomposition, error) {
 	if c.Limbs() != level+1 {
 		return nil, fmt.Errorf("ckks: decompose input has %d limbs, want %d", c.Limbs(), level+1)
 	}
-	n := ks.params.N()
 	// One INTT per input limb to reach coefficient form for BConv.
-	cCoeff := c.Clone()
-	for i := 0; i <= level; i++ {
-		ks.keyRing.Tables[i].Inverse(cCoeff.Coeffs[i])
-	}
+	cCoeff := ks.pool.Get(level + 1)
+	defer ks.pool.Put(cCoeff)
+	ring.ForEachLimbRange(level+1, ks.parallelism, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(cCoeff.Coeffs[i], c.Coeffs[i])
+			ks.keyRing.Tables[i].Inverse(cCoeff.Coeffs[i])
+		}
+	})
 
 	beta := ks.beta(level)
 	ext := len(ks.sMods())
@@ -155,9 +201,10 @@ func (ks *KeySwitcher) Decompose(c ring.Poly, level int) (*Decomposition, error)
 		lo, hi := j*ks.alpha, min((j+1)*ks.alpha, level+1)
 		e, err := ks.extender(level, j)
 		if err != nil {
+			ks.Release(d)
 			return nil, err
 		}
-		out := ring.NewPoly(n, level+1+ext)
+		out := ks.pool.Get(level + 1 + ext)
 		// Source rows (coefficient form) for the conversion.
 		src := cCoeff.Coeffs[lo:hi]
 		// Destination rows: everything except the group's own rows.
@@ -173,31 +220,36 @@ func (ks *KeySwitcher) Decompose(c ring.Poly, level int) (*Decomposition, error)
 		e.Convert(src, dst)
 		// Converted rows go back to NTT form; own rows copy from the NTT
 		// input directly.
-		for i := 0; i <= level+ext; i++ {
-			if i >= lo && i < hi {
-				copy(out.Coeffs[i], c.Coeffs[i])
-				continue
+		ring.ForEachLimbRange(level+1+ext, ks.parallelism, func(rlo, rhi int) {
+			for i := rlo; i < rhi; i++ {
+				if i >= lo && i < hi {
+					copy(out.Coeffs[i], c.Coeffs[i])
+					continue
+				}
+				ks.tableFor(level, i).Forward(out.Coeffs[i])
 			}
-			ks.tableFor(level, i).Forward(out.Coeffs[i])
-		}
+		})
 		d.Groups[j] = out
 	}
 	return d, nil
 }
 
 // Automorph applies the Galois permutation (NTT-domain index table) to every
-// limb of the decomposition, returning a new decomposition. This is the
-// cheap per-rotation step of hoisting.
+// limb of the decomposition, returning a new decomposition drawn from the
+// pool (Release it when done). This is the cheap per-rotation step of
+// hoisting.
 func (ks *KeySwitcher) Automorph(d *Decomposition, index []int) *Decomposition {
 	out := &Decomposition{Level: d.Level, Groups: make([]ring.Poly, len(d.Groups))}
 	for j, g := range d.Groups {
-		og := ring.NewPoly(g.N(), g.Limbs())
-		for i := range g.Coeffs {
-			src, dsl := g.Coeffs[i], og.Coeffs[i]
-			for k := range dsl {
-				dsl[k] = src[index[k]]
+		og := ks.pool.Get(g.Limbs())
+		ring.ForEachLimbRange(g.Limbs(), ks.parallelism, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				src, dsl := g.Coeffs[i], og.Coeffs[i]
+				for k := range dsl {
+					dsl[k] = src[index[k]]
+				}
 			}
-		}
+		})
 		out.Groups[j] = og
 	}
 	return out
@@ -205,7 +257,9 @@ func (ks *KeySwitcher) Automorph(d *Decomposition, index []int) *Decomposition {
 
 // KeyMult runs the gadget inner product of a decomposition with a switching
 // key and the final ModDown, producing (d0, d1) over the active Q limbs in
-// NTT form such that d0 + d1*s ≈ c*sIn.
+// NTT form such that d0 + d1*s ≈ c*sIn. The accumulator rows are independent
+// lanes and are processed in parallel under the worker budget; the
+// accumulators themselves come from the scratch pool.
 func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (d0, d1 ring.Poly, err error) {
 	if key.Method != ks.method {
 		return d0, d1, fmt.Errorf("ckks: %v switcher given a %v key", ks.method, key.Method)
@@ -219,33 +273,37 @@ func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (
 	qLen := len(ks.params.qChain)
 	rows := level + 1 + ext
 
-	acc0 := ring.NewPoly(n, rows)
-	acc1 := ring.NewPoly(n, rows)
-	for j := 0; j < beta; j++ {
-		g := d.Groups[j]
-		for i := 0; i < rows; i++ {
+	acc0 := ks.pool.GetZero(rows)
+	acc1 := ks.pool.GetZero(rows)
+	defer ks.pool.Put(acc0)
+	defer ks.pool.Put(acc1)
+	// Row-major gadget inner product: each extended row i is an independent
+	// lane accumulating over the β groups, followed directly by the row's
+	// INTT (RecoverLimbs) — one fused parallel pass.
+	ring.ForEachLimbRange(rows, ks.parallelism, func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
 			m := ks.modFor(level, i)
 			keyRow := i
 			if i > level {
 				keyRow = qLen + (i - level - 1)
 			}
-			b, a := key.B[j].Coeffs[keyRow], key.A[j].Coeffs[keyRow]
-			gi := g.Coeffs[i]
 			a0, a1 := acc0.Coeffs[i], acc1.Coeffs[i]
-			for k := 0; k < n; k++ {
-				a0[k] = m.AddMod(a0[k], m.MulMod(gi[k], b[k]))
-				a1[k] = m.AddMod(a1[k], m.MulMod(gi[k], a[k]))
+			for j := 0; j < beta; j++ {
+				b, a := key.B[j].Coeffs[keyRow], key.A[j].Coeffs[keyRow]
+				gi := d.Groups[j].Coeffs[i]
+				for k := 0; k < n; k++ {
+					a0[k] = m.AddMod(a0[k], m.MulMod(gi[k], b[k]))
+					a1[k] = m.AddMod(a1[k], m.MulMod(gi[k], a[k]))
+				}
 			}
+			t := ks.tableFor(level, i)
+			t.Inverse(a0)
+			t.Inverse(a1)
 		}
-	}
+	})
 
-	// RecoverLimbs/ModDown: back to coefficient form, divide by the special
-	// chain, return to NTT form on the Q limbs.
-	for i := 0; i < rows; i++ {
-		t := ks.tableFor(level, i)
-		t.Inverse(acc0.Coeffs[i])
-		t.Inverse(acc1.Coeffs[i])
-	}
+	// ModDown: divide by the special chain, return to NTT form on the Q
+	// limbs.
 	dw, err := ks.downer(level)
 	if err != nil {
 		return d0, d1, err
@@ -254,18 +312,23 @@ func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (
 	d1 = ring.NewPoly(n, level+1)
 	dw.ModDown(acc0.Coeffs[:level+1], acc0.Coeffs[level+1:rows], d0.Coeffs)
 	dw.ModDown(acc1.Coeffs[:level+1], acc1.Coeffs[level+1:rows], d1.Coeffs)
-	for i := 0; i <= level; i++ {
-		ks.keyRing.Tables[i].Forward(d0.Coeffs[i])
-		ks.keyRing.Tables[i].Forward(d1.Coeffs[i])
-	}
+	ring.ForEachLimbRange(level+1, ks.parallelism, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ks.keyRing.Tables[i].Forward(d0.Coeffs[i])
+			ks.keyRing.Tables[i].Forward(d1.Coeffs[i])
+		}
+	})
 	return d0, d1, nil
 }
 
-// Switch is the one-shot path: Decompose followed by KeyMult.
+// Switch is the one-shot path: Decompose followed by KeyMult. All
+// intermediate buffers are pooled; only the returned (d0, d1) pair is
+// freshly allocated (it escapes into the output ciphertext).
 func (ks *KeySwitcher) Switch(c ring.Poly, key *SwitchingKey, level int) (d0, d1 ring.Poly, err error) {
 	d, err := ks.Decompose(c, level)
 	if err != nil {
 		return d0, d1, err
 	}
+	defer ks.Release(d)
 	return ks.KeyMult(d, key, level)
 }

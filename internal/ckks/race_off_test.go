@@ -1,0 +1,8 @@
+//go:build !race
+
+package ckks
+
+// raceEnabled reports whether the race detector is active. The allocation
+// assertion is skipped under -race: the race runtime instruments sync.Pool
+// and inflates AllocsPerRun, which would make the bound meaningless.
+const raceEnabled = false

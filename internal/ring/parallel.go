@@ -11,48 +11,98 @@ import (
 // deterministic.
 const parallelThreshold = 4
 
-// forEachLimb runs fn(i) for every limb index, in parallel when it pays off.
-func forEachLimb(limbs int, fn func(int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if limbs < parallelThreshold || workers < 2 {
-		for i := 0; i < limbs; i++ {
-			fn(i)
-		}
+// Workers normalises a parallelism request into a concrete worker count:
+//
+//	n <= 0  -> GOMAXPROCS (use every available core)
+//	n == 1  -> 1 (serial execution, no goroutines spawned)
+//	n >= 2  -> n
+//
+// This is the single interpretation of the "Parallelism" knob used by every
+// limb-parallel kernel in the repository (NTT, BConv, ModUp, ModDown,
+// KeyMult, Rescale).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEachLimbRange partitions [0, limbs) into at most `workers` contiguous
+// chunks and runs fn(lo, hi) for each chunk, in parallel when it pays off.
+// Unlike a one-channel-item-per-limb fan-out, chunking keeps per-goroutine
+// work coarse (one range per worker) so the scheduling overhead stays
+// negligible even for cheap per-limb bodies. workers follows the Workers
+// convention (<=0 means GOMAXPROCS, 1 means serial).
+//
+// fn must be safe to call concurrently on disjoint ranges; ranges never
+// overlap and together cover [0, limbs) exactly once.
+func ForEachLimbRange(limbs, workers int, fn func(lo, hi int)) {
+	if limbs <= 0 {
 		return
 	}
-	if workers > limbs {
-		workers = limbs
+	w := Workers(workers)
+	if w > limbs {
+		w = limbs
 	}
+	if w < 2 || limbs < parallelThreshold {
+		fn(0, limbs)
+		return
+	}
+	chunk := (limbs + w - 1) / w
 	var wg sync.WaitGroup
-	next := make(chan int, limbs)
-	for i := 0; i < limbs; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
+	for lo := 0; lo < limbs; lo += chunk {
+		hi := lo + chunk
+		if hi > limbs {
+			hi = limbs
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
 			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
+			fn(lo, hi)
+		}(lo, hi)
 	}
 	wg.Wait()
 }
 
+// ForEachLimb runs fn(i) for every limb index in [0, limbs), distributing
+// contiguous index ranges across up to `workers` goroutines.
+func ForEachLimb(limbs, workers int, fn func(i int)) {
+	ForEachLimbRange(limbs, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// forEachLimb is the legacy helper: fan out across all cores.
+func forEachLimb(limbs int, fn func(int)) {
+	ForEachLimb(limbs, -1, fn)
+}
+
 // NTTParallel is NTT with the per-limb transforms distributed across cores.
 func (r *Ring) NTTParallel(p Poly) {
-	r.checkShape(p)
-	forEachLimb(len(r.Moduli), func(i int) {
-		r.Tables[i].Forward(p.Coeffs[i])
-	})
+	r.NTTWorkers(p, -1)
 }
 
 // INTTParallel is INTT with the per-limb transforms distributed across cores.
 func (r *Ring) INTTParallel(p Poly) {
+	r.INTTWorkers(p, -1)
+}
+
+// NTTWorkers is NTT with the per-limb transforms distributed across up to
+// `workers` goroutines (Workers convention).
+func (r *Ring) NTTWorkers(p Poly, workers int) {
 	r.checkShape(p)
-	forEachLimb(len(r.Moduli), func(i int) {
+	ForEachLimb(len(r.Moduli), workers, func(i int) {
+		r.Tables[i].Forward(p.Coeffs[i])
+	})
+}
+
+// INTTWorkers is INTT with the per-limb transforms distributed across up to
+// `workers` goroutines (Workers convention).
+func (r *Ring) INTTWorkers(p Poly, workers int) {
+	r.checkShape(p)
+	ForEachLimb(len(r.Moduli), workers, func(i int) {
 		r.Tables[i].Inverse(p.Coeffs[i])
 	})
 }

@@ -1,0 +1,73 @@
+package ring
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PolyPool is a sync.Pool-backed reservoir of scratch polynomials of a fixed
+// maximal shape (degree n, up to maxLimbs RNS rows). The evaluator hot paths
+// (tensoring, key-switch ModUp/KeyMult accumulators, rescale staging) draw
+// their temporaries from a pool sized off the parameter set instead of
+// allocating fresh polynomials per operation — the Lattigo buffer-reuse idiom,
+// made safe for many concurrent goroutines by sync.Pool.
+//
+// Get hands out a view truncated to the requested limb count; Put recovers the
+// full backing through the slice capacity, so a truncated view can be returned
+// directly. Polynomials not allocated by a pool of the same shape are silently
+// dropped by Put (never corrupted, never double-pooled).
+type PolyPool struct {
+	n, maxLimbs int
+	pool        sync.Pool
+}
+
+// NewPolyPool creates a pool of polynomials with the given degree and maximal
+// limb count.
+func NewPolyPool(n, maxLimbs int) *PolyPool {
+	if n < 1 || maxLimbs < 1 {
+		panic(fmt.Sprintf("ring: invalid pool shape %dx%d", maxLimbs, n))
+	}
+	pp := &PolyPool{n: n, maxLimbs: maxLimbs}
+	pp.pool.New = func() any {
+		return NewPoly(n, maxLimbs).Coeffs
+	}
+	return pp
+}
+
+// N returns the polynomial degree of pooled buffers.
+func (pp *PolyPool) N() int { return pp.n }
+
+// MaxLimbs returns the maximal limb count of pooled buffers.
+func (pp *PolyPool) MaxLimbs() int { return pp.maxLimbs }
+
+// Get returns a polynomial with exactly `limbs` rows. The contents are
+// unspecified (callers that accumulate must use GetZero or overwrite every
+// coefficient). The returned Poly must be handed back with Put once dead.
+func (pp *PolyPool) Get(limbs int) Poly {
+	if limbs < 1 || limbs > pp.maxLimbs {
+		panic(fmt.Sprintf("ring: pool Get(%d) out of range [1,%d]", limbs, pp.maxLimbs))
+	}
+	c := pp.pool.Get().([][]uint64)
+	return Poly{Coeffs: c[:limbs]}
+}
+
+// GetZero returns a zeroed polynomial with exactly `limbs` rows.
+func (pp *PolyPool) GetZero(limbs int) Poly {
+	p := pp.Get(limbs)
+	p.Zero()
+	return p
+}
+
+// Put returns a polynomial obtained from Get back to the pool. Puts of
+// polynomials with a foreign shape are ignored, so callers can uniformly
+// release mixed scratch. p must not be used after Put.
+func (pp *PolyPool) Put(p Poly) {
+	if p.Coeffs == nil {
+		return
+	}
+	c := p.Coeffs[:cap(p.Coeffs)]
+	if len(c) != pp.maxLimbs || len(c[0]) != pp.n {
+		return // not one of ours; let the GC have it
+	}
+	pp.pool.Put(c)
+}

@@ -9,14 +9,44 @@
 // this codebase is designed for that contract (key-switching absorbs the
 // Q-multiple into the key gadget, ModDown removes it with the rounding
 // correction).
+//
+// Concurrency: Extender, ModDowner and Rescaler are immutable after
+// construction apart from an internal scratch pool, and are safe for
+// concurrent use from multiple goroutines. Their Workers field (read-only
+// after construction) fans the independent per-limb loops out across
+// goroutines following ring.Workers semantics — the lane-level parallelism
+// the FAST accelerator's BConvU array provides in hardware.
 package rns
 
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"github.com/fastfhe/fast/internal/ring"
 )
+
+// rowPool recycles [][]uint64 scratch matrices of a fixed shape.
+type rowPool struct {
+	rows, n int
+	pool    sync.Pool
+}
+
+func newRowPool(rows, n int) *rowPool {
+	rp := &rowPool{rows: rows, n: n}
+	rp.pool.New = func() any {
+		backing := make([]uint64, rows*n)
+		m := make([][]uint64, rows)
+		for i := range m {
+			m[i], backing = backing[:n:n], backing[n:]
+		}
+		return m
+	}
+	return rp
+}
+
+func (rp *rowPool) get() [][]uint64  { return rp.pool.Get().([][]uint64) }
+func (rp *rowPool) put(m [][]uint64) { rp.pool.Put(m) }
 
 // Extender converts RNS representations from a source basis Q = {q_i} to a
 // target basis P = {p_j}. The precomputations follow the standard CRT
@@ -24,9 +54,20 @@ import (
 type Extender struct {
 	From, To []ring.Modulus
 
-	qhatInv    []uint64   // (Q/q_i)^-1 mod q_i
-	qhatInvSho []uint64   // Shoup companions of qhatInv
-	qhatModP   [][]uint64 // [j][i] = (Q/q_i) mod p_j
+	// Workers caps the goroutine fan-out of Convert (ring.Workers
+	// convention; 1 = serial). Set once before first use.
+	Workers int
+
+	qhatInv     []uint64   // (Q/q_i)^-1 mod q_i
+	qhatInvSho  []uint64   // Shoup companions of qhatInv
+	qhatModP    [][]uint64 // [j][i] = (Q/q_i) mod p_j
+	qhatModPSho [][]uint64 // Shoup companions of qhatModP (per target limb)
+
+	scratch struct {
+		mu    sync.Mutex
+		n     int
+		pools *rowPool
+	}
 }
 
 // NewExtender precomputes the conversion tables from the `from` chain to the
@@ -42,7 +83,7 @@ func NewExtender(from, to []ring.Modulus) (*Extender, error) {
 			}
 		}
 	}
-	e := &Extender{From: from, To: to}
+	e := &Extender{From: from, To: to, Workers: 1}
 
 	Q := big.NewInt(1)
 	for _, m := range from {
@@ -59,52 +100,76 @@ func NewExtender(from, to []ring.Modulus) (*Extender, error) {
 		e.qhatInvSho[i] = m.ShoupPrecomp(e.qhatInv[i])
 	}
 	e.qhatModP = make([][]uint64, len(to))
+	e.qhatModPSho = make([][]uint64, len(to))
 	for j, mp := range to {
 		e.qhatModP[j] = make([]uint64, len(from))
+		e.qhatModPSho[j] = make([]uint64, len(from))
 		pj := new(big.Int).SetUint64(mp.Q)
 		for i := range from {
-			e.qhatModP[j][i] = new(big.Int).Mod(qhat[i], pj).Uint64()
+			w := new(big.Int).Mod(qhat[i], pj).Uint64()
+			e.qhatModP[j][i] = w
+			e.qhatModPSho[j][i] = mp.ShoupPrecomp(w)
 		}
 	}
 	return e, nil
 }
 
+// scratchRows returns a pooled len(From)-row scratch matrix for coefficient
+// count n, plus the pool to return it to.
+func (e *Extender) scratchRows(n int) ([][]uint64, *rowPool) {
+	e.scratch.mu.Lock()
+	if e.scratch.pools == nil || e.scratch.n != n {
+		e.scratch.pools = newRowPool(len(e.From), n)
+		e.scratch.n = n
+	}
+	rp := e.scratch.pools
+	e.scratch.mu.Unlock()
+	return rp.get(), rp
+}
+
 // Convert performs the approximate base conversion of src (one value per
 // source limb: src[i][k] is coefficient k mod q_i) into dst (dst[j][k] mod
-// p_j). src and dst must have matching coefficient counts. The scratch slice,
-// if non-nil, must have len(src) rows of the coefficient count and is used to
-// hold the scaled residues.
+// p_j). src and dst must have matching coefficient counts. Safe for
+// concurrent use; the per-limb work is fanned out across Workers goroutines.
 func (e *Extender) Convert(src, dst [][]uint64) {
 	if len(src) != len(e.From) || len(dst) != len(e.To) {
 		panic(fmt.Sprintf("rns: Convert limb mismatch: src %d/%d, dst %d/%d",
 			len(src), len(e.From), len(dst), len(e.To)))
 	}
 	n := len(src[0])
-	// t_i = x_i * (Q/q_i)^-1 mod q_i
-	t := make([][]uint64, len(src))
-	for i, m := range e.From {
-		t[i] = make([]uint64, n)
-		inv, invSho := e.qhatInv[i], e.qhatInvSho[i]
-		for k := 0; k < n; k++ {
-			t[i][k] = m.MulModShoup(src[i][k], inv, invSho)
-		}
-	}
-	// y_j = sum_i t_i * (Q/q_i) mod p_j  — this is the matrix product the
-	// accelerator's BConvU systolic array executes (limbs x base-table).
-	for j, mp := range e.To {
-		dj := dst[j]
-		for k := 0; k < n; k++ {
-			dj[k] = 0
-		}
-		for i := range e.From {
-			w := e.qhatModP[j][i]
-			wSho := mp.ShoupPrecomp(w)
-			ti := t[i]
+	// t_i = x_i * (Q/q_i)^-1 mod q_i — independent per source limb.
+	t, rp := e.scratchRows(n)
+	defer rp.put(t)
+	ring.ForEachLimbRange(len(e.From), e.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := e.From[i]
+			inv, invSho := e.qhatInv[i], e.qhatInvSho[i]
+			si, ti := src[i], t[i]
 			for k := 0; k < n; k++ {
-				dj[k] = mp.AddMod(dj[k], mp.MulModShoup(ti[k], w, wSho))
+				ti[k] = m.MulModShoup(si[k], inv, invSho)
 			}
 		}
-	}
+	})
+	// y_j = sum_i t_i * (Q/q_i) mod p_j  — this is the matrix product the
+	// accelerator's BConvU systolic array executes (limbs x base-table);
+	// each target limb j is an independent lane.
+	ring.ForEachLimbRange(len(e.To), e.Workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			mp := e.To[j]
+			dj := dst[j]
+			for k := 0; k < n; k++ {
+				dj[k] = 0
+			}
+			ws, wShos := e.qhatModP[j], e.qhatModPSho[j]
+			for i := range e.From {
+				w, wSho := ws[i], wShos[i]
+				ti := t[i]
+				for k := 0; k < n; k++ {
+					dj[k] = mp.AddMod(dj[k], mp.MulModShoup(ti[k], w, wSho))
+				}
+			}
+		}
+	})
 }
 
 // ModDowner removes an auxiliary modulus P from a value defined over Q*P:
@@ -112,8 +177,19 @@ func (e *Extender) Convert(src, dst [][]uint64) {
 type ModDowner struct {
 	Q, P []ring.Modulus
 
-	conv    *Extender // P -> Q
-	pInvMod []uint64  // P^-1 mod q_i
+	// Workers caps the goroutine fan-out (ring.Workers convention; 1 =
+	// serial). Set once before first use; propagated to the inner BConv.
+	Workers int
+
+	conv       *Extender // P -> Q
+	pInvMod    []uint64  // P^-1 mod q_i
+	pInvModSho []uint64  // Shoup companions
+
+	scratch struct {
+		mu    sync.Mutex
+		n     int
+		pools *rowPool
+	}
 }
 
 // NewModDowner precomputes the ModDown tables for main chain Q and auxiliary
@@ -123,65 +199,99 @@ func NewModDowner(q, p []ring.Modulus) (*ModDowner, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &ModDowner{Q: q, P: p, conv: conv}
+	d := &ModDowner{Q: q, P: p, Workers: 1, conv: conv}
 	Pprod := big.NewInt(1)
 	for _, m := range p {
 		Pprod.Mul(Pprod, new(big.Int).SetUint64(m.Q))
 	}
 	d.pInvMod = make([]uint64, len(q))
+	d.pInvModSho = make([]uint64, len(q))
 	for i, m := range q {
 		rem := new(big.Int).Mod(Pprod, new(big.Int).SetUint64(m.Q)).Uint64()
 		d.pInvMod[i] = m.InvMod(rem)
+		d.pInvModSho[i] = m.ShoupPrecomp(d.pInvMod[i])
 	}
 	return d, nil
 }
 
+// SetWorkers sets the fan-out on the downer and its inner converter. Call
+// before first use; not safe to race with ModDown.
+func (d *ModDowner) SetWorkers(w int) {
+	d.Workers = w
+	d.conv.Workers = w
+}
+
+func (d *ModDowner) scratchRows(n int) ([][]uint64, *rowPool) {
+	d.scratch.mu.Lock()
+	if d.scratch.pools == nil || d.scratch.n != n {
+		d.scratch.pools = newRowPool(len(d.Q), n)
+		d.scratch.n = n
+	}
+	rp := d.scratch.pools
+	d.scratch.mu.Unlock()
+	return rp.get(), rp
+}
+
 // ModDown computes out_i = (xQ_i - conv(xP)_i) * P^-1 mod q_i for each main
 // limb. xQ has len(Q) rows, xP len(P) rows, out len(Q) rows; all in
-// coefficient form.
+// coefficient form. Safe for concurrent use.
 func (d *ModDowner) ModDown(xQ, xP, out [][]uint64) {
 	if len(xQ) != len(d.Q) || len(xP) != len(d.P) || len(out) != len(d.Q) {
 		panic("rns: ModDown limb mismatch")
 	}
 	n := len(xQ[0])
-	tmp := make([][]uint64, len(d.Q))
-	for i := range tmp {
-		tmp[i] = make([]uint64, n)
-	}
+	tmp, rp := d.scratchRows(n)
+	defer rp.put(tmp)
 	d.conv.Convert(xP, tmp)
-	for i, m := range d.Q {
-		inv := d.pInvMod[i]
-		invSho := m.ShoupPrecomp(inv)
-		xi, ti, oi := xQ[i], tmp[i], out[i]
-		for k := 0; k < n; k++ {
-			oi[k] = m.MulModShoup(m.SubMod(xi[k], ti[k]), inv, invSho)
+	ring.ForEachLimbRange(len(d.Q), d.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := d.Q[i]
+			inv, invSho := d.pInvMod[i], d.pInvModSho[i]
+			xi, ti, oi := xQ[i], tmp[i], out[i]
+			for k := 0; k < n; k++ {
+				oi[k] = m.MulModShoup(m.SubMod(xi[k], ti[k]), inv, invSho)
+			}
 		}
-	}
+	})
 }
 
 // Rescaler divides a ciphertext polynomial by its top limb prime, the CKKS
 // rescale operation that keeps the scale bounded after multiplications.
 type Rescaler struct {
 	Moduli []ring.Modulus
+
+	// Workers caps the goroutine fan-out of Rescale (ring.Workers
+	// convention; 1 = serial). Set once before first use.
+	Workers int
+
 	// qlInv[level][i] = q_level^-1 mod q_i for i < level
-	qlInv [][]uint64
+	qlInv    [][]uint64
+	qlInvSho [][]uint64
 }
 
 // NewRescaler precomputes the per-level inverse tables for the given chain.
 func NewRescaler(moduli []ring.Modulus) *Rescaler {
-	r := &Rescaler{Moduli: moduli, qlInv: make([][]uint64, len(moduli))}
+	r := &Rescaler{
+		Moduli:   moduli,
+		Workers:  1,
+		qlInv:    make([][]uint64, len(moduli)),
+		qlInvSho: make([][]uint64, len(moduli)),
+	}
 	for l := 1; l < len(moduli); l++ {
 		r.qlInv[l] = make([]uint64, l)
+		r.qlInvSho[l] = make([]uint64, l)
 		ql := moduli[l].Q
 		for i := 0; i < l; i++ {
 			r.qlInv[l][i] = moduli[i].InvMod(ql % moduli[i].Q)
+			r.qlInvSho[l][i] = moduli[i].ShoupPrecomp(r.qlInv[l][i])
 		}
 	}
 	return r
 }
 
 // Rescale drops the last limb of x (level = len(x)-1) writing (x - x_l)/q_l
-// into out, which must have one fewer limb. Inputs in coefficient form.
+// into out, which must have one fewer limb. Inputs in coefficient form. Safe
+// for concurrent use.
 func (r *Rescaler) Rescale(x, out [][]uint64) {
 	l := len(x) - 1
 	if l < 1 || len(out) != l {
@@ -189,18 +299,19 @@ func (r *Rescaler) Rescale(x, out [][]uint64) {
 	}
 	n := len(x[0])
 	xl := x[l]
-	for i := 0; i < l; i++ {
-		m := r.Moduli[i]
-		inv := r.qlInv[l][i]
-		invSho := m.ShoupPrecomp(inv)
-		xi, oi := x[i], out[i]
-		for k := 0; k < n; k++ {
-			// Reduce the top-limb residue into q_i before subtracting;
-			// centering the residue halves the rounding error but the
-			// plain variant keeps the error below q_l which the CKKS
-			// scale absorbs.
-			v := xl[k] % m.Q
-			oi[k] = m.MulModShoup(m.SubMod(xi[k], v), inv, invSho)
+	ring.ForEachLimbRange(l, r.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := r.Moduli[i]
+			inv, invSho := r.qlInv[l][i], r.qlInvSho[l][i]
+			xi, oi := x[i], out[i]
+			for k := 0; k < n; k++ {
+				// Reduce the top-limb residue into q_i before subtracting;
+				// centering the residue halves the rounding error but the
+				// plain variant keeps the error below q_l which the CKKS
+				// scale absorbs.
+				v := xl[k] % m.Q
+				oi[k] = m.MulModShoup(m.SubMod(xi[k], v), inv, invSho)
+			}
 		}
-	}
+	})
 }
