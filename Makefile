@@ -32,14 +32,23 @@ bench:
 tables:
 	$(GO) run ./cmd/benchtables
 
+# Coverage with a per-function summary (writes cover.out next to the total).
 cover:
-	$(GO) test -short -cover ./...
+	$(GO) test -short -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 25
+	@echo "full per-function report: $(GO) tool cover -func=cover.out"
+	@echo "HTML report:              $(GO) tool cover -html=cover.out"
 
 fmt:
 	gofmt -w .
 
+# Static analysis: go vet plus a gofmt cleanliness check (fails listing any
+# file that gofmt would rewrite).
 vet:
 	$(GO) vet ./...
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
 clean:
 	$(GO) clean ./...
+	rm -f cover.out

@@ -6,19 +6,38 @@
 // Usage:
 //
 //	aether -workload bootstrap|helr256|helr1024|resnet20 [-config fast] [-o aether.json] [-mct]
+//	       [-http 127.0.0.1:9091]
+//
+// -http serves the planner's decision tallies as Prometheus text on /metrics
+// plus expvar (/debug/vars) and pprof (/debug/pprof) after the analysis,
+// blocking until interrupted.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 
 	"github.com/fastfhe/fast/internal/aether"
 	"github.com/fastfhe/fast/internal/arch"
 	"github.com/fastfhe/fast/internal/baselines"
 	"github.com/fastfhe/fast/internal/costmodel"
+	"github.com/fastfhe/fast/internal/obs"
 	"github.com/fastfhe/fast/internal/trace"
 	"github.com/fastfhe/fast/internal/workloads"
+)
+
+// Test hooks mirroring cmd/fastsim: httpStarted observes the bound address,
+// httpWait blocks until shutdown (interrupt by default).
+var (
+	httpStarted = func(net.Addr) {}
+	httpWait    = func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
 )
 
 func pickWorkload(name string) (*trace.Trace, error) {
@@ -53,6 +72,7 @@ func run() error {
 	config := flag.String("config", "fast", "target accelerator: fast, sharp, sharp-lm")
 	out := flag.String("o", "", "write the Aether configuration file here (default stdout)")
 	showMCT := flag.Bool("mct", false, "print the Methods Candidate Table")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address after the analysis (blocks until interrupted)")
 	flag.Parse()
 
 	tr, err := pickWorkload(*workload)
@@ -105,7 +125,26 @@ func run() error {
 		defer f.Close()
 		w = f
 	}
-	return plan.Save(w)
+	if err := plan.Save(w); err != nil {
+		return err
+	}
+
+	if *httpAddr != "" {
+		o := obs.New()
+		reg := o.Reg()
+		reg.Counter("aether.decision.hybrid").Add(uint64(hybrid))
+		reg.Counter("aether.decision.klss").Add(uint64(klss))
+		reg.Counter("aether.decision.hoisted").Add(uint64(hoisted))
+		addr, shutdown, err := o.Serve(*httpAddr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "aether: serving observability on http://%s (Ctrl-C to exit)\n", addr)
+		httpStarted(addr)
+		httpWait()
+	}
+	return nil
 }
 
 func main() {

@@ -20,8 +20,12 @@ import (
 	"github.com/fastfhe/fast/internal/tbm"
 )
 
+// observer accumulates metrics across every simulation of the run when
+// -obs-json is passed (nil otherwise: zero overhead).
+var observer *fast.Observer
+
 func simulate(w fast.Workload, a fast.Accelerator, m fast.PlanMode) *fast.Report {
-	r, err := fast.Simulate(w, a, m)
+	r, err := fast.SimulateObserved(w, a, m, observer)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtables:", err)
 		os.Exit(1)
@@ -225,7 +229,11 @@ func fig13() {
 
 func main() {
 	only := flag.String("only", "", "regenerate a single table/figure (e.g. table5, fig11)")
+	obsJSON := flag.String("obs-json", "", "write the accumulated metrics registry (dispatch counters, decision tallies, last-run gauges) as JSON to this file")
 	flag.Parse()
+	if *obsJSON != "" {
+		observer = fast.NewObserver()
+	}
 
 	all := []struct {
 		name string
@@ -247,5 +255,19 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "benchtables: unknown selector %q\n", *only)
 		os.Exit(1)
+	}
+	if *obsJSON != "" {
+		f, err := os.Create(*obsJSON)
+		if err == nil {
+			err = observer.WriteMetricsJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchtables: wrote metrics snapshot to %s\n", *obsJSON)
 	}
 }

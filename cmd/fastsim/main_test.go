@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -trace-out on the bootstrap workload must produce a valid Chrome
+// trace-event JSON file: a traceEvents array whose complete events carry the
+// required fields on the simulator's pid, plus metadata naming the tracks.
+func TestTraceOutWritesValidChromeTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.json")
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "bootstrap", "-trace-out", path}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit == "" {
+		t.Error("missing displayTimeUnit")
+	}
+	var spans, meta int
+	for i, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Name == "" || ev.TS < 0 || ev.Dur <= 0 {
+				t.Fatalf("event %d malformed: %+v", i, ev)
+			}
+		case "M":
+			meta++
+		case "i":
+		default:
+			t.Fatalf("event %d has unknown phase %q", i, ev.Ph)
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace has no complete spans")
+	}
+	if meta == 0 {
+		t.Fatal("trace has no metadata (process/thread names)")
+	}
+	if !strings.Contains(out.String(), "wrote Chrome trace") {
+		t.Errorf("run output missing trace confirmation:\n%s", out.String())
+	}
+}
+
+// -metrics-out must dump a registry snapshot with the simulator gauges.
+func TestMetricsOutWritesSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "resnet20", "-metrics-out", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters    map[string]uint64  `json:"counters"`
+		FloatGauges map[string]float64 `json:"float_gauges"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.FloatGauges["sim.cycles"] <= 0 {
+		t.Errorf("sim.cycles gauge = %g, want > 0", snap.FloatGauges["sim.cycles"])
+	}
+	if len(snap.Counters) == 0 {
+		t.Error("snapshot has no counters")
+	}
+}
+
+// -http must serve Prometheus text on /metrics and expvar JSON on
+// /debug/vars; the smoke test scrapes both in-process via the test hooks.
+func TestHTTPServesMetricsAndVars(t *testing.T) {
+	oldStarted, oldWait := httpStarted, httpWait
+	defer func() { httpStarted, httpWait = oldStarted, oldWait }()
+
+	var addr net.Addr
+	httpStarted = func(a net.Addr) { addr = a }
+	httpWait = func() {
+		if addr == nil {
+			t.Fatal("httpStarted not called before httpWait")
+		}
+		base := "http://" + addr.String()
+
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "# TYPE sim_cycles gauge") {
+			t.Errorf("/metrics missing sim_cycles gauge:\n%.400s", body)
+		}
+		if !strings.Contains(string(body), "hemera_pool_") {
+			t.Errorf("/metrics missing hemera pool counters:\n%.400s", body)
+		}
+
+		resp, err = http.Get(base + "/debug/vars")
+		if err != nil {
+			t.Fatalf("GET /debug/vars: %v", err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /debug/vars: status %d", resp.StatusCode)
+		}
+		var vars map[string]json.RawMessage
+		if err := json.Unmarshal(body, &vars); err != nil {
+			t.Fatalf("/debug/vars is not valid JSON: %v\n%.400s", err, body)
+		}
+		for _, key := range []string{"memstats", "fast"} {
+			if _, ok := vars[key]; !ok {
+				t.Errorf("/debug/vars missing %q key", key)
+			}
+		}
+
+		resp, err = http.Get(base + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatalf("GET /debug/pprof/cmdline: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET /debug/pprof/cmdline: status %d", resp.StatusCode)
+		}
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "bootstrap", "-http", "127.0.0.1:0"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// The plain CLI paths must keep working.
+func TestRunPlainAndSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "bootstrap", "-config", "sharp"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "workload") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-sweep", "clusters", "-workload", "resnet20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "name,clusters,") {
+		t.Errorf("sweep CSV header missing:\n%.200s", out.String())
+	}
+	if err := run([]string{"-workload", "nope"}, io.Discard); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+}

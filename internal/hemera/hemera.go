@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"github.com/fastfhe/fast/internal/aether"
+	"github.com/fastfhe/fast/internal/obs"
 )
 
 // BatchBytes is the transfer granularity: Hemera groups 256 consecutive
@@ -124,6 +125,11 @@ type Manager struct {
 	// level and key kind; we model it to expose the lookups.
 	addresses map[string]uint64
 	nextAddr  uint64
+
+	// Optional instruments (nil when unobserved): pool hit/miss traffic,
+	// prefetch-classified misses, batch and byte movement, resident bytes.
+	hits, misses, prefetched, batches, bytes *obs.Counter
+	resident                                 *obs.Gauge
 }
 
 // NewManager builds a manager with the given on-chip key capacity and the
@@ -136,6 +142,24 @@ func NewManager(capacityBytes int64, cfg *aether.ConfigFile) *Manager {
 		cfg:       cfg,
 		addresses: map[string]uint64{},
 	}
+}
+
+// SetObserver attaches observability instruments under the hemera.pool.*
+// namespace: key-request hits and misses, misses the prefetcher hid,
+// batch/byte transfer volume, and resident pool bytes. A nil observer
+// detaches; RequestKey then pays a single nil check.
+func (m *Manager) SetObserver(o *obs.Observer) {
+	if o == nil {
+		m.hits, m.misses, m.prefetched, m.batches, m.bytes, m.resident = nil, nil, nil, nil, nil, nil
+		return
+	}
+	reg := o.Reg()
+	m.hits = reg.Counter("hemera.pool.hits")
+	m.misses = reg.Counter("hemera.pool.misses")
+	m.prefetched = reg.Counter("hemera.pool.prefetched")
+	m.batches = reg.Counter("hemera.pool.batches")
+	m.bytes = reg.Counter("hemera.pool.transfer_bytes")
+	m.resident = reg.Gauge("hemera.pool.resident_bytes")
 }
 
 // Decision exposes the Aether verdict for an op index (monitor lookup).
@@ -173,6 +197,19 @@ func (m *Manager) RequestKey(keyID string, size int64, level int, d aether.Decis
 	if !tr.Hit {
 		tr.Bytes = size
 		tr.Batches = int((size + BatchBytes - 1) / BatchBytes)
+	}
+	if m.hits != nil {
+		if tr.Hit {
+			m.hits.Inc()
+		} else {
+			m.misses.Inc()
+			m.bytes.Add(uint64(tr.Bytes))
+			m.batches.Add(uint64(tr.Batches))
+			if tr.Prefetched {
+				m.prefetched.Inc()
+			}
+		}
+		m.resident.Set(m.pool.Used())
 	}
 	return tr
 }

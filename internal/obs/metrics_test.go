@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilInstrumentsAreNoOps pins the disabled-observability contract: every
+// method on nil receivers is callable and returns zero values.
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var fg *FloatGauge
+	fg.Set(1.5)
+	fg.Add(2.5)
+	if fg.Value() != 0 {
+		t.Fatal("nil float gauge value")
+	}
+	var h *Histogram
+	h.Observe(7)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram state")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.FloatGauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var o *Observer
+	if o.Reg() != nil || o.Tr() != nil {
+		t.Fatal("nil observer must expose nil channels")
+	}
+}
+
+// TestRegistryReturnsSameInstrument pins instrument identity: hot paths
+// resolve once and hold the pointer.
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter identity")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("histogram identity")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("gauge identity")
+	}
+	if r.FloatGauge("f") != r.FloatGauge("f") {
+		t.Fatal("float gauge identity")
+	}
+}
+
+// TestConcurrentMetricsHammer drives every instrument kind from 8 goroutines
+// (run under -race by `make race`): counter totals must be exact, histogram
+// bucket counts must sum to the observation count, and the sum must match
+// the arithmetic total.
+func TestConcurrentMetricsHammer(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 5000
+	)
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Mixed operations: shared counter, per-goroutine counter
+			// (registered concurrently), gauge add, float gauge add,
+			// histogram observations.
+			shared := r.Counter("hammer.shared")
+			own := r.Counter("hammer.own." + string(rune('a'+id)))
+			gauge := r.Gauge("hammer.gauge")
+			fgauge := r.FloatGauge("hammer.fgauge")
+			hist := r.Histogram("hammer.hist")
+			for i := 0; i < iters; i++ {
+				shared.Inc()
+				own.Add(2)
+				gauge.Add(1)
+				fgauge.Add(0.5)
+				hist.Observe(int64(i % 1000))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := r.Counter("hammer.shared").Value(); got != goroutines*iters {
+		t.Errorf("shared counter = %d, want %d", got, goroutines*iters)
+	}
+	for id := 0; id < goroutines; id++ {
+		if got := r.Counter("hammer.own." + string(rune('a'+id))).Value(); got != 2*iters {
+			t.Errorf("own counter %d = %d, want %d", id, got, 2*iters)
+		}
+	}
+	if got := r.Gauge("hammer.gauge").Value(); got != goroutines*iters {
+		t.Errorf("gauge = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.FloatGauge("hammer.fgauge").Value(); got != goroutines*iters/2 {
+		t.Errorf("float gauge = %g, want %d", got, goroutines*iters/2)
+	}
+	h := r.Histogram("hammer.hist")
+	if got := h.Count(); got != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+	// Per-goroutine sum of i%1000 over 5000 iterations: 5 full cycles of
+	// 0..999 = 5 * 999*1000/2.
+	wantSum := int64(goroutines) * 5 * 999 * 1000 / 2
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %d, want %d", got, wantSum)
+	}
+	// Bucket counts must sum to the total count.
+	snap := h.snapshot()
+	var bucketTotal uint64
+	for _, b := range snap.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != snap.Count {
+		t.Errorf("bucket counts sum to %d, count is %d", bucketTotal, snap.Count)
+	}
+}
+
+// TestHistogramBuckets pins the log2 bucketing: value v lands in the bucket
+// whose inclusive upper bound is the next 2^k-1 at or above v.
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, -5} {
+		h.Observe(v)
+	}
+	snap := h.snapshot()
+	want := map[uint64]uint64{
+		0:    2, // 0 and the clamped -5
+		1:    1, // 1
+		3:    2, // 2, 3
+		7:    2, // 4, 7
+		15:   1, // 8
+		1023: 1,
+		2047: 1, // 1024
+	}
+	got := map[uint64]uint64{}
+	for _, b := range snap.Buckets {
+		got[b.UpperBound] = b.Count
+	}
+	for ub, n := range want {
+		if got[ub] != n {
+			t.Errorf("bucket le=%d: got %d, want %d (all: %v)", ub, got[ub], n, got)
+		}
+	}
+	if snap.Count != 10 || snap.Sum != 0+1+2+3+4+7+8+1023+1024 {
+		t.Errorf("count/sum = %d/%d", snap.Count, snap.Sum)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("eval.op.mul-hybrid.count").Add(3)
+	r.Gauge("pool.bytes").Set(4096)
+	r.FloatGauge("sim.cycles").Set(123.5)
+	h := r.Histogram("op.latency_ns")
+	h.Observe(100)
+	h.Observe(200000)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE eval_op_mul_hybrid_count counter",
+		"eval_op_mul_hybrid_count 3",
+		"# TYPE pool_bytes gauge",
+		"pool_bytes 4096",
+		"sim_cycles 123.5",
+		"# TYPE op_latency_ns histogram",
+		`op_latency_ns_bucket{le="+Inf"} 2`,
+		"op_latency_ns_sum 200100",
+		"op_latency_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket ordering: the 127 bucket (holding 100) must report 1,
+	// the 262143 bucket (holding 200000) must report 2.
+	if !strings.Contains(out, `op_latency_ns_bucket{le="127"} 1`) {
+		t.Errorf("cumulative bucket for 100 wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `op_latency_ns_bucket{le="262143"} 2`) {
+		t.Errorf("cumulative bucket for 200000 wrong:\n%s", out)
+	}
+}
+
+func TestSnapshotMean(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(10)
+	h.Observe(30)
+	if m := h.snapshot().Mean(); m != 20 {
+		t.Fatalf("mean = %g, want 20", m)
+	}
+	if m := (HistogramSnapshot{}).Mean(); m != 0 {
+		t.Fatalf("empty mean = %g", m)
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the observer's HTTP surface:
+//
+//	/                  index listing the endpoints
+//	/metrics           Prometheus text exposition of the registry
+//	/debug/vars        expvar JSON (cmdline, memstats, plus the registry
+//	                   snapshot under the "fast" key)
+//	/snapshot.json     indented JSON snapshot of the registry
+//	/trace.json        Chrome trace-event JSON of the buffered spans
+//	/trace.txt         human-readable span summary
+//	/debug/pprof/...   net/http/pprof profiles (heap, goroutine, profile, ...)
+//
+// The handler is self-contained (no global DefaultServeMux registration), so
+// tests and multi-observer processes can mount several without collisions.
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, `<html><body><h1>fast observability</h1><ul>
+<li><a href="/metrics">/metrics</a> (Prometheus text)</li>
+<li><a href="/debug/vars">/debug/vars</a> (expvar)</li>
+<li><a href="/snapshot.json">/snapshot.json</a></li>
+<li><a href="/trace.json">/trace.json</a> (Chrome trace-event JSON)</li>
+<li><a href="/trace.txt">/trace.txt</a></li>
+<li><a href="/debug/pprof/">/debug/pprof/</a></li>
+</ul></body></html>`)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		// The expvar handler layout, with the registry snapshot appended:
+		// importing expvar published cmdline and memstats for us.
+		fmt.Fprintf(w, "{\n")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+		})
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		fmt.Fprintf(w, "%q: ", "fast")
+		_ = o.WriteSnapshot(w)
+		fmt.Fprintf(w, "\n}\n")
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = o.WriteSnapshot(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = o.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/trace.txt", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, o.Tr().Summary())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observer's HTTP surface on addr (":0" picks a free port)
+// in a background goroutine. It returns the bound address and a shutdown
+// function. Opt-in only: nothing in the repository serves unless a caller
+// (e.g. cmd/fastsim -http) asks.
+func (o *Observer) Serve(addr string) (bound net.Addr, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv.Close, nil
+}

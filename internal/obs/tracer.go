@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one structured trace event in the Chrome trace-event model
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// "X" complete events carry a start timestamp and duration, "i" instants a
+// timestamp only, "M" metadata events name processes/threads. Timestamps are
+// microseconds on the tracer's timebase.
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer is a bounded, race-safe event recorder. Events past the capacity
+// are dropped (never silently: the drop count is reported by Dropped and in
+// the export's summary). A nil *Tracer is a valid disabled tracer: every
+// method is a no-op and StartSpan returns an inert span, so instrumented
+// code needs no feature flag.
+//
+// The tracer favours simplicity over peak throughput: Emit takes a mutex.
+// One uncontended lock per recorded event (~20 ns) is noise against the
+// microsecond-to-millisecond spans this repository records (homomorphic ops,
+// key-switch phases, simulated kernels); the metrics registry, not the
+// tracer, is the instrument for per-limb-scale hot paths.
+type Tracer struct {
+	t0 time.Time
+
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped uint64
+}
+
+// NewTracer returns a tracer buffering up to capacity events
+// (capacity <= 0 selects a 64k-event default).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Tracer{t0: time.Now(), events: make([]Event, 0, capacity), cap: capacity}
+}
+
+// Enabled reports whether the tracer records events.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now returns the current timestamp on the tracer's timebase in microseconds.
+func (t *Tracer) Now() float64 {
+	if t == nil {
+		return 0
+	}
+	return float64(time.Since(t.t0)) / float64(time.Microsecond)
+}
+
+// Emit records one event verbatim (dropped when the buffer is full).
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) >= t.cap {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Complete records an "X" complete event with an explicit timebase — the
+// cycle simulator uses this to lay out synthetic (simulated-time) tracks.
+func (t *Tracer) Complete(name, cat string, pid, tid int, tsMicros, durMicros float64, args map[string]any) {
+	t.Emit(Event{Name: name, Cat: cat, Ph: "X", TS: tsMicros, Dur: durMicros, PID: pid, TID: tid, Args: args})
+}
+
+// CompleteSince records an "X" complete event for work that started at the
+// wall-clock time start and finishes now — the pattern instrumented code
+// uses when it measured start with a plain time.Now() guard instead of
+// carrying a Span.
+func (t *Tracer) CompleteSince(name, cat string, pid, tid int, start time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	end := time.Now()
+	ts := float64(start.Sub(t.t0)) / float64(time.Microsecond)
+	dur := float64(end.Sub(start)) / float64(time.Microsecond)
+	t.Emit(Event{Name: name, Cat: cat, Ph: "X", TS: ts, Dur: dur, PID: pid, TID: tid, Args: args})
+}
+
+// Instant records an "i" instant event at the current wall-clock timestamp.
+func (t *Tracer) Instant(name, cat string, pid, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Name: name, Cat: cat, Ph: "i", TS: t.Now(), PID: pid, TID: tid, Args: args})
+}
+
+// SetProcessName emits the metadata event naming a pid's track group.
+func (t *Tracer) SetProcessName(pid int, name string) {
+	t.Emit(Event{Name: "process_name", Ph: "M", PID: pid, Args: map[string]any{"name": name}})
+}
+
+// SetThreadName emits the metadata event naming a (pid, tid) track.
+func (t *Tracer) SetThreadName(pid, tid int, name string) {
+	t.Emit(Event{Name: "thread_name", Ph: "M", PID: pid, TID: tid, Args: map[string]any{"name": name}})
+}
+
+// Span is an in-flight wall-clock span started by StartSpan. The zero Span
+// (and any span from a nil tracer) is inert: End is a no-op.
+type Span struct {
+	tr       *Tracer
+	name     string
+	cat      string
+	pid, tid int
+	start    time.Time
+}
+
+// StartSpan opens a wall-clock span on track (pid, tid). Close it with End
+// or EndArgs. On a nil tracer this performs no work (not even a clock read).
+func (t *Tracer) StartSpan(name, cat string, pid, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, cat: cat, pid: pid, tid: tid, start: time.Now()}
+}
+
+// End closes the span, recording a complete event.
+func (s Span) End() { s.EndArgs(nil) }
+
+// EndArgs closes the span with attached arguments.
+func (s Span) EndArgs(args map[string]any) {
+	if s.tr == nil {
+		return
+	}
+	end := time.Now()
+	ts := float64(s.start.Sub(s.tr.t0)) / float64(time.Microsecond)
+	dur := float64(end.Sub(s.start)) / float64(time.Microsecond)
+	s.tr.Emit(Event{Name: s.name, Cat: s.cat, Ph: "X", TS: ts, Dur: dur, PID: s.pid, TID: s.tid, Args: args})
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns the number of events lost to the capacity bound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the buffered events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// chromeTraceFile is the JSON object format of the trace-event spec
+// (preferred over the bare array format because it carries metadata).
+type chromeTraceFile struct {
+	TraceEvents     []Event        `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+// WriteChromeTrace writes the buffered events as Chrome trace-event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev. Safe on nil
+// (writes an empty trace).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	file := chromeTraceFile{TraceEvents: t.Events(), DisplayTimeUnit: "ms"}
+	if d := t.Dropped(); d > 0 {
+		file.Metadata = map[string]any{"dropped_events": d}
+	}
+	if file.TraceEvents == nil {
+		file.TraceEvents = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// Summary returns a human-readable per-(cat, name) digest of the buffered
+// complete events: count, total and mean duration, sorted by total duration
+// descending. Safe on nil.
+func (t *Tracer) Summary() string {
+	type agg struct {
+		key   string
+		count int
+		total float64
+	}
+	byKey := map[string]*agg{}
+	for _, ev := range t.Events() {
+		if ev.Ph != "X" {
+			continue
+		}
+		key := ev.Cat + "/" + ev.Name
+		a, ok := byKey[key]
+		if !ok {
+			a = &agg{key: key}
+			byKey[key] = a
+		}
+		a.count++
+		a.total += ev.Dur
+	}
+	rows := make([]*agg, 0, len(byKey))
+	for _, a := range byKey {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		return rows[i].key < rows[j].key
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events buffered, %d dropped\n", t.Len(), t.Dropped())
+	for _, a := range rows {
+		fmt.Fprintf(&b, "  %-40s %8d spans  %12.1f us total  %10.2f us mean\n",
+			a.key, a.count, a.total, a.total/float64(a.count))
+	}
+	return b.String()
+}

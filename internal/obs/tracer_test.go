@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.StartSpan("x", "cat", 0, 0)
+	sp.End()
+	sp.EndArgs(map[string]any{"k": "v"})
+	tr.Emit(Event{Name: "e"})
+	tr.Complete("n", "c", 0, 0, 0, 1, nil)
+	tr.Instant("i", "c", 0, 0, nil)
+	tr.SetProcessName(0, "p")
+	tr.SetThreadName(0, 0, "t")
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer retained state")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("nil tracer export is not valid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) != 0 {
+		t.Fatal("nil tracer export has events")
+	}
+	if !strings.Contains(tr.Summary(), "0 events") {
+		t.Fatalf("nil summary: %q", tr.Summary())
+	}
+}
+
+// TestTracerOverflowReportsDrops pins the drop-on-overflow contract: a
+// tracer with capacity c keeps the first c events and counts the rest.
+func TestTracerOverflowReportsDrops(t *testing.T) {
+	const capacity = 16
+	tr := NewTracer(capacity)
+	for i := 0; i < 3*capacity; i++ {
+		tr.Complete("ev", "test", 0, 0, float64(i), 1, nil)
+	}
+	if got := tr.Len(); got != capacity {
+		t.Fatalf("len = %d, want %d", got, capacity)
+	}
+	if got := tr.Dropped(); got != 2*capacity {
+		t.Fatalf("dropped = %d, want %d", got, 2*capacity)
+	}
+	// The drop count must surface in the export metadata and the summary.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := decoded.Metadata["dropped_events"].(float64); !ok || d != 2*capacity {
+		t.Fatalf("export metadata dropped_events = %v", decoded.Metadata)
+	}
+	if !strings.Contains(tr.Summary(), "32 dropped") {
+		t.Fatalf("summary does not report drops: %q", tr.Summary())
+	}
+}
+
+// TestTracerConcurrentEmit hammers Emit and the read paths from 8 goroutines
+// (exercised under -race by `make race`): buffered + dropped must equal the
+// number of emitted events exactly.
+func TestTracerConcurrentEmit(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 1000
+		capacity   = 2048
+	)
+	tr := NewTracer(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if i%100 == 0 {
+					// Interleave readers with writers.
+					_ = tr.Len()
+					_ = tr.Events()
+				}
+				sp := tr.StartSpan("op", "hammer", 0, id)
+				sp.EndArgs(map[string]any{"i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := uint64(tr.Len()) + tr.Dropped()
+	if total != goroutines*perG {
+		t.Fatalf("buffered %d + dropped %d = %d, want %d",
+			tr.Len(), tr.Dropped(), total, goroutines*perG)
+	}
+	if tr.Len() != capacity {
+		t.Fatalf("buffer should be full: %d/%d", tr.Len(), capacity)
+	}
+}
+
+// TestChromeTraceSchema decodes an export and checks the trace-event schema
+// fields Chrome requires: every event has name/ph/ts/pid/tid, complete
+// events carry durations, metadata events carry name args.
+func TestChromeTraceSchema(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetProcessName(7, "simulated-accelerator")
+	tr.SetThreadName(7, 1, "NTTU")
+	tr.Complete("kernel", "sim", 7, 1, 10, 5, map[string]any{"op": "HMult"})
+	sp := tr.StartSpan("Mul", "eval", 1, 0)
+	time.Sleep(time.Millisecond)
+	sp.EndArgs(map[string]any{"method": "hybrid", "level": 3})
+	tr.Instant("marker", "eval", 1, 0, nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", decoded.DisplayTimeUnit)
+	}
+	if len(decoded.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5", len(decoded.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, ev := range decoded.TraceEvents {
+		for _, field := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Errorf("event %v missing %q", ev, field)
+			}
+		}
+		ph := ev["ph"].(string)
+		phases[ph]++
+		switch ph {
+		case "X":
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete event %v missing dur", ev)
+			}
+		case "M":
+			args, ok := ev["args"].(map[string]any)
+			if !ok || args["name"] == nil {
+				t.Errorf("metadata event %v missing args.name", ev)
+			}
+		}
+	}
+	if phases["X"] != 2 || phases["M"] != 2 || phases["i"] != 1 {
+		t.Errorf("phase histogram = %v", phases)
+	}
+	// The wall-clock span must have a plausible duration (>= 1 ms sleep).
+	for _, ev := range decoded.TraceEvents {
+		if ev["name"] == "Mul" {
+			if dur := ev["dur"].(float64); dur < 900 {
+				t.Errorf("span dur = %v us, want >= ~1000", dur)
+			}
+			args := ev["args"].(map[string]any)
+			if args["method"] != "hybrid" {
+				t.Errorf("span args = %v", args)
+			}
+		}
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Complete("a", "c", 0, 0, 0, 10, nil)
+	tr.Complete("a", "c", 0, 0, 10, 30, nil)
+	tr.Complete("b", "c", 0, 0, 40, 5, nil)
+	s := tr.Summary()
+	if !strings.Contains(s, "c/a") || !strings.Contains(s, "c/b") {
+		t.Fatalf("summary missing keys:\n%s", s)
+	}
+	// c/a has the larger total and must come first.
+	if strings.Index(s, "c/a") > strings.Index(s, "c/b") {
+		t.Fatalf("summary not sorted by total duration:\n%s", s)
+	}
+}

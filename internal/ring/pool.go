@@ -3,6 +3,8 @@ package ring
 import (
 	"fmt"
 	"sync"
+
+	"github.com/fastfhe/fast/internal/obs"
 )
 
 // PolyPool is a sync.Pool-backed reservoir of scratch polynomials of a fixed
@@ -19,6 +21,12 @@ import (
 type PolyPool struct {
 	n, maxLimbs int
 	pool        sync.Pool
+
+	// Optional instruments (see Instrument). Nil instruments are no-ops, so
+	// the uninstrumented hot-path cost is a nil check per Get.
+	gets       *obs.Counter
+	misses     *obs.Counter
+	allocBytes *obs.Gauge
 }
 
 // NewPolyPool creates a pool of polynomials with the given degree and maximal
@@ -29,9 +37,27 @@ func NewPolyPool(n, maxLimbs int) *PolyPool {
 	}
 	pp := &PolyPool{n: n, maxLimbs: maxLimbs}
 	pp.pool.New = func() any {
+		pp.misses.Inc()
+		pp.allocBytes.Add(int64(n) * int64(maxLimbs) * 8)
 		return NewPoly(n, maxLimbs).Coeffs
 	}
 	return pp
+}
+
+// Instrument attaches observability instruments to the pool:
+//
+//	gets    counts every Get/GetZero (a pool hit is gets - misses);
+//	misses  counts Gets that had to allocate a fresh backing buffer;
+//	alloc   accumulates the bytes of those fresh backings — the pool's
+//	        steady-state footprint once the workload's concurrency peak has
+//	        been seen (sync.Pool may later release buffers to the GC; the
+//	        gauge tracks cumulative allocation, the interesting signal for
+//	        sizing).
+//
+// Any (or all) instruments may be nil. Call before the pool is shared across
+// goroutines (construction time).
+func (pp *PolyPool) Instrument(gets, misses *obs.Counter, alloc *obs.Gauge) {
+	pp.gets, pp.misses, pp.allocBytes = gets, misses, alloc
 }
 
 // N returns the polynomial degree of pooled buffers.
@@ -47,6 +73,7 @@ func (pp *PolyPool) Get(limbs int) Poly {
 	if limbs < 1 || limbs > pp.maxLimbs {
 		panic(fmt.Sprintf("ring: pool Get(%d) out of range [1,%d]", limbs, pp.maxLimbs))
 	}
+	pp.gets.Inc()
 	c := pp.pool.Get().([][]uint64)
 	return Poly{Coeffs: c[:limbs]}
 }

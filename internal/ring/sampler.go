@@ -3,6 +3,8 @@ package ring
 import (
 	"math"
 	"math/rand"
+
+	"github.com/fastfhe/fast/internal/obs"
 )
 
 // Sampler draws the random polynomials the scheme needs: uniform masks,
@@ -10,8 +12,18 @@ import (
 // seed, which is what the accelerator's on-chip evaluation-key generator
 // (EKG, §5.7.2 of the paper) exploits: only the seed of the "a" part of each
 // key must be stored, the polynomial itself is re-expanded on the fly.
+//
+// A Sampler is NOT safe for concurrent use (the underlying generator is one
+// sequential stream); callers that share one — the Encryptor does — must
+// serialise the draw. The draw-only methods (TernarySigned, GaussianSigned)
+// exist so that callers can hold a lock across exactly the stream
+// consumption and do the per-limb reduction (SetSigned) outside it.
 type Sampler struct {
 	rng *rand.Rand
+
+	// draws counts the random polynomials drawn (uniform, ternary and
+	// gaussian alike). Nil when uninstrumented; see Instrument.
+	draws *obs.Counter
 }
 
 // NewSampler returns a sampler seeded deterministically.
@@ -19,9 +31,14 @@ func NewSampler(seed int64) *Sampler {
 	return &Sampler{rng: rand.New(rand.NewSource(seed))}
 }
 
+// Instrument attaches a counter of polynomial draws (nil detaches). The
+// counter does not perturb the random stream.
+func (s *Sampler) Instrument(draws *obs.Counter) { s.draws = draws }
+
 // UniformPoly fills p with independent uniform values modulo each limb.
 func (s *Sampler) UniformPoly(r *Ring, p Poly) {
 	r.checkShape(p)
+	s.draws.Inc()
 	for i, m := range r.Moduli {
 		ci := p.Coeffs[i]
 		for j := range ci {
@@ -31,17 +48,28 @@ func (s *Sampler) UniformPoly(r *Ring, p Poly) {
 	}
 }
 
+// TernarySigned draws the signed coefficient vector of a ternary polynomial
+// (each coefficient in {-1,0,1}, nonzero with probability 2/3) without
+// touching any Poly. It consumes exactly the random stream TernaryPoly
+// consumes, so splitting a draw from its reduction preserves the stream
+// bit-for-bit.
+func (s *Sampler) TernarySigned(n int) []int64 {
+	s.draws.Inc()
+	signed := make([]int64, n)
+	for j := range signed {
+		signed[j] = int64(s.rng.Intn(3)) - 1
+	}
+	return signed
+}
+
 // TernaryPoly fills p with a ternary polynomial (coefficients in {-1,0,1},
 // each nonzero with probability 2/3), identical across limbs. Returns the
 // signed coefficients for callers that need them (key generation stores the
 // secret this way).
 func (s *Sampler) TernaryPoly(r *Ring, p Poly) []int64 {
 	r.checkShape(p)
-	signed := make([]int64, r.N)
-	for j := range signed {
-		signed[j] = int64(s.rng.Intn(3)) - 1
-	}
-	setSigned(r, signed, p)
+	signed := s.TernarySigned(r.N)
+	SetSigned(r, signed, p)
 	return signed
 }
 
@@ -51,6 +79,7 @@ func (s *Sampler) TernaryPoly(r *Ring, p Poly) []int64 {
 // K of EvalMod. Returns the signed coefficients.
 func (s *Sampler) TernaryHWTPoly(r *Ring, h int, p Poly) []int64 {
 	r.checkShape(p)
+	s.draws.Inc()
 	if h > r.N {
 		h = r.N
 	}
@@ -63,15 +92,16 @@ func (s *Sampler) TernaryHWTPoly(r *Ring, h int, p Poly) []int64 {
 			signed[perm[i]] = -1
 		}
 	}
-	setSigned(r, signed, p)
+	SetSigned(r, signed, p)
 	return signed
 }
 
-// GaussianPoly fills p with discrete-Gaussian noise of standard deviation
-// sigma truncated at 6 sigma, identical across limbs.
-func (s *Sampler) GaussianPoly(r *Ring, sigma float64, p Poly) {
-	r.checkShape(p)
-	signed := make([]int64, r.N)
+// GaussianSigned draws the signed coefficient vector of a discrete-Gaussian
+// polynomial of standard deviation sigma truncated at 6 sigma, consuming
+// exactly the random stream GaussianPoly consumes (see TernarySigned).
+func (s *Sampler) GaussianSigned(n int, sigma float64) []int64 {
+	s.draws.Inc()
+	signed := make([]int64, n)
 	bound := 6 * sigma
 	for j := range signed {
 		for {
@@ -82,11 +112,20 @@ func (s *Sampler) GaussianPoly(r *Ring, sigma float64, p Poly) {
 			}
 		}
 	}
-	setSigned(r, signed, p)
+	return signed
 }
 
-// setSigned reduces small signed coefficients into every limb of p.
-func setSigned(r *Ring, signed []int64, p Poly) {
+// GaussianPoly fills p with discrete-Gaussian noise of standard deviation
+// sigma truncated at 6 sigma, identical across limbs.
+func (s *Sampler) GaussianPoly(r *Ring, sigma float64, p Poly) {
+	r.checkShape(p)
+	SetSigned(r, s.GaussianSigned(r.N, sigma), p)
+}
+
+// SetSigned reduces small signed coefficients into every limb of p. It is
+// pure computation on its arguments (no sampler state), so callers holding a
+// sampler lock for a draw can run it after releasing the lock.
+func SetSigned(r *Ring, signed []int64, p Poly) {
 	for i, m := range r.Moduli {
 		ci := p.Coeffs[i]
 		for j, v := range signed {

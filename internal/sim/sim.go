@@ -22,6 +22,7 @@ import (
 	"github.com/fastfhe/fast/internal/arch"
 	"github.com/fastfhe/fast/internal/costmodel"
 	"github.com/fastfhe/fast/internal/hemera"
+	"github.com/fastfhe/fast/internal/obs"
 	"github.com/fastfhe/fast/internal/trace"
 )
 
@@ -95,6 +96,10 @@ type Simulator struct {
 	params costmodel.Params
 	cfg    arch.Config
 	plan   *aether.ConfigFile
+
+	// o is the optional observability substrate (see SetObserver); nil
+	// disables metric publication and synthetic-trace emission.
+	o *obs.Observer
 }
 
 // New builds a simulator. plan may be nil (every key-switch defaults to
@@ -190,6 +195,14 @@ func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
 	hem := hemera.NewManager(int64(s.cfg.ReservedEvkMB*(1<<20)), s.plan)
 	hem.DisablePrefetch = s.cfg.DisablePrefetch
 
+	var otr *obs.Tracer
+	if s.o != nil {
+		hem.SetObserver(s.o)
+		if otr = s.o.Tr(); otr != nil {
+			s.traceSetup(otr)
+		}
+	}
+
 	computeCy := 0.0
 	for idx, op := range tr.Ops {
 		w := s.classify(idx, op)
@@ -242,6 +255,13 @@ func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
 				transfer += float64(t.Bytes) / s.cfg.BytesPerCycle()
 			}
 		}
+		if otr != nil {
+			s.traceOp(otr, idx, op, w, computeCy, compute, transfer,
+				map[arch.Component]float64{
+					arch.NTTU: tNTT, arch.BConvU: tBC, arch.KMU: tKM,
+					arch.AEM: tOth, arch.AutoU: tAuto,
+				})
+		}
 		res.TransferCy += transfer
 		computeCy += compute
 		if transfer > 0 && !prefetchedOp {
@@ -270,6 +290,9 @@ func (s *Simulator) Run(tr *trace.Trace) (*Result, error) {
 	res.Cycles += res.StallCy
 	res.TimeMS = res.Cycles / (s.cfg.ClockGHz * 1e6)
 	s.energy(res)
+	if s.o != nil {
+		s.publish(tr, res)
+	}
 	return res, nil
 }
 

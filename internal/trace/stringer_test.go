@@ -1,0 +1,27 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every OpKind must carry a real name: the numeric fallback leaking into
+// metric names or trace labels would silently fork the instrument vocabulary
+// shared between the functional evaluator and the simulator.
+func TestOpKindStringExhaustive(t *testing.T) {
+	seen := map[string]OpKind{}
+	for k := OpKind(0); k < numOpKinds; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "OpKind(") {
+			t.Errorf("OpKind %d has no name (got fallback %q)", int(k), s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("OpKind %d and %d share the name %q", int(prev), int(k), s)
+		}
+		seen[s] = k
+	}
+	// The fallback must still fire for out-of-range values.
+	if s := numOpKinds.String(); !strings.HasPrefix(s, "OpKind(") {
+		t.Errorf("sentinel stringified as %q, want fallback", s)
+	}
+}

@@ -36,6 +36,11 @@ const (
 	// ModRaise lifts an exhausted ciphertext back to the top of the chain
 	// (the first bootstrapping step).
 	ModRaise
+
+	// numOpKinds is the sentinel bounding the enum; keep it last so the
+	// exhaustiveness tests (and any table sized by op kind) stay in sync
+	// when kinds are added.
+	numOpKinds
 )
 
 func (k OpKind) String() string {

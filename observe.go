@@ -1,0 +1,82 @@
+package fast
+
+import (
+	"io"
+	"net"
+	"net/http"
+
+	"github.com/fastfhe/fast/internal/obs"
+)
+
+// Observer is the public handle on the observability substrate: a lock-cheap
+// metrics registry plus (optionally) a structured span tracer with Chrome
+// trace-event export. One Observer can be shared by any number of Contexts
+// and simulations — instruments are named, so everything lands in one
+// registry and one trace timeline.
+//
+// A nil *Observer is valid everywhere it is accepted and disables all
+// instrumentation at a single-pointer-check cost.
+type Observer struct {
+	o *obs.Observer
+}
+
+// NewObserver returns an observer with a metrics registry and no tracer
+// (per-op spans are skipped; counters and histograms still accumulate).
+func NewObserver() *Observer { return &Observer{o: obs.New()} }
+
+// NewTracingObserver returns an observer that additionally records spans into
+// a bounded in-memory buffer (capacity events, <= 0 selects the 64k default;
+// overflow drops events and reports the drop count in the export).
+func NewTracingObserver(capacity int) *Observer {
+	return &Observer{o: obs.NewTracing(capacity)}
+}
+
+// internal unwraps the observer for the internal layers (nil-safe).
+func (ob *Observer) internal() *obs.Observer {
+	if ob == nil {
+		return nil
+	}
+	return ob.o
+}
+
+// MetricsSnapshot is a point-in-time copy of every registered instrument.
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramSnapshot is the snapshot of one log2-bucket histogram.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// Metrics returns a snapshot of the observer's registry (empty on nil).
+func (ob *Observer) Metrics() *MetricsSnapshot { return ob.internal().Snapshot() }
+
+// WriteMetricsJSON writes the metrics snapshot as indented JSON.
+func (ob *Observer) WriteMetricsJSON(w io.Writer) error {
+	return ob.internal().WriteSnapshot(w)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format.
+func (ob *Observer) WritePrometheus(w io.Writer) error {
+	return ob.internal().WritePrometheus(w)
+}
+
+// WriteChromeTrace writes the buffered spans as Chrome trace-event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev. On a non-tracing
+// observer the trace is empty.
+func (ob *Observer) WriteChromeTrace(w io.Writer) error {
+	return ob.internal().WriteChromeTrace(w)
+}
+
+// TraceSummary returns a human-readable per-(category, name) digest of the
+// buffered spans.
+func (ob *Observer) TraceSummary() string { return ob.internal().Tr().Summary() }
+
+// Handler returns the observer's HTTP surface: Prometheus text on /metrics,
+// expvar on /debug/vars, pprof under /debug/pprof/, the JSON metrics snapshot
+// on /snapshot.json and the Chrome trace on /trace.json.
+func (ob *Observer) Handler() http.Handler { return ob.internal().Handler() }
+
+// Serve starts an HTTP server for Handler on addr (e.g. ":9090" or
+// "127.0.0.1:0"). It returns the bound address and a shutdown function.
+func (ob *Observer) Serve(addr string) (net.Addr, func() error, error) {
+	return ob.internal().Serve(addr)
+}

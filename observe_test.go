@@ -1,0 +1,149 @@
+package fast
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// An observed context must account every operation in its registry and lay
+// wall-clock spans on the trace.
+func TestWithObserverAccountsOperations(t *testing.T) {
+	ob := NewTracingObserver(0)
+	ctx, err := NewContext(DefaultConfig(), WithObserver(ob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]complex128, ctx.Slots())
+	for i := range vals {
+		vals[i] = complex(float64(i%7)/8, 0)
+	}
+	a, err := ctx.Encrypt(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Encrypt(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Add(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Mul(a, b); err != nil { // MulRelin + Rescale
+		t.Fatal(err)
+	}
+	if _, err := ctx.Mul(a, b, WithMethod(KLSS)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Rotate(a, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := ctx.Metrics()
+	wantCounters := map[string]uint64{
+		"ckks.encrypt.count":         2,
+		"ckks.op.HAdd.count":         1,
+		"ckks.op.HMult.hybrid.count": 1,
+		"ckks.op.HMult.klss.count":   1,
+		"ckks.op.HRot.hybrid.count":  1,
+		"ckks.op.Rescale.count":      2,
+	}
+	for name, want := range wantCounters {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if snap.Counters["ckks.sampler.draws"] == 0 {
+		t.Error("sampler draws not accounted")
+	}
+	if h, ok := snap.Histograms["ckks.op.HMult.hybrid.latency_ns"]; !ok || h.Count != 1 || h.Sum <= 0 {
+		t.Errorf("HMult latency histogram = %+v, want one positive observation", h)
+	}
+	if h, ok := snap.Histograms["ckks.keyswitch.hybrid.modup_ns"]; !ok || h.Count == 0 {
+		t.Errorf("key-switch ModUp phase histogram missing: %+v", h)
+	}
+
+	// The trace must decode as Chrome trace-event JSON with eval spans.
+	var buf bytes.Buffer
+	if err := ob.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans < 5 {
+		t.Errorf("trace has %d complete spans, want >= 5", spans)
+	}
+}
+
+// An unobserved context must return an empty (but non-nil) snapshot.
+func TestMetricsUnobserved(t *testing.T) {
+	ctx, err := NewContext(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ctx.Metrics()
+	if snap == nil {
+		t.Fatal("nil snapshot from unobserved context")
+	}
+	if len(snap.Counters) != 0 {
+		t.Errorf("unobserved snapshot has counters: %v", snap.Counters)
+	}
+	if ctx.Observer() != nil {
+		t.Error("Observer() non-nil on unobserved context")
+	}
+}
+
+// SimulateObserved must publish the simulator's result and serve it over the
+// observer's HTTP surface.
+func TestSimulateObservedPublishesAndServes(t *testing.T) {
+	ob := NewTracingObserver(0)
+	rep, err := SimulateObserved(BootstrapWorkload(), FASTAccelerator(), PlanAuto, ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ob.Metrics()
+	if got := snap.FloatGauges["sim.cycles"]; got != rep.Cycles {
+		t.Errorf("sim.cycles = %g, want %g", got, rep.Cycles)
+	}
+	if snap.Counters["aether.decision.hybrid"]+snap.Counters["aether.decision.klss"] == 0 {
+		t.Error("no Aether decision tallies")
+	}
+
+	addr, shutdown, err := ob.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	for _, path := range []string{"/metrics", "/debug/vars", "/trace.json"} {
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+			continue
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "sim_cycles") {
+			t.Errorf("/metrics missing sim_cycles:\n%.400s", body)
+		}
+	}
+}

@@ -17,6 +17,7 @@ type Option func(*contextSettings)
 type contextSettings struct {
 	cfg           *ContextConfig
 	defaultMethod Method
+	observer      *Observer
 }
 
 // WithParallelism caps the number of worker goroutines each homomorphic
@@ -41,6 +42,19 @@ func WithParallelism(n int) Option {
 // not pass an explicit WithMethod option. The default default is Hybrid.
 func WithDefaultMethod(m Method) Option {
 	return func(s *contextSettings) { s.defaultMethod = m }
+}
+
+// WithObserver attaches an observability substrate to the context: every
+// homomorphic operation updates per-op counters and latency histograms
+// (split by key-switching backend), the key switchers record their
+// ModUp/KeyMult/ModDown phase timings, the scratch pools report hit/miss
+// traffic, and — when the observer was built with NewTracingObserver — each
+// operation emits a wall-clock span into the Chrome trace. A nil observer
+// (the default) disables everything at a single-pointer-check cost per
+// operation. Read results with Context.Metrics or the Observer's
+// Write*/Handler surface.
+func WithObserver(ob *Observer) Option {
+	return func(s *contextSettings) { s.observer = ob }
 }
 
 // WithRotations replaces the set of rotation amounts Galois keys are

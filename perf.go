@@ -137,6 +137,17 @@ type Report struct {
 
 // Simulate plans and executes a workload on an accelerator.
 func Simulate(w Workload, acc Accelerator, mode PlanMode) (*Report, error) {
+	return SimulateObserved(w, acc, mode, nil)
+}
+
+// SimulateObserved is Simulate with an observability substrate attached: the
+// run publishes its Result into the observer's registry (cycles, stalls,
+// per-component busy time, per-OpKind dispatch counts, Aether decision
+// tallies, Hemera pool traffic) and — when the observer carries a tracer —
+// lays every operation on a synthetic simulated-time Chrome-trace timeline
+// with one track per hardware component. A nil observer makes it identical
+// to Simulate.
+func SimulateObserved(w Workload, acc Accelerator, mode PlanMode, ob *Observer) (*Report, error) {
 	params := costmodel.SetII()
 	cfg := acc.cfg
 	klss, hoist := cfg.EnableKLSS, cfg.EnableHoisting
@@ -158,6 +169,9 @@ func Simulate(w Workload, acc Accelerator, mode PlanMode) (*Report, error) {
 	s, err := sim.New(params, cfg, plan)
 	if err != nil {
 		return nil, err
+	}
+	if ob != nil {
+		s.SetObserver(ob.internal())
 	}
 	res, err := s.Run(w.tr)
 	if err != nil {
