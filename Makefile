@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short race bench tables cover fmt vet clean
+.PHONY: all check build test test-short race bench bench-json benchdiff tables cover fmt vet clean
 
 all: build test
 
@@ -27,6 +27,26 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Benchmark trajectory recording: run the hot-path kernel benchmarks (NTT,
+# BConv/Convert, Mul, Rotate) plus the paper's Fig./Table benchmarks and write
+# the results as JSON so kernel performance is tracked in-repo. Compare two
+# recordings with `go run ./scripts/benchdiff OLD.json NEW.json`.
+BENCH_PATTERN ?= NTT|Convert|Mul|Rotate|ModDown|Rescale|Fig|Table
+BENCH_TIME ?= 0.5s
+BENCH_JSON ?= BENCH_kernels.json
+
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem ./... > .bench.out || (cat .bench.out; rm -f .bench.out; exit 1)
+	$(GO) run ./scripts/benchjson < .bench.out > $(BENCH_JSON)
+	@rm -f .bench.out
+	@echo "wrote $(BENCH_JSON)"
+
+# Re-run the kernel benchmarks and diff against the checked-in baseline.
+benchdiff:
+	$(MAKE) bench-json BENCH_JSON=.bench_new.json
+	$(GO) run ./scripts/benchdiff BENCH_kernels.json .bench_new.json
+	@rm -f .bench_new.json
 
 # Regenerate every table and figure of the paper's evaluation.
 tables:

@@ -44,3 +44,78 @@ func TestKeySwitchAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestRotateAllocs pins the steady-state allocation count of the rotation
+// path (automorphism + key-switch). On top of the pooled scratch this also
+// guards the memoized Galois index tables: before the cache, every Rotate
+// re-allocated an N-entry permutation table, which would blow well past the
+// budget here.
+func TestRotateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime instruments sync.Pool and inflates AllocsPerRun")
+	}
+	tc := newTestContext(t)
+	values := randomValues(tc.params.Slots(), 78)
+	pt, _ := tc.enc.Encode(values)
+	ct, err := tc.encr.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, method := range []KeySwitchMethod{Hybrid, KLSS} {
+		for i := 0; i < 3; i++ {
+			if _, err := tc.eval.RotateWith(ct, 1, method); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := tc.eval.RotateWith(ct, 1, method); err != nil {
+				t.Fatal(err)
+			}
+		})
+		const maxAllocs = 64
+		t.Logf("Rotate %v: %.0f allocs/op", method, allocs)
+		if allocs > maxAllocs {
+			t.Errorf("Rotate %v allocates %.0f times per op, want <= %d (pooling or galois-cache regression?)",
+				method, allocs, maxAllocs)
+		}
+	}
+}
+
+// TestRotateHoistedAllocs pins the allocation count of a hoisted rotation
+// batch: one shared decomposition plus per-rotation key-mults. The budget is
+// per batch of three rotations (three escaping ciphertexts and the result
+// map), so it sits above the single-rotation budget but still fails loudly if
+// the decomposition scratch or the index tables stop being pooled/cached.
+func TestRotateHoistedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime instruments sync.Pool and inflates AllocsPerRun")
+	}
+	tc := newTestContext(t)
+	values := randomValues(tc.params.Slots(), 79)
+	pt, _ := tc.enc.Encode(values)
+	ct, err := tc.encr.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rots := []int{1, 2, 4}
+	for _, method := range []KeySwitchMethod{Hybrid, KLSS} {
+		for i := 0; i < 3; i++ {
+			if _, err := tc.eval.RotateHoistedWith(ct, rots, method); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := tc.eval.RotateHoistedWith(ct, rots, method); err != nil {
+				t.Fatal(err)
+			}
+		})
+		const maxAllocs = 160
+		t.Logf("RotateHoisted %v (%d rots): %.0f allocs/op", method, len(rots), allocs)
+		if allocs > maxAllocs {
+			t.Errorf("RotateHoisted %v allocates %.0f times per op, want <= %d (pooling or galois-cache regression?)",
+				method, allocs, maxAllocs)
+		}
+	}
+}

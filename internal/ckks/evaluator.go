@@ -428,7 +428,7 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64, m KeySwitchMetho
 	}
 	level := ct.Level
 	rq := ev.params.ringQ.AtLevel(level)
-	idx := ring.AutomorphismNTTIndex(ev.params.N(), ev.params.LogN(), galEl)
+	idx := ev.params.GaloisIndex(galEl)
 
 	// Switch φ(c1) under the rotated key, then add φ(c0).
 	c1Rot := ev.pool.Get(level + 1)
@@ -480,7 +480,7 @@ func (ev *Evaluator) RotateHoistedWith(ct *Ciphertext, rotations []int, m KeySwi
 		if err != nil {
 			return nil, err
 		}
-		idx := ring.AutomorphismNTTIndex(ev.params.N(), ev.params.LogN(), galEl)
+		idx := ev.params.GaloisIndex(galEl)
 		rotDec := sw.Automorph(dec, idx)
 		d0, d1, err := sw.KeyMult(rotDec, key, level)
 		sw.Release(rotDec)

@@ -1,0 +1,63 @@
+package ckks
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/fastfhe/fast/internal/ring"
+)
+
+// galoisCache memoizes the NTT permutation index tables of Galois
+// automorphisms, keyed by Galois element. Computing a table walks all N
+// coefficients (ring.AutomorphismNTTIndex), which previously ran on every
+// Rotate / RotateHoisted / GenGaloisKey call; a workload that rotates by the
+// same amounts repeatedly (e.g. the baby-step/giant-step linear transforms)
+// paid it thousands of times. The cache is shared by the evaluator and the
+// key generator through Parameters, so a rotation key generated for galEl
+// warms the table its evaluation will use.
+//
+// The cache is concurrency-safe (sync.Map) and append-only: tables are
+// immutable once stored, so callers may hold the returned slice without
+// copying but must never mutate it.
+type galoisCache struct {
+	n    int
+	logN int
+	m    sync.Map // galEl uint64 -> []int
+
+	// computes counts actual AutomorphismNTTIndex invocations (cache
+	// misses). Tests assert it stays flat across repeated rotations.
+	computes atomic.Int64
+}
+
+func newGaloisCache(n, logN int) *galoisCache {
+	return &galoisCache{n: n, logN: logN}
+}
+
+// Index returns the (shared, read-only) NTT automorphism index table for
+// galEl, computing and caching it on first use.
+func (c *galoisCache) Index(galEl uint64) []int {
+	if v, ok := c.m.Load(galEl); ok {
+		return v.([]int)
+	}
+	c.computes.Add(1)
+	idx := ring.AutomorphismNTTIndex(c.n, c.logN, galEl)
+	// LoadOrStore so concurrent first computations converge on one table.
+	v, _ := c.m.LoadOrStore(galEl, idx)
+	return v.([]int)
+}
+
+// Computes reports how many tables have actually been computed (misses);
+// repeated lookups of a cached element do not increase it.
+func (c *galoisCache) Computes() int64 { return c.computes.Load() }
+
+// GaloisIndex exposes the memoized automorphism index table for galEl.
+// The returned slice is shared and must not be modified.
+func (p *Parameters) GaloisIndex(galEl uint64) []int {
+	return p.galois.Index(galEl)
+}
+
+// GaloisIndexComputes reports the number of distinct Galois index tables
+// computed so far (i.e. cache misses). Intended for tests and diagnostics.
+func (p *Parameters) GaloisIndexComputes() int64 {
+	return p.galois.Computes()
+}

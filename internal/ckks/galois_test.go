@@ -1,0 +1,106 @@
+package ckks
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/fastfhe/fast/internal/ring"
+)
+
+// TestGaloisIndexCacheZeroRecompute pins the memoization contract: the
+// automorphism index table for a Galois element is computed exactly once per
+// parameter set, no matter how many rotations (direct or hoisted) or key
+// generations touch it afterwards.
+func TestGaloisIndexCacheZeroRecompute(t *testing.T) {
+	params, err := TestParameters()
+	if err != nil {
+		t.Fatalf("TestParameters: %v", err)
+	}
+	kgen := NewKeyGenerator(params)
+	sk := kgen.GenSecretKey()
+	keys, err := kgen.GenEvaluationKeySet(sk, []KeySwitchMethod{Hybrid}, []int{1, 2}, false)
+	if err != nil {
+		t.Fatalf("GenEvaluationKeySet: %v", err)
+	}
+	// Key generation for rotations {1, 2} computes exactly two tables.
+	afterKeygen := params.GaloisIndexComputes()
+	if afterKeygen != 2 {
+		t.Fatalf("computes after keygen = %d, want 2", afterKeygen)
+	}
+
+	eval, err := NewEvaluator(params, keys)
+	if err != nil {
+		t.Fatalf("NewEvaluator: %v", err)
+	}
+	enc := NewEncoder(params)
+	encr := NewEncryptor(params, kgen.GenPublicKey(sk))
+	values := randomValues(params.Slots(), 42)
+	pt, _ := enc.Encode(values)
+	ct, err := encr.Encrypt(pt)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+
+	// Repeated rotations by the same amounts must not recompute anything:
+	// the keygen pass already warmed the shared cache.
+	for i := 0; i < 5; i++ {
+		if _, err := eval.Rotate(ct, 1); err != nil {
+			t.Fatalf("Rotate: %v", err)
+		}
+		if _, err := eval.RotateHoisted(ct, []int{1, 2}); err != nil {
+			t.Fatalf("RotateHoisted: %v", err)
+		}
+	}
+	if got := params.GaloisIndexComputes(); got != afterKeygen {
+		t.Fatalf("computes after 5x rotations = %d, want %d (zero recomputation)", got, afterKeygen)
+	}
+
+	// The evaluator and keygen observe the very same table object.
+	galEl := ring.GaloisElementForRotation(params.LogN(), 1)
+	idx1 := params.GaloisIndex(galEl)
+	idx2 := params.GaloisIndex(galEl)
+	if &idx1[0] != &idx2[0] {
+		t.Fatal("GaloisIndex returned distinct tables for the same element")
+	}
+	if len(idx1) != params.N() {
+		t.Fatalf("index table length %d, want N=%d", len(idx1), params.N())
+	}
+}
+
+// TestGaloisIndexCacheConcurrent checks the cache under concurrent first
+// access: many goroutines racing on a cold element must converge on a single
+// stored table, and lookups must stay safe alongside insertions.
+func TestGaloisIndexCacheConcurrent(t *testing.T) {
+	params, err := TestParameters()
+	if err != nil {
+		t.Fatalf("TestParameters: %v", err)
+	}
+	galEl := ring.GaloisElementForRotation(params.LogN(), 7)
+	const workers = 8
+	tables := make([][]int, workers)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start.Wait()
+			tables[w] = params.GaloisIndex(galEl)
+		}(w)
+	}
+	start.Done()
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if &tables[w][0] != &tables[0][0] {
+			t.Fatal("concurrent first access yielded distinct tables")
+		}
+	}
+	// The reference computation matches the cached table.
+	want := ring.AutomorphismNTTIndex(params.N(), params.LogN(), galEl)
+	for i := range want {
+		if tables[0][i] != want[i] {
+			t.Fatalf("cached table diverges from reference at %d", i)
+		}
+	}
+}

@@ -242,7 +242,7 @@ func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, galEl uint64, method KeySwit
 	if err != nil {
 		return nil, err
 	}
-	idx := ring.AutomorphismNTTIndex(kg.params.N(), kg.params.LogN(), galEl)
+	idx := kg.params.GaloisIndex(galEl)
 	sRot := kr.NewPoly()
 	kr.AutomorphismNTT(sk.skFor(method), sRot, idx)
 	return kg.genSwitchingKey(sk, sRot, method)

@@ -2,6 +2,7 @@ package ckks
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -220,13 +221,16 @@ func (ks *KeySwitcher) Decompose(c ring.Poly, level int) (*Decomposition, error)
 	if ks.modUpNS != nil {
 		t0 = time.Now()
 	}
-	// One INTT per input limb to reach coefficient form for BConv.
+	// One INTT per input limb to reach coefficient form for BConv. The lazy
+	// variant leaves rows in [0, 2q), which Convert's first stage tolerates
+	// (its Shoup multiply is exact for any 64-bit operand), saving the final
+	// normalization pass per limb.
 	cCoeff := ks.pool.Get(level + 1)
 	defer ks.pool.Put(cCoeff)
 	ring.ForEachLimbRange(level+1, ks.parallelism, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			copy(cCoeff.Coeffs[i], c.Coeffs[i])
-			ks.keyRing.Tables[i].Inverse(cCoeff.Coeffs[i])
+			ks.keyRing.Tables[i].InverseLazy(cCoeff.Coeffs[i])
 		}
 	})
 
@@ -299,6 +303,14 @@ func (ks *KeySwitcher) Automorph(d *Decomposition, index []int) *Decomposition {
 // NTT form such that d0 + d1*s ≈ c*sIn. The accumulator rows are independent
 // lanes and are processed in parallel under the worker budget; the
 // accumulators themselves come from the scratch pool.
+//
+// The β-digit inner product is a fused lazy multiply-accumulate: per row each
+// coefficient gathers Σ_j g_j*k_j as a 128-bit (hi, lo) pair — one widening
+// multiply and one carry chain per digit — and is reduced with a single
+// Barrett step after the last digit, instead of β AddMod(MulMod(...))
+// round-trips with a hardware division each. The row's lazy INTT
+// (RecoverLimbs) follows directly, leaving the rows in [0, 2q) for the
+// lazy-tolerant ModDown — one fused parallel pass per lane.
 func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (d0, d1 ring.Poly, err error) {
 	if key.Method != ks.method {
 		return d0, d1, fmt.Errorf("ckks: %v switcher given a %v key", ks.method, key.Method)
@@ -316,14 +328,16 @@ func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (
 	qLen := len(ks.params.qChain)
 	rows := level + 1 + ext
 
-	acc0 := ks.pool.GetZero(rows)
-	acc1 := ks.pool.GetZero(rows)
+	acc0 := ks.pool.Get(rows)
+	acc1 := ks.pool.Get(rows)
 	defer ks.pool.Put(acc0)
 	defer ks.pool.Put(acc1)
-	// Row-major gadget inner product: each extended row i is an independent
-	// lane accumulating over the β groups, followed directly by the row's
-	// INTT (RecoverLimbs) — one fused parallel pass.
 	ring.ForEachLimbRange(rows, ks.parallelism, func(rlo, rhi int) {
+		// Two pooled rows per worker hold the high words of the (hi, lo)
+		// accumulator pairs; acc0/acc1 rows hold the low words in place.
+		scratch := ks.pool.Get(2)
+		defer ks.pool.Put(scratch)
+		hi0, hi1 := scratch.Coeffs[0], scratch.Coeffs[1]
 		for i := rlo; i < rhi; i++ {
 			m := ks.modFor(level, i)
 			keyRow := i
@@ -331,17 +345,49 @@ func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (
 				keyRow = qLen + (i - level - 1)
 			}
 			a0, a1 := acc0.Coeffs[i], acc1.Coeffs[i]
+			capTerms := m.AccumCapacity() // >= 8 even at the 61-bit cap
+			terms := 0
 			for j := 0; j < beta; j++ {
 				b, a := key.B[j].Coeffs[keyRow], key.A[j].Coeffs[keyRow]
 				gi := d.Groups[j].Coeffs[i]
-				for k := 0; k < n; k++ {
-					a0[k] = m.AddMod(a0[k], m.MulMod(gi[k], b[k]))
-					a1[k] = m.AddMod(a1[k], m.MulMod(gi[k], a[k]))
+				if j == 0 {
+					// First digit initializes the accumulators.
+					for k := 0; k < n; k++ {
+						h, lo := bits.Mul64(gi[k], b[k])
+						a0[k], hi0[k] = lo, h
+						h, lo = bits.Mul64(gi[k], a[k])
+						a1[k], hi1[k] = lo, h
+					}
+					terms = 1
+					continue
 				}
+				if terms == capTerms {
+					// Fold: only reachable for β > 8 digits over 61-bit
+					// special limbs; ciphertext limbs never fold.
+					for k := 0; k < n; k++ {
+						a0[k], hi0[k] = m.Reduce(hi0[k], a0[k]), 0
+						a1[k], hi1[k] = m.Reduce(hi1[k], a1[k]), 0
+					}
+					terms = 1
+				}
+				for k := 0; k < n; k++ {
+					h, lo := bits.Mul64(gi[k], b[k])
+					var c uint64
+					a0[k], c = bits.Add64(a0[k], lo, 0)
+					hi0[k] += h + c
+					h, lo = bits.Mul64(gi[k], a[k])
+					a1[k], c = bits.Add64(a1[k], lo, 0)
+					hi1[k] += h + c
+				}
+				terms++
+			}
+			for k := 0; k < n; k++ {
+				a0[k] = m.Reduce(hi0[k], a0[k])
+				a1[k] = m.Reduce(hi1[k], a1[k])
 			}
 			t := ks.tableFor(level, i)
-			t.Inverse(a0)
-			t.Inverse(a1)
+			t.InverseLazy(a0)
+			t.InverseLazy(a1)
 		}
 	})
 

@@ -83,6 +83,11 @@ type Parameters struct {
 	ringT  *ring.Ring // over the KLSS auxiliary chain (nil if disabled)
 	ringQP *ring.Ring // over Q ++ P (keys of the hybrid backend)
 	ringQT *ring.Ring // over Q ++ T (keys of the KLSS backend)
+
+	// galois memoizes automorphism NTT index tables per Galois element,
+	// shared by every evaluator and key generator built on this parameter
+	// set (see galois.go).
+	galois *galoisCache
 }
 
 // NewParameters validates and compiles a parameter literal: it generates the
@@ -123,6 +128,7 @@ func NewParameters(lit ParametersLiteral) (*Parameters, error) {
 		seed:     lit.Seed,
 		secretHW: lit.SecretHammingWeight,
 	}
+	p.galois = newGaloisCache(1<<uint(lit.LogN), lit.LogN)
 
 	// Generate all chains at once per bit size so no prime repeats.
 	gen := newPrimeAllocator(lit.LogN)

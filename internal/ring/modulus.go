@@ -15,8 +15,20 @@ import (
 )
 
 // MaxModulusBits is the largest supported modulus width. The bound comes from
-// the lazy-reduction headroom used by the NTT butterflies (values are kept in
-// [0, 2q) between stages, so 2q must fit in 64 bits with margin).
+// the lazy-reduction headroom used by the Harvey NTT butterflies: the forward
+// transform keeps coefficients in [0, 4q) between stages and the inverse in
+// [0, 2q), so 4q (and every intermediate like u + 2q - v) must fit in 64 bits
+// with margin. With q < 2^61 the largest lazy intermediate is < 2^63.
+//
+// Bounds invariant at each kernel boundary (see DESIGN.md "Reduction
+// strategy" for the full table):
+//
+//	NTTTable.Forward      in [0,2q) -> out [0,q)   (internally [0,4q))
+//	NTTTable.Inverse      in [0,2q) -> out [0,q)   (internally [0,2q))
+//	NTTTable.InverseLazy  in [0,2q) -> out [0,2q)
+//	Extender.Convert      src [0,2q) -> dst [0,q)
+//	ModDowner.ModDown     xQ/xP [0,2q) -> out [0,q)
+//	Rescaler.Rescale      x [0,2q) -> out [0,q)
 const MaxModulusBits = 61
 
 // Modulus bundles a prime q with the precomputed constants required for fast
@@ -53,8 +65,10 @@ func barrettConstant(q uint64) [2]uint64 {
 }
 
 // Reduce returns x mod q for a full 128-bit value x = hi*2^64 + lo using the
-// Barrett constant. Requires hi < q (always true for products of two values
-// < q when q < 2^63).
+// Barrett constant. Requires x < q*2^64 (equivalently hi < q), which holds for
+// a single product of two values < q and, more generally, for a 128-bit
+// accumulator of up to AccumCapacity products of values < q — the contract
+// the HPS-style accumulating BConv and the fused KeyMult kernels rely on.
 func (m Modulus) Reduce(hi, lo uint64) uint64 {
 	if hi == 0 && lo < m.Q {
 		return lo
@@ -89,6 +103,38 @@ func (m Modulus) Reduce(hi, lo uint64) uint64 {
 		r -= m.Q
 	}
 	return r
+}
+
+// ReduceWord returns x mod q for a single 64-bit x of arbitrary magnitude
+// using a one-word Barrett step (quotient estimate from the high word of the
+// Barrett constant, off by at most 2). This replaces the hardware division of
+// `x % q` in kernels that fold a foreign-limb residue, e.g. the rescale
+// subtraction path.
+func (m Modulus) ReduceWord(x uint64) uint64 {
+	if x < m.Q {
+		return x
+	}
+	t, _ := bits.Mul64(x, m.brc[0])
+	r := x - t*m.Q
+	for r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// AccumCapacity returns the number of products of operands < q that a 128-bit
+// accumulator can sum while staying < q*2^64, i.e. while remaining reducible
+// by Reduce in one Barrett step: floor((2^64-1)/q) terms of at most (q-1)^2
+// each. For the 61-bit cap this is at least 8; for the 36-bit ciphertext
+// primes it is astronomically large, so inner products over the Q chain never
+// need intermediate folding.
+func (m Modulus) AccumCapacity() int {
+	c := ^uint64(0) / m.Q
+	const maxInt = int(^uint(0) >> 1)
+	if c > uint64(maxInt) {
+		return maxInt
+	}
+	return int(c)
 }
 
 // MulMod returns a*b mod q using exact 128-bit division. It is the
@@ -152,8 +198,11 @@ func (m Modulus) ShoupPrecomp(w uint64) uint64 {
 }
 
 // MulModShoup returns x*w mod q given w's Shoup companion wShoup. The result
-// is fully reduced. This is the fast path for NTT butterflies where w is a
-// precomputed twiddle factor.
+// is fully reduced, and — crucially for lazy-reduction pipelines — the
+// identity holds for ANY 64-bit x, not just x < q: the quotient estimate
+// floor(x*wShoup/2^64) is off by at most 1, so a single conditional
+// subtraction suffices. Kernels therefore feed values in [0, 2q) or [0, 4q)
+// straight into a Shoup multiply to re-enter the fully-reduced domain.
 func (m Modulus) MulModShoup(x, w, wShoup uint64) uint64 {
 	t, _ := bits.Mul64(x, wShoup) // quotient estimate floor(x*w/q) or that minus 1
 	r := x*w - t*m.Q
@@ -161,4 +210,13 @@ func (m Modulus) MulModShoup(x, w, wShoup uint64) uint64 {
 		r -= m.Q
 	}
 	return r
+}
+
+// MulModShoupLazy is MulModShoup without the final conditional subtraction:
+// the result is in [0, 2q) and congruent to x*w mod q, for any 64-bit x and
+// w < q. This is the Harvey lazy butterfly multiply: one high-mul, two
+// low-muls, zero branches.
+func (m Modulus) MulModShoupLazy(x, w, wShoup uint64) uint64 {
+	t, _ := bits.Mul64(x, wShoup)
+	return x*w - t*m.Q
 }

@@ -5,8 +5,15 @@ import "fmt"
 // NTTTable holds the precomputed twiddle factors for the negacyclic NTT of
 // degree N over one prime modulus. Twiddles are powers of a primitive 2N-th
 // root of unity ψ, stored in bit-reversed order together with their Shoup
-// companions so every butterfly costs one multiplication-high plus one
-// multiplication-low.
+// companions so every butterfly costs one multiplication-high plus two
+// multiplication-lows and no division.
+//
+// Both transforms use Harvey lazy-reduction butterflies: the forward
+// (Cooley–Tukey) pass keeps coefficients in [0, 4q) across stages with a
+// single conditional fold per butterfly, the inverse (Gentleman–Sande) pass
+// keeps them in [0, 2q), and only the final stage normalizes to [0, q). The
+// 61-bit modulus cap (MaxModulusBits) guarantees every lazy intermediate,
+// including u + 2q - v, stays below 2^63.
 type NTTTable struct {
 	Mod  Modulus
 	N    int
@@ -16,6 +23,11 @@ type NTTTable struct {
 	psiInv  uint64 // psi^-1 mod q
 	nInv    uint64 // N^-1 mod q
 	nInvSho uint64
+
+	// wLastInv = rootsInv[1] * nInv mod q: the last Gentleman–Sande stage has
+	// a single twiddle, so the 1/N scaling is folded into it (and applied via
+	// nInv on the sum outputs), saving a full normalization pass.
+	wLastInv, wLastInvSho uint64
 
 	// rootsFwd[brv(i)] = ψ^i for the Cooley–Tukey forward pass,
 	// rootsInv[brv(i)] = ψ^{-i} for the Gentleman–Sande inverse pass.
@@ -64,6 +76,10 @@ func NewNTTTable(mod Modulus, logN int) (*NTTTable, error) {
 		fw = mod.MulMod(fw, psi)
 		iv = mod.MulMod(iv, t.psiInv)
 	}
+	if n > 1 {
+		t.wLastInv = mod.MulMod(t.rootsInv[1], t.nInv)
+		t.wLastInvSho = mod.ShoupPrecomp(t.wLastInv)
+	}
 	return t, nil
 }
 
@@ -77,51 +93,164 @@ func bitReverse(v uint64, bits int) uint64 {
 	return r
 }
 
-// Forward transforms a (coefficient representation, length N, values < q)
-// into the NTT evaluation representation, in place. The output ordering is
-// the standard bit-reversed NTT ordering used consistently across this
-// package.
+// Forward transforms a (coefficient representation, length N) into the NTT
+// evaluation representation, in place, using Harvey lazy Cooley–Tukey
+// butterflies. Inputs may be in [0, 2q) (fully reduced inputs are the common
+// case); outputs are fully reduced in [0, q). Internally coefficients travel
+// in [0, 4q): each butterfly folds its even-leg input once (u >= 2q → u-2q),
+// lazily multiplies the odd leg into [0, 2q), and emits u+v and u+2q-v. The
+// first stage skips the fold (inputs are < 2q by contract) and the last stage
+// fuses the final normalization, so no separate reduction pass runs. The
+// output ordering is the standard bit-reversed NTT ordering used consistently
+// across this package.
 func (t *NTTTable) Forward(a []uint64) {
 	mod := t.Mod
+	q := mod.Q
+	twoQ := q << 1
 	n := t.N
-	step := n
-	for m := 1; m < n; m <<= 1 {
-		step >>= 1
-		for i := 0; i < m; i++ {
-			w := t.rootsFwd[m+i]
-			ws := t.rootsFwdSho[m+i]
-			j1 := 2 * i * step
-			for j := j1; j < j1+step; j++ {
-				u := a[j]
-				v := mod.MulModShoup(a[j+step], w, ws)
-				a[j] = mod.AddMod(u, v)
-				a[j+step] = mod.SubMod(u, v)
+	if n == 1 {
+		if a[0] >= twoQ {
+			a[0] -= twoQ
+		}
+		if a[0] >= q {
+			a[0] -= q
+		}
+		return
+	}
+	step := n >> 1
+	if n > 2 {
+		// First stage (m=1), specialized: inputs < 2q, no fold needed.
+		w, ws := t.rootsFwd[1], t.rootsFwdSho[1]
+		for j := 0; j < step; j++ {
+			u := a[j]
+			v := mod.MulModShoupLazy(a[j+step], w, ws)
+			a[j] = u + v
+			a[j+step] = u + twoQ - v
+		}
+		// Middle stages: coefficients in [0, 4q), one fold per butterfly.
+		for m := 2; m < n>>1; m <<= 1 {
+			step >>= 1
+			for i := 0; i < m; i++ {
+				w, ws := t.rootsFwd[m+i], t.rootsFwdSho[m+i]
+				j1 := 2 * i * step
+				for j := j1; j < j1+step; j++ {
+					u := a[j]
+					if u >= twoQ {
+						u -= twoQ
+					}
+					v := mod.MulModShoupLazy(a[j+step], w, ws)
+					a[j] = u + v
+					a[j+step] = u + twoQ - v
+				}
 			}
 		}
+	}
+	// Last stage (m = n/2, step = 1), specialized: fuse the [0,4q) → [0,q)
+	// normalization of both butterfly legs.
+	m := n >> 1
+	for i := 0; i < m; i++ {
+		w, ws := t.rootsFwd[m+i], t.rootsFwdSho[m+i]
+		j := 2 * i
+		u := a[j]
+		if u >= twoQ {
+			u -= twoQ
+		}
+		v := mod.MulModShoupLazy(a[j+1], w, ws)
+		x := u + v
+		y := u + twoQ - v
+		if x >= twoQ {
+			x -= twoQ
+		}
+		if x >= q {
+			x -= q
+		}
+		if y >= twoQ {
+			y -= twoQ
+		}
+		if y >= q {
+			y -= q
+		}
+		a[j] = x
+		a[j+1] = y
 	}
 }
 
 // Inverse transforms a from the NTT evaluation representation back to
-// coefficients, in place (Gentleman–Sande), including the final 1/N scaling.
+// coefficients, in place (Gentleman–Sande), including the 1/N scaling which
+// is folded into the final stage. Inputs may be in [0, 2q); outputs are fully
+// reduced in [0, q). Internally coefficients stay in [0, 2q) across stages:
+// the sum leg folds once per butterfly and the difference leg re-enters
+// [0, 2q) through the lazy Shoup multiply.
 func (t *NTTTable) Inverse(a []uint64) {
+	t.inverseStages(a)
+	t.inverseLastStage(a, false)
+}
+
+// InverseLazy is Inverse with the final normalization elided: outputs are in
+// [0, 2q) (still scaled by 1/N and congruent to the exact inverse transform).
+// Use it when the consumer tolerates lazy inputs — e.g. the accumulating
+// BConv source rows and the ModDown subtraction path — to skip one
+// conditional per coefficient.
+func (t *NTTTable) InverseLazy(a []uint64) {
+	t.inverseStages(a)
+	t.inverseLastStage(a, true)
+}
+
+// inverseStages runs every Gentleman–Sande stage except the last, keeping
+// coefficients in [0, 2q).
+func (t *NTTTable) inverseStages(a []uint64) {
 	mod := t.Mod
+	twoQ := mod.Q << 1
 	n := t.N
 	step := 1
-	for m := n >> 1; m >= 1; m >>= 1 {
+	for m := n >> 1; m >= 2; m >>= 1 {
 		for i := 0; i < m; i++ {
-			w := t.rootsInv[m+i]
-			ws := t.rootsInvSho[m+i]
+			w, ws := t.rootsInv[m+i], t.rootsInvSho[m+i]
 			j1 := 2 * i * step
 			for j := j1; j < j1+step; j++ {
-				u := a[j]
-				v := a[j+step]
-				a[j] = mod.AddMod(u, v)
-				a[j+step] = mod.MulModShoup(mod.SubMod(u, v), w, ws)
+				x, y := a[j], a[j+step]
+				s := x + y
+				if s >= twoQ {
+					s -= twoQ
+				}
+				a[j] = s
+				a[j+step] = mod.MulModShoupLazy(x+twoQ-y, w, ws)
 			}
 		}
 		step <<= 1
 	}
-	for j := range a {
-		a[j] = mod.MulModShoup(a[j], t.nInv, t.nInvSho)
+}
+
+// inverseLastStage runs the final Gentleman–Sande stage (m=1) with the 1/N
+// scaling folded into its twiddles: the sum leg is multiplied by nInv, the
+// difference leg by rootsInv[1]*nInv. With lazy=false the Shoup multiplies
+// fully reduce (outputs < q); with lazy=true they stay in [0, 2q).
+func (t *NTTTable) inverseLastStage(a []uint64, lazy bool) {
+	mod := t.Mod
+	q := mod.Q
+	twoQ := q << 1
+	n := t.N
+	if n == 1 {
+		// nInv = 1; just normalize the contract.
+		if a[0] >= q && !lazy {
+			a[0] = mod.ReduceWord(a[0])
+		}
+		return
+	}
+	half := n >> 1
+	wN, wNs := t.nInv, t.nInvSho
+	wL, wLs := t.wLastInv, t.wLastInvSho
+	if lazy {
+		for j := 0; j < half; j++ {
+			x, y := a[j], a[j+half]
+			a[j] = mod.MulModShoupLazy(x+y, wN, wNs)
+			a[j+half] = mod.MulModShoupLazy(x+twoQ-y, wL, wLs)
+		}
+		return
+	}
+	for j := 0; j < half; j++ {
+		x, y := a[j], a[j+half]
+		a[j] = mod.MulModShoup(x+y, wN, wNs)
+		a[j+half] = mod.MulModShoup(x+twoQ-y, wL, wLs)
 	}
 }

@@ -1,0 +1,94 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchNTTTable builds one NTT table for benchmarking; panics on setup errors
+// (benchmark-only code path).
+func benchNTTTable(b *testing.B, bitSize, logN int) *NTTTable {
+	b.Helper()
+	ps, err := GenerateNTTPrimes(bitSize, logN, 1)
+	if err != nil {
+		b.Fatalf("GenerateNTTPrimes: %v", err)
+	}
+	m, err := NewModulus(ps[0])
+	if err != nil {
+		b.Fatalf("NewModulus: %v", err)
+	}
+	t, err := NewNTTTable(m, logN)
+	if err != nil {
+		b.Fatalf("NewNTTTable: %v", err)
+	}
+	return t
+}
+
+func benchCoeffs(t *NTTTable, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]uint64, t.N)
+	for i := range a {
+		a[i] = rng.Uint64() % t.Mod.Q
+	}
+	return a
+}
+
+// BenchmarkNTTForward measures the single-limb forward NTT — the NTTU kernel
+// of the paper — for both prime widths the tunable-bit datapath targets.
+func BenchmarkNTTForward(b *testing.B) {
+	for _, bits := range []int{36, 60} {
+		for _, logN := range []int{12, 13} {
+			t := benchNTTTable(b, bits, logN)
+			a := benchCoeffs(t, 1)
+			b.Run(fmt.Sprintf("bits=%d/N=%d", bits, 1<<logN), func(b *testing.B) {
+				b.SetBytes(int64(t.N) * 8)
+				for i := 0; i < b.N; i++ {
+					t.Forward(a)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNTTInverse measures the single-limb inverse NTT including the 1/N
+// scaling.
+func BenchmarkNTTInverse(b *testing.B) {
+	for _, bits := range []int{36, 60} {
+		for _, logN := range []int{12, 13} {
+			t := benchNTTTable(b, bits, logN)
+			a := benchCoeffs(t, 2)
+			b.Run(fmt.Sprintf("bits=%d/N=%d", bits, 1<<logN), func(b *testing.B) {
+				b.SetBytes(int64(t.N) * 8)
+				for i := 0; i < b.N; i++ {
+					t.Inverse(a)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMulCoeffsKernel measures the element-wise modular product over one
+// limb (the tensoring inner loop).
+func BenchmarkMulCoeffsKernel(b *testing.B) {
+	for _, bits := range []int{36, 60} {
+		logN := 12
+		ps, err := GenerateNTTPrimes(bits, logN, 1)
+		if err != nil {
+			b.Fatalf("GenerateNTTPrimes: %v", err)
+		}
+		r, err := NewRing(logN, ps)
+		if err != nil {
+			b.Fatalf("NewRing: %v", err)
+		}
+		p := randPoly(r, 3)
+		q := randPoly(r, 4)
+		out := r.NewPoly()
+		b.Run(fmt.Sprintf("bits=%d/N=%d", bits, 1<<logN), func(b *testing.B) {
+			b.SetBytes(int64(r.N) * 8)
+			for i := 0; i < b.N; i++ {
+				r.MulCoeffs(p, q, out)
+			}
+		})
+	}
+}

@@ -214,7 +214,11 @@ func (r *Ring) Neg(a, out Poly) {
 }
 
 // MulCoeffs sets out = a ∘ b (element-wise product; polynomial product when
-// both operands are in NTT form).
+// both operands are in NTT form). Both operands are variable, so neither the
+// Shoup trick (fixed operand) nor 128-bit accumulation (many terms, one
+// reduction) applies; a single hardware 128/64 division per coefficient
+// benchmarks faster than a two-word Barrett step on current cores, so MulMod
+// is the right primitive here (see DESIGN.md "Reduction strategy").
 func (r *Ring) MulCoeffs(a, b, out Poly) {
 	r.checkShape(a, b, out)
 	for i, m := range r.Moduli {

@@ -21,6 +21,7 @@ package rns
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 	"sync"
 
 	"github.com/fastfhe/fast/internal/ring"
@@ -58,10 +59,9 @@ type Extender struct {
 	// convention; 1 = serial). Set once before first use.
 	Workers int
 
-	qhatInv     []uint64   // (Q/q_i)^-1 mod q_i
-	qhatInvSho  []uint64   // Shoup companions of qhatInv
-	qhatModP    [][]uint64 // [j][i] = (Q/q_i) mod p_j
-	qhatModPSho [][]uint64 // Shoup companions of qhatModP (per target limb)
+	qhatInv    []uint64   // (Q/q_i)^-1 mod q_i
+	qhatInvSho []uint64   // Shoup companions of qhatInv
+	qhatModP   [][]uint64 // [j][i] = (Q/q_i) mod p_j
 
 	scratch struct {
 		mu    sync.Mutex
@@ -100,15 +100,11 @@ func NewExtender(from, to []ring.Modulus) (*Extender, error) {
 		e.qhatInvSho[i] = m.ShoupPrecomp(e.qhatInv[i])
 	}
 	e.qhatModP = make([][]uint64, len(to))
-	e.qhatModPSho = make([][]uint64, len(to))
-	for j, mp := range to {
+	for j := range to {
 		e.qhatModP[j] = make([]uint64, len(from))
-		e.qhatModPSho[j] = make([]uint64, len(from))
-		pj := new(big.Int).SetUint64(mp.Q)
+		pj := new(big.Int).SetUint64(to[j].Q)
 		for i := range from {
-			w := new(big.Int).Mod(qhat[i], pj).Uint64()
-			e.qhatModP[j][i] = w
-			e.qhatModPSho[j][i] = mp.ShoupPrecomp(w)
+			e.qhatModP[j][i] = new(big.Int).Mod(qhat[i], pj).Uint64()
 		}
 	}
 	return e, nil
@@ -129,15 +125,27 @@ func (e *Extender) scratchRows(n int) ([][]uint64, *rowPool) {
 
 // Convert performs the approximate base conversion of src (one value per
 // source limb: src[i][k] is coefficient k mod q_i) into dst (dst[j][k] mod
-// p_j). src and dst must have matching coefficient counts. Safe for
-// concurrent use; the per-limb work is fanned out across Workers goroutines.
+// p_j). src and dst must have matching coefficient counts. Source rows may be
+// lazily reduced ([0, 2q_i), e.g. straight out of ring.NTTTable.InverseLazy);
+// outputs are fully reduced. Safe for concurrent use; the per-limb work is
+// fanned out across Workers goroutines.
+//
+// The ℓ-term inner product y_j[k] = Σ_i t_i[k] * (Q/q_i mod p_j) — the matrix
+// product the accelerator's BConvU systolic array executes — is accumulated
+// HPS-style as a 128-bit (hi, lo) pair via bits.Mul64/bits.Add64 and reduced
+// with ONE Barrett step per output coefficient, instead of ℓ round-trips
+// through AddMod(MulModShoup(...)). A 128-bit accumulator holds at least
+// AccumCapacity terms (≥ 8 even at the 61-bit cap); longer source bases fold
+// the accumulator through an intermediate Barrett reduction.
 func (e *Extender) Convert(src, dst [][]uint64) {
 	if len(src) != len(e.From) || len(dst) != len(e.To) {
 		panic(fmt.Sprintf("rns: Convert limb mismatch: src %d/%d, dst %d/%d",
 			len(src), len(e.From), len(dst), len(e.To)))
 	}
 	n := len(src[0])
-	// t_i = x_i * (Q/q_i)^-1 mod q_i — independent per source limb.
+	// t_i = x_i * (Q/q_i)^-1 mod q_i — independent per source limb. Exact for
+	// any src magnitude (Shoup reduction is exact over the full 64-bit range),
+	// so lazy inputs are tolerated; t_i is always fully reduced.
 	t, rp := e.scratchRows(n)
 	defer rp.put(t)
 	ring.ForEachLimbRange(len(e.From), e.Workers, func(lo, hi int) {
@@ -150,26 +158,110 @@ func (e *Extender) Convert(src, dst [][]uint64) {
 			}
 		}
 	})
-	// y_j = sum_i t_i * (Q/q_i) mod p_j  — this is the matrix product the
-	// accelerator's BConvU systolic array executes (limbs x base-table);
-	// each target limb j is an independent lane.
+	l := len(e.From)
+	rows := t[:l]
 	ring.ForEachLimbRange(len(e.To), e.Workers, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			mp := e.To[j]
 			dj := dst[j]
-			for k := 0; k < n; k++ {
-				dj[k] = 0
+			ws := e.qhatModP[j]
+			if capTerms := mp.AccumCapacity(); l > capTerms {
+				convertFold(mp, rows, ws, dj, n, capTerms)
+				continue
 			}
-			ws, wShos := e.qhatModP[j], e.qhatModPSho[j]
-			for i := range e.From {
-				w, wSho := ws[i], wShos[i]
-				ti := t[i]
-				for k := 0; k < n; k++ {
-					dj[k] = mp.AddMod(dj[k], mp.MulModShoup(ti[k], w, wSho))
-				}
-			}
+			convertAccum(mp, rows, ws, dj[:n])
 		}
 	})
+}
+
+// convertAccum computes dj[k] = (Σ_i rows[i][k] * ws[i]) mod p with 128-bit
+// accumulation and one Barrett reduction per coefficient. The common small
+// source-base widths (the α-limb ModUp groups and the 2–4 limb special
+// chains) are unrolled with hoisted row slices so the inner loop carries no
+// slice-of-slice indirection or bounds checks.
+func convertAccum(mp ring.Modulus, rows [][]uint64, ws, dj []uint64) {
+	n := len(dj)
+	switch len(rows) {
+	case 1:
+		r0, w0 := rows[0][:n], ws[0]
+		for k := range dj {
+			hi, lo := bits.Mul64(r0[k], w0)
+			dj[k] = mp.Reduce(hi, lo)
+		}
+	case 2:
+		r0, r1 := rows[0][:n], rows[1][:n]
+		w0, w1 := ws[0], ws[1]
+		for k := range dj {
+			h0, l0 := bits.Mul64(r0[k], w0)
+			h1, l1 := bits.Mul64(r1[k], w1)
+			lo, c := bits.Add64(l0, l1, 0)
+			dj[k] = mp.Reduce(h0+h1+c, lo)
+		}
+	case 3:
+		r0, r1, r2 := rows[0][:n], rows[1][:n], rows[2][:n]
+		w0, w1, w2 := ws[0], ws[1], ws[2]
+		for k := range dj {
+			h0, l0 := bits.Mul64(r0[k], w0)
+			h1, l1 := bits.Mul64(r1[k], w1)
+			h2, l2 := bits.Mul64(r2[k], w2)
+			lo, c := bits.Add64(l0, l1, 0)
+			hi := h0 + h1 + c
+			lo, c = bits.Add64(lo, l2, 0)
+			dj[k] = mp.Reduce(hi+h2+c, lo)
+		}
+	case 4:
+		r0, r1, r2, r3 := rows[0][:n], rows[1][:n], rows[2][:n], rows[3][:n]
+		w0, w1, w2, w3 := ws[0], ws[1], ws[2], ws[3]
+		for k := range dj {
+			h0, l0 := bits.Mul64(r0[k], w0)
+			h1, l1 := bits.Mul64(r1[k], w1)
+			h2, l2 := bits.Mul64(r2[k], w2)
+			h3, l3 := bits.Mul64(r3[k], w3)
+			loA, cA := bits.Add64(l0, l1, 0)
+			hiA := h0 + h1 + cA
+			loB, cB := bits.Add64(l2, l3, 0)
+			hiB := h2 + h3 + cB
+			lo, c := bits.Add64(loA, loB, 0)
+			dj[k] = mp.Reduce(hiA+hiB+c, lo)
+		}
+	default:
+		for k := range dj {
+			var accHi, accLo uint64
+			for i := range rows {
+				ph, pl := bits.Mul64(rows[i][k], ws[i])
+				var c uint64
+				accLo, c = bits.Add64(accLo, pl, 0)
+				accHi += ph + c
+			}
+			dj[k] = mp.Reduce(accHi, accLo)
+		}
+	}
+}
+
+// convertFold is the long-base fallback of Convert: when the source base has
+// more limbs than the target modulus' 128-bit accumulator capacity, the
+// accumulator is folded through an intermediate Barrett reduction every `cap`
+// terms (the folded value < p counts as one term). Only reachable for ℓ > 8
+// source limbs at the 61-bit cap; ciphertext-prime targets never fold.
+func convertFold(mp ring.Modulus, rows [][]uint64, ws, dj []uint64, n, capTerms int) {
+	l := len(rows)
+	for k := 0; k < n; k++ {
+		var accHi, accLo uint64
+		terms := 0
+		for i := 0; i < l; i++ {
+			if terms == capTerms {
+				accLo = mp.Reduce(accHi, accLo)
+				accHi = 0
+				terms = 1
+			}
+			ph, pl := bits.Mul64(rows[i][k], ws[i])
+			var c uint64
+			accLo, c = bits.Add64(accLo, pl, 0)
+			accHi += ph + c
+			terms++
+		}
+		dj[k] = mp.Reduce(accHi, accLo)
+	}
 }
 
 // ModDowner removes an auxiliary modulus P from a value defined over Q*P:
@@ -234,7 +326,8 @@ func (d *ModDowner) scratchRows(n int) ([][]uint64, *rowPool) {
 
 // ModDown computes out_i = (xQ_i - conv(xP)_i) * P^-1 mod q_i for each main
 // limb. xQ has len(Q) rows, xP len(P) rows, out len(Q) rows; all in
-// coefficient form. Safe for concurrent use.
+// coefficient form. Input rows may be lazily reduced ([0, 2q); e.g. straight
+// out of InverseLazy); outputs are fully reduced. Safe for concurrent use.
 func (d *ModDowner) ModDown(xQ, xP, out [][]uint64) {
 	if len(xQ) != len(d.Q) || len(xP) != len(d.P) || len(out) != len(d.Q) {
 		panic("rns: ModDown limb mismatch")
@@ -246,10 +339,14 @@ func (d *ModDowner) ModDown(xQ, xP, out [][]uint64) {
 	ring.ForEachLimbRange(len(d.Q), d.Workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			m := d.Q[i]
+			twoQ := m.Q << 1
 			inv, invSho := d.pInvMod[i], d.pInvModSho[i]
 			xi, ti, oi := xQ[i], tmp[i], out[i]
 			for k := 0; k < n; k++ {
-				oi[k] = m.MulModShoup(m.SubMod(xi[k], ti[k]), inv, invSho)
+				// Lazy subtraction: xi < 2q and ti < q, so xi + 2q - ti stays
+				// in (0, 4q) < 2^63; the Shoup multiply is exact for any
+				// 64-bit operand and re-enters the fully reduced domain.
+				oi[k] = m.MulModShoup(xi[k]+twoQ-ti[k], inv, invSho)
 			}
 		}
 	})
@@ -290,8 +387,9 @@ func NewRescaler(moduli []ring.Modulus) *Rescaler {
 }
 
 // Rescale drops the last limb of x (level = len(x)-1) writing (x - x_l)/q_l
-// into out, which must have one fewer limb. Inputs in coefficient form. Safe
-// for concurrent use.
+// into out, which must have one fewer limb. Inputs in coefficient form; rows
+// may be lazily reduced ([0, 2q)); outputs are fully reduced. Safe for
+// concurrent use.
 func (r *Rescaler) Rescale(x, out [][]uint64) {
 	l := len(x) - 1
 	if l < 1 || len(out) != l {
@@ -302,15 +400,19 @@ func (r *Rescaler) Rescale(x, out [][]uint64) {
 	ring.ForEachLimbRange(l, r.Workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			m := r.Moduli[i]
+			twoQ := m.Q << 1
 			inv, invSho := r.qlInv[l][i], r.qlInvSho[l][i]
 			xi, oi := x[i], out[i]
 			for k := 0; k < n; k++ {
 				// Reduce the top-limb residue into q_i before subtracting;
 				// centering the residue halves the rounding error but the
 				// plain variant keeps the error below q_l which the CKKS
-				// scale absorbs.
-				v := xl[k] % m.Q
-				oi[k] = m.MulModShoup(m.SubMod(xi[k], v), inv, invSho)
+				// scale absorbs. ReduceWord is a one-word Barrett step (no
+				// hardware division); the subtraction is lazy (xi < 2q,
+				// v < q, so xi + 2q - v < 4q) and the Shoup multiply, exact
+				// for any 64-bit operand, fully reduces the output.
+				v := m.ReduceWord(xl[k])
+				oi[k] = m.MulModShoup(xi[k]+twoQ-v, inv, invSho)
 			}
 		}
 	})

@@ -1,0 +1,127 @@
+// Command benchdiff compares two benchmark recordings produced by
+// scripts/benchjson and prints a per-benchmark speedup table (old/new ratio on
+// ns/op; >1 means the new recording is faster).
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff OLD.json NEW.json
+//	go run ./scripts/benchdiff -fail-below 0.9 BENCH_kernels.json fresh.json
+//
+// With -fail-below r, the exit status is 1 if any benchmark present in both
+// recordings has speedup below r (i.e. regressed by more than (1-r)); use this
+// as a cheap CI guard against kernel regressions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+type record struct {
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func load(path string) (map[string]entry, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]entry, len(rec.Benchmarks))
+	var order []string
+	for _, e := range rec.Benchmarks {
+		if _, dup := m[e.Name]; !dup {
+			order = append(order, e.Name)
+		}
+		m[e.Name] = e
+	}
+	return m, order, nil
+}
+
+func main() {
+	failBelow := flag.Float64("fail-below", 0, "exit 1 if any common benchmark's speedup (old/new) is below this ratio (0 disables)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-fail-below r] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldM, order, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	newM, newOrder, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	nameW := len("benchmark")
+	common := 0
+	for _, name := range order {
+		if _, ok := newM[name]; !ok {
+			continue
+		}
+		common++
+		if len(name) > nameW {
+			nameW = len(name)
+		}
+	}
+	if common == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no common benchmarks between the two recordings")
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-*s  %14s  %14s  %8s  %s\n", nameW, "benchmark", "old ns/op", "new ns/op", "speedup", "allocs old→new")
+	regressed := []string{}
+	for _, name := range order {
+		o := oldM[name]
+		n, ok := newM[name]
+		if !ok {
+			continue
+		}
+		ratio := 0.0
+		if n.NsPerOp > 0 {
+			ratio = o.NsPerOp / n.NsPerOp
+		}
+		allocs := ""
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			allocs = fmt.Sprintf("%d→%d", *o.AllocsPerOp, *n.AllocsPerOp)
+		}
+		mark := ""
+		if *failBelow > 0 && ratio < *failBelow {
+			mark = "  REGRESSION"
+			regressed = append(regressed, name)
+		}
+		fmt.Printf("%-*s  %14.1f  %14.1f  %7.2fx  %s%s\n", nameW, name, o.NsPerOp, n.NsPerOp, ratio, allocs, mark)
+	}
+	onlyNew := 0
+	for _, name := range newOrder {
+		if _, ok := oldM[name]; !ok {
+			onlyNew++
+		}
+	}
+	if onlyNew > 0 {
+		fmt.Printf("(%d benchmarks only in %s)\n", onlyNew, flag.Arg(1))
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed below %.2fx: %v\n", len(regressed), *failBelow, regressed)
+		os.Exit(1)
+	}
+}

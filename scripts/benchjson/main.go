@@ -1,0 +1,106 @@
+// Command benchjson converts `go test -bench` output (read from stdin) into a
+// stable JSON record of the benchmark trajectory: one entry per benchmark with
+// name, ns/op, B/op and allocs/op. Used by `make bench-json` to write
+// BENCH_kernels.json so kernel performance is tracked in-repo, and by
+// scripts/benchdiff to compare two recordings.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'NTT|Convert|Mul|Rotate' -benchmem ./... | go run ./scripts/benchjson > BENCH_kernels.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Record is the top-level JSON document.
+type Record struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	rec := Record{Benchmarks: []Entry{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		e, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		rec.Benchmarks = append(rec.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkNTTForward/bits=36/N=4096-8  1234  987654 ns/op  201.1 MB/s  16 B/op  2 allocs/op
+func parseLine(line string) (Entry, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Entry{}, false
+	}
+	name := f[0]
+	// Strip the trailing -GOMAXPROCS suffix for stable cross-machine names.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: name, Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		val, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			e.NsPerOp, err = strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Entry{}, false
+			}
+			seenNs = true
+		case "MB/s":
+			e.MBPerSec, _ = strconv.ParseFloat(val, 64)
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				e.BytesPerOp = &v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				e.AllocsPerOp = &v
+			}
+		}
+	}
+	return e, seenNs
+}
