@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short race bench bench-json benchdiff tables cover fmt vet clean
+.PHONY: all check build test test-short race chaos fuzz bench bench-json benchdiff tables cover fmt vet clean
 
 all: build test
 
-# The default pre-merge gate: static analysis, the full suite, and the race
-# detector over the concurrency tests.
-check: vet test race
+# The default pre-merge gate: static analysis, the full suite, the race
+# detector over the concurrency tests, and the fault-injection chaos suite.
+check: vet test race chaos
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,21 @@ test-short:
 # one Context serving many goroutines). Uses -short so the gate stays fast.
 race:
 	$(GO) test -race -short ./...
+
+# Chaos gate: the fault-injection suites under the race detector. Long random
+# op sequences run under every fault scenario; decryptions must stay bit-exact
+# with the fault-free run, and the simulator must be deterministic per fault
+# seed. (-short keeps the op count CI-sized; drop it for a deeper soak.)
+chaos:
+	$(GO) test -race -short -run 'Chaos|Fault|Resilience' . ./internal/sim ./internal/hemera ./cmd/fastsim
+	$(GO) test -race ./internal/fault
+
+# Fuzz smoke pass: each target fuzzes for 10s (Go allows one -fuzz pattern
+# per package invocation). Corpus findings land in testdata/fuzz/.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzEncodeDecode -fuzztime 10s ./internal/ckks
+	$(GO) test -run '^$$' -fuzz FuzzReadCiphertext -fuzztime 10s ./internal/ckks
+	$(GO) test -run '^$$' -fuzz FuzzContextConfig -fuzztime 10s .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,257 @@
+package fast_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	fast "github.com/fastfhe/fast"
+)
+
+// The chaos suite drives long pseudo-random operation sequences through a
+// fault-injected Context and asserts the central resilience invariant:
+// faults on the modeled key-transfer path change timing, traffic and
+// recovery accounting — never computed values. Every decryption must be
+// bit-exact with the fault-free run of the same script.
+//
+// Run it under the race detector with `make chaos` (folded into `make
+// check`).
+
+const chaosSeed = 0xFA57
+
+func chaosOps(t testing.TB) int {
+	if testing.Short() {
+		return 200
+	}
+	return 1200
+}
+
+func chaosConfig() fast.ContextConfig {
+	return fast.ContextConfig{
+		LogN:        9,
+		Levels:      3,
+		LogScale:    36,
+		Rotations:   []int{1, -1, 4},
+		Conjugation: true,
+		EnableKLSS:  true,
+		Seed:        7,
+	}
+}
+
+// runChaosScript executes a deterministic pseudo-random script of nOps
+// operations on ctx and returns the decryption of every working-set
+// ciphertext. The script depends only on (seed, nOps) — two contexts built
+// from the same config execute identical call sequences, so their sampler
+// draws (and therefore their ciphertexts) coincide exactly.
+func runChaosScript(t *testing.T, ctx *fast.Context, nOps int, seed int64) [][]complex128 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	slots := ctx.Slots()
+	rots := []int{1, -1, 4}
+
+	fresh := func() *fast.Ciphertext {
+		vals := make([]complex128, slots)
+		for i := range vals {
+			vals[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		ct, err := ctx.Encrypt(vals)
+		if err != nil {
+			t.Fatalf("encrypt: %v", err)
+		}
+		return ct
+	}
+
+	const setSize = 4
+	cts := make([]*fast.Ciphertext, setSize)
+	for i := range cts {
+		cts[i] = fresh()
+	}
+	method := func() fast.OpOption {
+		if rng.Intn(2) == 0 && ctx.SupportsKLSS() {
+			return fast.WithMethod(fast.KLSS)
+		}
+		return fast.WithMethod(fast.Hybrid)
+	}
+
+	for op := 0; op < nOps; op++ {
+		i, j := rng.Intn(setSize), rng.Intn(setSize)
+		var out *fast.Ciphertext
+		var err error
+		switch k := rng.Intn(10); {
+		case k < 2: // Add
+			out, err = ctx.Add(cts[i], cts[j])
+		case k < 3: // Sub
+			out, err = ctx.Sub(cts[i], cts[j])
+		case k < 6: // Rotate (key-switch)
+			out, err = ctx.Rotate(cts[i], rots[rng.Intn(len(rots))], method())
+		case k < 7: // Conjugate (key-switch)
+			out, err = ctx.Conjugate(cts[i], method())
+		case k < 8: // hoisted rotations (key-switch per rotation)
+			var outs map[int]*fast.Ciphertext
+			outs, err = ctx.RotateHoisted(cts[i], rots, method())
+			if err == nil {
+				out = outs[rots[rng.Intn(len(rots))]]
+			}
+		case k < 9: // AddConst
+			out, err = ctx.AddConst(cts[i], rng.Float64())
+		default: // Mul (key-switch, consumes a level) or refresh at the bottom
+			if min(cts[i].Level(), cts[j].Level()) > 0 {
+				out, err = ctx.Mul(cts[i], cts[j], method())
+			} else {
+				out = fresh()
+			}
+		}
+		if err != nil {
+			t.Fatalf("op %d failed: %v", op, err)
+		}
+		cts[rng.Intn(setSize)] = out
+	}
+
+	dec := make([][]complex128, setSize)
+	for i, ct := range cts {
+		dec[i] = ctx.Decrypt(ct)
+	}
+	return dec
+}
+
+// bitsEqual compares two decrypted vectors bit-for-bit (no tolerance: the
+// invariant is exactness, not approximation).
+func bitsEqual(a, b []complex128) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(real(a[i])) != math.Float64bits(real(b[i])) ||
+			math.Float64bits(imag(a[i])) != math.Float64bits(imag(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestChaosFaultScenariosBitExact(t *testing.T) {
+	nOps := chaosOps(t)
+	base, err := fast.NewContext(chaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runChaosScript(t, base, nOps, chaosSeed)
+	if base.FaultPlanActive() || base.FaultStats() != (fast.FaultStats{}) {
+		t.Fatal("fault-free context must carry no fault state")
+	}
+
+	for _, name := range []string{"transfer", "spike", "corrupt", "pressure", "all"} {
+		t.Run(name, func(t *testing.T) {
+			plan, err := fast.FaultScenario(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan.Seed = 99
+			ctx, err := fast.NewContext(chaosConfig(), fast.WithFaultPlan(plan))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runChaosScript(t, ctx, nOps, chaosSeed)
+			for i := range want {
+				if !bitsEqual(want[i], got[i]) {
+					t.Fatalf("scenario %s: decryption %d diverged from the fault-free run", name, i)
+				}
+			}
+			st := ctx.FaultStats()
+			if st.Transfers == 0 {
+				t.Fatal("no key transfers were modeled")
+			}
+			switch name {
+			case "transfer":
+				if st.Retries == 0 {
+					t.Error("transfer scenario produced no retries")
+				}
+			case "spike":
+				if st.Timeouts == 0 {
+					t.Error("spike scenario produced no timeouts")
+				}
+			case "corrupt":
+				if st.Refetches == 0 {
+					t.Error("corrupt scenario produced no refetches")
+				}
+			case "pressure":
+				if st.DegradedDecisions == 0 {
+					t.Error("pressure scenario degraded no decisions")
+				}
+			}
+			if name != "pressure" && st.WastedBytes == 0 {
+				t.Errorf("scenario %s wasted no modeled traffic", name)
+			}
+		})
+	}
+}
+
+// The fault stream is deterministic: the same plan+seed over the same script
+// reproduces the exact recovery accounting.
+func TestChaosFaultStreamDeterministic(t *testing.T) {
+	nOps := chaosOps(t)
+	plan, err := fast.FaultScenario("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Seed = 1234
+	var stats [2]fast.FaultStats
+	var dec [2][][]complex128
+	for r := 0; r < 2; r++ {
+		ctx, err := fast.NewContext(chaosConfig(), fast.WithFaultPlan(plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec[r] = runChaosScript(t, ctx, nOps, chaosSeed)
+		stats[r] = ctx.FaultStats()
+	}
+	if stats[0] != stats[1] {
+		t.Fatalf("same seed, different fault accounting:\n%+v\nvs\n%+v", stats[0], stats[1])
+	}
+	if stats[0].Retries+stats[0].Timeouts+stats[0].Refetches == 0 {
+		t.Fatal("the all scenario injected nothing")
+	}
+	for i := range dec[0] {
+		if !bitsEqual(dec[0][i], dec[1][i]) {
+			t.Fatalf("decryption %d differs between identical runs", i)
+		}
+	}
+	// A different fault seed must not change values either.
+	plan.Seed = 4321
+	ctx, err := fast.NewContext(chaosConfig(), fast.WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := runChaosScript(t, ctx, nOps, chaosSeed)
+	for i := range dec[0] {
+		if !bitsEqual(dec[0][i], other[i]) {
+			t.Fatalf("fault seed changed decrypted values at ciphertext %d", i)
+		}
+	}
+}
+
+// Metrics surface through an attached observer: the modeled manager and
+// injector publish the fault.*, hemera.* and aether.* instruments.
+func TestChaosFaultMetricsSurface(t *testing.T) {
+	plan, err := fast.FaultScenario("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Seed = 5
+	ob := fast.NewObserver()
+	ctx, err := fast.NewContext(chaosConfig(), fast.WithFaultPlan(plan), fast.WithObserver(ob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runChaosScript(t, ctx, 300, chaosSeed)
+	snap := ob.Metrics()
+	for _, name := range []string{"fault.injected", "hemera.retries", "hemera.wasted_bytes"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("metric %s did not accumulate", name)
+		}
+	}
+	st := ctx.FaultStats()
+	if got := snap.Counters["hemera.retries"]; got != uint64(st.Retries) {
+		t.Errorf("hemera.retries = %d, FaultStats.Retries = %d", got, st.Retries)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"github.com/fastfhe/fast/internal/arch"
 	"github.com/fastfhe/fast/internal/baselines"
 	"github.com/fastfhe/fast/internal/costmodel"
+	"github.com/fastfhe/fast/internal/fault"
 	"github.com/fastfhe/fast/internal/obs"
 	"github.com/fastfhe/fast/internal/sim"
 	"github.com/fastfhe/fast/internal/trace"
@@ -105,6 +106,8 @@ func run(args []string, stdout io.Writer) error {
 	traceOut := fs.String("trace-out", "", "write the simulated timeline as Chrome trace-event JSON to this file")
 	metricsOut := fs.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file")
 	httpAddr := fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address after the run (blocks until interrupted)")
+	faultPlan := fs.String("fault-plan", "", "fault-injection plan: a scenario name (transfer, spike, corrupt, pressure, all) or a spec like transfer=0.2,spike=0.1x8,corrupt=0.05,pressure=0.1")
+	faultSeed := fs.Uint64("fault-seed", 0, "seed of the deterministic fault stream (results are reproducible per seed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,6 +145,14 @@ func run(args []string, stdout io.Writer) error {
 	simulator, err := sim.New(params, cfg, plan)
 	if err != nil {
 		return err
+	}
+	if *faultPlan != "" {
+		fp, err := fault.ParsePlan(*faultPlan)
+		if err != nil {
+			return err
+		}
+		fp.Seed = *faultSeed
+		simulator.SetFaultPlan(fp)
 	}
 	var o *obs.Observer
 	if *traceOut != "" || *metricsOut != "" || *httpAddr != "" {
@@ -198,6 +209,11 @@ func printResult(w io.Writer, tr *trace.Trace, cfg arch.Config, res *sim.Result)
 	fmt.Fprintf(w, "  method split: hybrid %.0f cycles, klss %.0f cycles\n",
 		res.MethodCycles[costmodel.Hybrid], res.MethodCycles[costmodel.KLSS])
 	fmt.Fprintf(w, "  power %.1f W  energy %.3f J  EDP %.4f mJ*s\n", res.AvgPowerW, res.EnergyJ, res.EDP*1e3)
+	if res.FaultPlan != "" {
+		fmt.Fprintf(w, "  faults (%s): retries %d  timeouts %d  refetches %d  degraded %d  wasted %.1f MB  backoff %.0f cy\n",
+			res.FaultPlan, res.Retries, res.Timeouts, res.Refetches, res.DegradedDecisions,
+			float64(res.WastedEvkBytes)/(1<<20), res.BackoffCy)
+	}
 	for _, ph := range tr.Phases() {
 		fmt.Fprintf(w, "    phase %-12s %8.0f cycles (%.1f%%)\n", ph, res.PhaseCycles[ph], 100*res.PhaseCycles[ph]/res.Cycles)
 	}

@@ -180,3 +180,48 @@ func TestRunPlainAndSweep(t *testing.T) {
 		t.Error("expected error for unknown workload")
 	}
 }
+
+// -fault-plan/-fault-seed must run the fault-injection path in process: the
+// human output reports the recovery accounting, the JSON output is
+// bit-identical across two runs with the same seed, and a malformed plan
+// spec fails cleanly.
+func TestRunFaultPlanFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "bootstrap", "-fault-plan", "all", "-fault-seed", "7"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "faults (") {
+		t.Errorf("fault accounting missing from output:\n%s", out.String())
+	}
+
+	jsonRun := func() string {
+		var b bytes.Buffer
+		if err := run([]string{"-workload", "bootstrap", "-fault-plan",
+			"transfer=0.3,spike=0.2x8,corrupt=0.1,pressure=0.1", "-fault-seed", "11", "-json"}, &b); err != nil {
+			t.Fatalf("json run: %v", err)
+		}
+		return b.String()
+	}
+	a, b := jsonRun(), jsonRun()
+	if a != b {
+		t.Error("two runs with the same fault seed produced different JSON results")
+	}
+	var res struct {
+		FaultPlan                    string
+		Retries, Timeouts, Refetches int
+		WastedEvkBytes               int64
+	}
+	if err := json.Unmarshal([]byte(a), &res); err != nil {
+		t.Fatalf("decoding result JSON: %v", err)
+	}
+	if res.FaultPlan == "" {
+		t.Error("result JSON must carry the fault plan")
+	}
+	if res.Retries+res.Timeouts+res.Refetches == 0 || res.WastedEvkBytes == 0 {
+		t.Errorf("expected recovery activity, got %+v", res)
+	}
+
+	if err := run([]string{"-fault-plan", "warp=0.1"}, io.Discard); err == nil {
+		t.Error("expected error for malformed fault plan")
+	}
+}

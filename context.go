@@ -2,6 +2,7 @@ package fast
 
 import (
 	"fmt"
+	"strconv"
 	"sync/atomic"
 
 	"github.com/fastfhe/fast/internal/ckks"
@@ -91,6 +92,7 @@ type Context struct {
 	eval     *ckks.Evaluator
 	method   atomic.Int32 // default Method for calls without WithMethod
 	observer *Observer    // nil unless WithObserver was passed
+	faults   *faultState  // nil unless WithFaultPlan was passed
 }
 
 // Ciphertext is an encrypted vector of complex values.
@@ -98,11 +100,21 @@ type Ciphertext struct {
 	ct *ckks.Ciphertext
 }
 
-// Level returns the remaining multiplicative level ℓ.
-func (c *Ciphertext) Level() int { return c.ct.Level }
+// Level returns the remaining multiplicative level ℓ (-1 for a nil handle).
+func (c *Ciphertext) Level() int {
+	if c == nil || c.ct == nil {
+		return -1
+	}
+	return c.ct.Level
+}
 
-// Scale returns the current encoding scale.
-func (c *Ciphertext) Scale() float64 { return c.ct.Scale }
+// Scale returns the current encoding scale (0 for a nil handle).
+func (c *Ciphertext) Scale() float64 {
+	if c == nil || c.ct == nil {
+		return 0
+	}
+	return c.ct.Scale
+}
 
 // NewContext compiles the configuration, generates all keys and returns a
 // ready-to-use context. Options are applied on top of cfg (last writer
@@ -130,10 +142,10 @@ func NewContext(cfg ContextConfig, opts ...Option) (*Context, error) {
 		cfg.Seed = 1
 	}
 	if cfg.Levels < 1 {
-		return nil, fmt.Errorf("fast: need at least one multiplicative level")
+		return nil, fmt.Errorf("fast: need at least one multiplicative level: %w", ErrInvalidParameters)
 	}
 	if settings.defaultMethod == KLSS && !cfg.EnableKLSS {
-		return nil, fmt.Errorf("fast: WithDefaultMethod(KLSS) requires EnableKLSS")
+		return nil, fmt.Errorf("fast: WithDefaultMethod(KLSS) requires EnableKLSS: %w", ErrMethodUnavailable)
 	}
 
 	logQ := make([]int, cfg.Levels+1)
@@ -193,7 +205,27 @@ func NewContext(cfg ContextConfig, opts ...Option) (*Context, error) {
 	if err := ctx.eval.SetMethod(settings.defaultMethod.internal()); err != nil {
 		return nil, err
 	}
+	if settings.faultPlan != nil && settings.faultPlan.Enabled() {
+		ctx.faults = newFaultState(params, *settings.faultPlan)
+		ctx.faults.setObserver(ctx.observer)
+	}
 	return ctx, nil
+}
+
+// validate enforces the ciphertext structural invariants at the public API
+// boundary: non-nil handles and internally consistent level/limb/degree/scale
+// state. Violations wrap ErrInvalidCiphertext. The check is O(levels), not
+// O(N) — it never scans coefficients.
+func (c *Context) validate(cts ...*Ciphertext) error {
+	for _, ct := range cts {
+		if ct == nil || ct.ct == nil {
+			return fmt.Errorf("fast: nil ciphertext: %w", ErrInvalidCiphertext)
+		}
+		if err := ct.ct.Validate(c.params); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // settings resolves per-call options against the context default.
@@ -267,19 +299,30 @@ func (c *Context) Encrypt(values []complex128) (*Ciphertext, error) {
 	return &Ciphertext{ct}, nil
 }
 
-// Decrypt decrypts and decodes a ciphertext.
+// Decrypt decrypts and decodes a ciphertext. A nil or structurally invalid
+// ciphertext decrypts to nil (the signature predates the error taxonomy;
+// every other entry point returns a typed error instead).
 func (c *Context) Decrypt(ct *Ciphertext) []complex128 {
+	if c.validate(ct) != nil {
+		return nil
+	}
 	return c.encoder.Decode(c.dec.Decrypt(ct.ct))
 }
 
 // Add returns a+b.
 func (c *Context) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := c.validate(a, b); err != nil {
+		return nil, err
+	}
 	out, err := c.eval.Add(a.ct, b.ct)
 	return wrap(out, err)
 }
 
 // Sub returns a-b.
 func (c *Context) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := c.validate(a, b); err != nil {
+		return nil, err
+	}
 	out, err := c.eval.Sub(a.ct, b.ct)
 	return wrap(out, err)
 }
@@ -288,7 +331,11 @@ func (c *Context) Sub(a, b *Ciphertext) (*Ciphertext, error) {
 // The key-switching backend is chosen per call: ctx.Mul(a, b,
 // fast.WithMethod(fast.KLSS)).
 func (c *Context) Mul(a, b *Ciphertext, opts ...OpOption) (*Ciphertext, error) {
+	if err := c.validate(a, b); err != nil {
+		return nil, err
+	}
 	s := c.settings(opts)
+	c.faults.request(c.params, "relin", min(a.ct.Level, b.ct.Level), s.method)
 	prod, err := c.eval.MulRelinWith(a.ct, b.ct, s.method.internal())
 	if err != nil {
 		return nil, err
@@ -303,6 +350,9 @@ func (c *Context) Mul(a, b *Ciphertext, opts ...OpOption) (*Ciphertext, error) {
 // MulPlain multiplies by a plaintext vector and (unless NoRescale is passed)
 // rescales.
 func (c *Context) MulPlain(a *Ciphertext, values []complex128, opts ...OpOption) (*Ciphertext, error) {
+	if err := c.validate(a); err != nil {
+		return nil, err
+	}
 	s := c.settings(opts)
 	pt, err := c.encoder.EncodeAtLevel(values, a.ct.Level, c.params.Scale())
 	if err != nil {
@@ -321,6 +371,9 @@ func (c *Context) MulPlain(a *Ciphertext, values []complex128, opts ...OpOption)
 
 // AddPlain adds a plaintext vector.
 func (c *Context) AddPlain(a *Ciphertext, values []complex128) (*Ciphertext, error) {
+	if err := c.validate(a); err != nil {
+		return nil, err
+	}
 	pt, err := c.encoder.EncodeAtLevel(values, a.ct.Level, a.ct.Scale)
 	if err != nil {
 		return nil, err
@@ -332,6 +385,9 @@ func (c *Context) AddPlain(a *Ciphertext, values []complex128) (*Ciphertext, err
 // MulConst multiplies by a real constant and (unless NoRescale is passed)
 // rescales.
 func (c *Context) MulConst(a *Ciphertext, v float64, opts ...OpOption) (*Ciphertext, error) {
+	if err := c.validate(a); err != nil {
+		return nil, err
+	}
 	s := c.settings(opts)
 	prod, err := c.eval.MulConst(a.ct, v)
 	if err != nil {
@@ -346,6 +402,9 @@ func (c *Context) MulConst(a *Ciphertext, v float64, opts ...OpOption) (*Ciphert
 
 // AddConst adds a real constant.
 func (c *Context) AddConst(a *Ciphertext, v float64) (*Ciphertext, error) {
+	if err := c.validate(a); err != nil {
+		return nil, err
+	}
 	out, err := c.eval.AddConst(a.ct, v)
 	return wrap(out, err)
 }
@@ -354,6 +413,9 @@ func (c *Context) AddConst(a *Ciphertext, v float64) (*Ciphertext, error) {
 // corresponding scale factor. Pairs with NoRescale: accumulate several
 // unrescaled products at the same scale, then rescale the sum once.
 func (c *Context) Rescale(a *Ciphertext) (*Ciphertext, error) {
+	if err := c.validate(a); err != nil {
+		return nil, err
+	}
 	out, err := c.eval.Rescale(a.ct)
 	return wrap(out, err)
 }
@@ -361,7 +423,11 @@ func (c *Context) Rescale(a *Ciphertext) (*Ciphertext, error) {
 // Rotate cyclically rotates the slots by r (positive = towards lower
 // indices). The key-switching backend is chosen per call via WithMethod.
 func (c *Context) Rotate(a *Ciphertext, r int, opts ...OpOption) (*Ciphertext, error) {
+	if err := c.validate(a); err != nil {
+		return nil, err
+	}
 	s := c.settings(opts)
+	c.faults.request(c.params, "rot:"+strconv.Itoa(r), a.ct.Level, s.method)
 	out, err := c.eval.RotateWith(a.ct, r, s.method.internal())
 	return wrap(out, err)
 }
@@ -369,7 +435,15 @@ func (c *Context) Rotate(a *Ciphertext, r int, opts ...OpOption) (*Ciphertext, e
 // RotateHoisted produces all requested rotations of one ciphertext sharing a
 // single decomposition (the hoisting optimisation, §2.2.3).
 func (c *Context) RotateHoisted(a *Ciphertext, rotations []int, opts ...OpOption) (map[int]*Ciphertext, error) {
+	if err := c.validate(a); err != nil {
+		return nil, err
+	}
 	s := c.settings(opts)
+	for _, r := range rotations {
+		if r != 0 {
+			c.faults.request(c.params, "rot:"+strconv.Itoa(r), a.ct.Level, s.method)
+		}
+	}
 	outs, err := c.eval.RotateHoistedWith(a.ct, rotations, s.method.internal())
 	if err != nil {
 		return nil, err
@@ -383,7 +457,11 @@ func (c *Context) RotateHoisted(a *Ciphertext, rotations []int, opts ...OpOption
 
 // Conjugate returns the slot-wise complex conjugate.
 func (c *Context) Conjugate(a *Ciphertext, opts ...OpOption) (*Ciphertext, error) {
+	if err := c.validate(a); err != nil {
+		return nil, err
+	}
 	s := c.settings(opts)
+	c.faults.request(c.params, "conj", a.ct.Level, s.method)
 	out, err := c.eval.ConjugateWith(a.ct, s.method.internal())
 	return wrap(out, err)
 }

@@ -1,0 +1,63 @@
+package fast
+
+import "github.com/fastfhe/fast/internal/ckks"
+
+// Typed error taxonomy. Every error returned by a Context method wraps one of
+// these sentinels, so callers can branch on the failure class with errors.Is
+// instead of matching message strings:
+//
+//	if _, err := ctx.Add(a, b); errors.Is(err, fast.ErrScaleMismatch) {
+//	    b, _ = ctx.Rescale(b)
+//	}
+//
+// The sentinels are shared with the internal CKKS layer — an error produced
+// deep inside a kernel and one produced by boundary validation compare equal
+// under errors.Is.
+var (
+	// ErrInvalidParameters reports a ContextConfig or parameter literal that
+	// fails validation (ring degree, depth, scale or prime chain out of
+	// range).
+	ErrInvalidParameters = ckks.ErrInvalidParameters
+
+	// ErrLevelMismatch reports an operand at a level an operation cannot
+	// accept (e.g. below the level a linear transform was compiled at).
+	ErrLevelMismatch = ckks.ErrLevelMismatch
+
+	// ErrLevelExhausted reports an operation that must consume a level on a
+	// ciphertext already at level 0 (e.g. Rescale at the chain bottom).
+	ErrLevelExhausted = ckks.ErrLevelExhausted
+
+	// ErrScaleMismatch reports an addition or subtraction whose operand
+	// scales diverge beyond the rescaling drift tolerance.
+	ErrScaleMismatch = ckks.ErrScaleMismatch
+
+	// ErrSlotCountMismatch reports a vector incompatible with the slot count
+	// (too many values to encode, a wrong-length mask, an oversized batch).
+	ErrSlotCountMismatch = ckks.ErrSlotCountMismatch
+
+	// ErrNotRelinearized reports a degree-2 intermediate reaching an
+	// operation that requires a relinearised ciphertext. Reserved: the public
+	// API always relinearises eagerly, so today this class is unreachable
+	// from fast.Context, but the sentinel anchors the taxonomy for future
+	// lazy-relinearisation APIs.
+	ErrNotRelinearized = ckks.ErrNotRelinearized
+
+	// ErrMethodUnavailable reports a request for a key-switching backend the
+	// context was not built with (KLSS without EnableKLSS).
+	ErrMethodUnavailable = ckks.ErrMethodUnavailable
+
+	// ErrKeyMissing reports an evaluation-key lookup that found no key (e.g.
+	// a rotation amount absent from ContextConfig.Rotations).
+	ErrKeyMissing = ckks.ErrKeyMissing
+
+	// ErrInvalidCiphertext reports a ciphertext violating its structural
+	// invariants: nil, level out of range, limb count inconsistent with the
+	// level, wrong ring degree, or a non-finite scale. Context methods
+	// validate every ciphertext argument before touching kernels.
+	ErrInvalidCiphertext = ckks.ErrInvalidCiphertext
+
+	// ErrInvalidValue reports a scalar or vector entry that cannot be
+	// encoded (NaN, Inf, overflow at the target scale, or a non-power-of-two
+	// batch).
+	ErrInvalidValue = ckks.ErrInvalidValue
+)

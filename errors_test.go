@@ -1,0 +1,199 @@
+package fast_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	fast "github.com/fastfhe/fast"
+)
+
+// The typed error taxonomy must be matchable with errors.Is at the public
+// boundary, and no public entry point may panic on malformed input — the
+// panic sites that remain in internal packages are documented INVARIANT
+// checks unreachable from here.
+
+func errCtx(t *testing.T) *fast.Context {
+	t.Helper()
+	ctx, err := fast.NewContext(fast.ContextConfig{
+		LogN:      9,
+		Levels:    2,
+		LogScale:  36,
+		Rotations: []int{1},
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestTypedErrorsWithErrorsIs(t *testing.T) {
+	ctx := errCtx(t)
+	ct, err := ctx.Encrypt([]complex128{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("invalid parameters", func(t *testing.T) {
+		if _, err := fast.NewContext(fast.ContextConfig{LogN: 9, Levels: 0}); !errors.Is(err, fast.ErrInvalidParameters) {
+			t.Errorf("Levels 0: got %v, want ErrInvalidParameters", err)
+		}
+		if _, err := fast.NewContext(fast.ContextConfig{LogN: 99, Levels: 2}); !errors.Is(err, fast.ErrInvalidParameters) {
+			t.Errorf("LogN 99: got %v, want ErrInvalidParameters", err)
+		}
+		if _, err := fast.NewContext(fast.ContextConfig{LogN: 9, LogSlots: 12, Levels: 2}); !errors.Is(err, fast.ErrInvalidParameters) {
+			t.Errorf("LogSlots > LogN-1: got %v, want ErrInvalidParameters", err)
+		}
+	})
+
+	t.Run("method unavailable", func(t *testing.T) {
+		if _, err := fast.NewContext(fast.ContextConfig{LogN: 9, Levels: 2}, fast.WithDefaultMethod(fast.KLSS)); !errors.Is(err, fast.ErrMethodUnavailable) {
+			t.Errorf("KLSS without EnableKLSS: got %v, want ErrMethodUnavailable", err)
+		}
+		// Per-call KLSS on a hybrid-only context fails at key lookup time.
+		if _, err := ctx.Mul(ct, ct, fast.WithMethod(fast.KLSS)); !errors.Is(err, fast.ErrMethodUnavailable) {
+			t.Errorf("per-call KLSS: got %v, want ErrMethodUnavailable", err)
+		}
+	})
+
+	t.Run("key missing", func(t *testing.T) {
+		if _, err := ctx.Rotate(ct, 5); !errors.Is(err, fast.ErrKeyMissing) {
+			t.Errorf("ungenerated rotation: got %v, want ErrKeyMissing", err)
+		}
+		if _, err := ctx.Conjugate(ct); !errors.Is(err, fast.ErrKeyMissing) {
+			t.Errorf("no conjugation key: got %v, want ErrKeyMissing", err)
+		}
+	})
+
+	t.Run("level exhausted", func(t *testing.T) {
+		bottom := ct
+		var err error
+		for bottom.Level() > 0 {
+			if bottom, err = ctx.Mul(bottom, bottom); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := ctx.Rescale(bottom); !errors.Is(err, fast.ErrLevelExhausted) {
+			t.Errorf("rescale at level 0: got %v, want ErrLevelExhausted", err)
+		}
+		// Mul rescales internally, so it too runs out of levels.
+		if _, err := ctx.Mul(bottom, bottom); !errors.Is(err, fast.ErrLevelExhausted) {
+			t.Errorf("mul at level 0: got %v, want ErrLevelExhausted", err)
+		}
+	})
+
+	t.Run("scale mismatch", func(t *testing.T) {
+		scaled, err := ctx.MulConst(ct, 2.0, fast.NoRescale()) // scale Δ²
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctx.Add(ct, scaled); !errors.Is(err, fast.ErrScaleMismatch) {
+			t.Errorf("Add across scales: got %v, want ErrScaleMismatch", err)
+		}
+		if _, err := ctx.Sub(ct, scaled); !errors.Is(err, fast.ErrScaleMismatch) {
+			t.Errorf("Sub across scales: got %v, want ErrScaleMismatch", err)
+		}
+	})
+
+	t.Run("slot count mismatch", func(t *testing.T) {
+		too := make([]complex128, ctx.Slots()+1)
+		if _, err := ctx.Encrypt(too); !errors.Is(err, fast.ErrSlotCountMismatch) {
+			t.Errorf("oversized encrypt: got %v, want ErrSlotCountMismatch", err)
+		}
+		if _, err := ctx.MulPlain(ct, too); !errors.Is(err, fast.ErrSlotCountMismatch) {
+			t.Errorf("oversized MulPlain: got %v, want ErrSlotCountMismatch", err)
+		}
+	})
+
+	t.Run("invalid value", func(t *testing.T) {
+		if _, err := ctx.MulConst(ct, math.NaN()); !errors.Is(err, fast.ErrInvalidValue) {
+			t.Errorf("NaN constant: got %v, want ErrInvalidValue", err)
+		}
+		if _, err := ctx.AddConst(ct, math.Inf(1)); !errors.Is(err, fast.ErrInvalidValue) {
+			t.Errorf("Inf constant: got %v, want ErrInvalidValue", err)
+		}
+	})
+
+	t.Run("invalid ciphertext", func(t *testing.T) {
+		if _, err := ctx.Add(nil, ct); !errors.Is(err, fast.ErrInvalidCiphertext) {
+			t.Errorf("nil operand: got %v, want ErrInvalidCiphertext", err)
+		}
+		// A ciphertext from a different ring degree violates the invariants.
+		other := errCtxLogN(t, 10)
+		foreign, err := other.Encrypt([]complex128{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctx.Mul(ct, foreign); !errors.Is(err, fast.ErrInvalidCiphertext) {
+			t.Errorf("foreign ciphertext: got %v, want ErrInvalidCiphertext", err)
+		}
+	})
+}
+
+func errCtxLogN(t *testing.T, logN int) *fast.Context {
+	t.Helper()
+	ctx, err := fast.NewContext(fast.ContextConfig{LogN: logN, Levels: 2, LogScale: 36, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// TestPublicAPINeverPanics drives every Context entry point with malformed
+// inputs and asserts they refuse with an error (or a nil result) instead of
+// panicking.
+func TestPublicAPINeverPanics(t *testing.T) {
+	ctx := errCtx(t)
+	ct, err := ctx.Encrypt([]complex128{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nilCt *fast.Ciphertext
+
+	calls := map[string]func() error{
+		"Add(nil,nil)":        func() error { _, err := ctx.Add(nilCt, nilCt); return err },
+		"Sub(nil,ct)":         func() error { _, err := ctx.Sub(nilCt, ct); return err },
+		"Mul(ct,nil)":         func() error { _, err := ctx.Mul(ct, nilCt); return err },
+		"MulPlain(nil)":       func() error { _, err := ctx.MulPlain(nilCt, []complex128{1}); return err },
+		"AddPlain(nil)":       func() error { _, err := ctx.AddPlain(nilCt, []complex128{1}); return err },
+		"MulConst(nil)":       func() error { _, err := ctx.MulConst(nilCt, 2); return err },
+		"AddConst(nil)":       func() error { _, err := ctx.AddConst(nilCt, 2); return err },
+		"Rescale(nil)":        func() error { _, err := ctx.Rescale(nilCt); return err },
+		"Rotate(nil)":         func() error { _, err := ctx.Rotate(nilCt, 1); return err },
+		"RotateHoisted(nil)":  func() error { _, err := ctx.RotateHoisted(nilCt, []int{1}); return err },
+		"Conjugate(nil)":      func() error { _, err := ctx.Conjugate(nilCt); return err },
+		"Encrypt(oversized)":  func() error { _, err := ctx.Encrypt(make([]complex128, 1<<20)); return err },
+		"MulConst(ct,NaN)":    func() error { _, err := ctx.MulConst(ct, math.NaN()); return err },
+		"Rotate(ct,unkeyed)":  func() error { _, err := ctx.Rotate(ct, 12345); return err },
+		"InnerSum-batch":      func() error { _, err := ctx.Mul(ct, ct, fast.WithMethod(fast.KLSS)); return err },
+		"NewContext(LogN=-1)": func() error { _, err := fast.NewContext(fast.ContextConfig{LogN: -1, Levels: 1}); return err },
+	}
+	for name, call := range calls {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s panicked: %v", name, r)
+				}
+			}()
+			if err := call(); err == nil {
+				t.Errorf("%s accepted malformed input", name)
+			}
+		})
+	}
+
+	// Non-error-returning entry points degrade gracefully.
+	t.Run("Decrypt(nil)", func(t *testing.T) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decrypt(nil) panicked: %v", r)
+			}
+		}()
+		if got := ctx.Decrypt(nilCt); got != nil {
+			t.Errorf("Decrypt(nil) = %v, want nil", got)
+		}
+		if nilCt.Level() != -1 || nilCt.Scale() != 0 {
+			t.Error("nil ciphertext accessors must return sentinels")
+		}
+	})
+}

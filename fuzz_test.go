@@ -1,0 +1,59 @@
+package fast_test
+
+import (
+	"testing"
+
+	fast "github.com/fastfhe/fast"
+)
+
+// FuzzContextConfig hardens NewContext: arbitrary configurations must either
+// build a working context or be rejected with a typed error — never panic,
+// never return a context that fails a basic encrypt/evaluate/decrypt probe.
+func FuzzContextConfig(f *testing.F) {
+	f.Add(9, 8, 2, 36, 1, false, int64(1))
+	f.Add(0, 0, 0, 0, 0, true, int64(0)) // zero-value: defaults kick in
+	f.Add(-3, 77, -1, 99, -12345, true, int64(-9))
+	f.Add(4, 1, 1, 8, 0, false, int64(42))
+
+	f.Fuzz(func(t *testing.T, logN, logSlots, levels, logScale, rot int, klss bool, seed int64) {
+		// Bound only the dimensions that control memory/time, not validity:
+		// keygen at LogN 14+ is too slow for a fuzz iteration, so fold large
+		// exponents into [-2, 11] while keeping out-of-range values possible.
+		if logN > 11 || logN < -2 {
+			logN = logN%14 - 2
+		}
+		if levels > 6 || levels < -2 {
+			levels = levels%9 - 2
+		}
+		cfg := fast.ContextConfig{
+			LogN:        logN,
+			LogSlots:    logSlots,
+			Levels:      levels,
+			LogScale:    logScale,
+			Rotations:   []int{rot},
+			Conjugation: klss,
+			EnableKLSS:  klss,
+			Seed:        seed,
+		}
+		ctx, err := fast.NewContext(cfg)
+		if err != nil {
+			return // rejected with an error: fine
+		}
+		// Accepted: the context must actually work.
+		vals := make([]complex128, min(4, ctx.Slots()))
+		for i := range vals {
+			vals[i] = complex(float64(i)*0.25, -0.5)
+		}
+		ct, err := ctx.Encrypt(vals)
+		if err != nil {
+			t.Fatalf("accepted config cannot encrypt: %v (cfg %+v)", err, cfg)
+		}
+		sum, err := ctx.Add(ct, ct)
+		if err != nil {
+			t.Fatalf("accepted config cannot add: %v (cfg %+v)", err, cfg)
+		}
+		if got := ctx.Decrypt(sum); len(got) != ctx.Slots() {
+			t.Fatalf("decrypt returned %d values, want %d", len(got), ctx.Slots())
+		}
+	})
+}

@@ -91,10 +91,10 @@ func BootstrapRotations(params *Parameters) []int {
 // Galois keys for BootstrapRotations plus the conjugation and relin keys.
 func NewBootstrapper(params *Parameters, enc *Encoder, eval *Evaluator, bp BootstrapParameters) (*Bootstrapper, error) {
 	if params.secretHW == 0 {
-		return nil, fmt.Errorf("ckks: bootstrapping requires a sparse secret (SecretHammingWeight > 0)")
+		return nil, fmt.Errorf("ckks: bootstrapping requires a sparse secret (SecretHammingWeight > 0): %w", ErrInvalidParameters)
 	}
 	if params.MaxLevel() < bp.Depth() {
-		return nil, fmt.Errorf("ckks: chain depth %d below bootstrap depth %d", params.MaxLevel(), bp.Depth())
+		return nil, fmt.Errorf("ckks: chain depth %d below bootstrap depth %d: %w", params.MaxLevel(), bp.Depth(), ErrInvalidParameters)
 	}
 	bt := &Bootstrapper{
 		params: params, enc: enc, eval: eval, bp: bp,
@@ -163,7 +163,7 @@ func (bt *Bootstrapper) dftDiagonals(transform func([]complex128), factor comple
 // later removes).
 func (bt *Bootstrapper) modRaise(ct *Ciphertext) (*Ciphertext, error) {
 	if ct.Level != 0 {
-		return nil, fmt.Errorf("ckks: modRaise expects a level-0 ciphertext, got level %d", ct.Level)
+		return nil, fmt.Errorf("ckks: modRaise expects a level-0 ciphertext, got level %d: %w", ct.Level, ErrLevelMismatch)
 	}
 	p := bt.params
 	rq0 := p.ringQ.AtLevel(0)

@@ -68,7 +68,7 @@ func (e *Encryptor) SetObserver(o *obs.Observer) {
 // Encrypt returns a fresh encryption of pt at pt's level.
 func (e *Encryptor) Encrypt(pt *Plaintext) (*Ciphertext, error) {
 	if pt.Level < 0 || pt.Level > e.params.MaxLevel() {
-		return nil, fmt.Errorf("ckks: plaintext level %d out of range", pt.Level)
+		return nil, fmt.Errorf("ckks: plaintext level %d out of range: %w", pt.Level, ErrLevelMismatch)
 	}
 	var t0 time.Time
 	if e.encLatNS != nil {

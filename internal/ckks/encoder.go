@@ -115,10 +115,15 @@ func (e *Encoder) project(vals []complex128) {
 func (e *Encoder) EncodeAtLevel(values []complex128, level int, scale float64) (*Plaintext, error) {
 	slots := e.params.Slots()
 	if len(values) > slots {
-		return nil, fmt.Errorf("ckks: %d values exceed %d slots", len(values), slots)
+		return nil, fmt.Errorf("ckks: %d values exceed %d slots: %w", len(values), slots, ErrSlotCountMismatch)
 	}
 	if level < 0 || level > e.params.MaxLevel() {
-		return nil, fmt.Errorf("ckks: level %d out of range [0,%d]", level, e.params.MaxLevel())
+		return nil, fmt.Errorf("ckks: level %d out of range [0,%d]: %w", level, e.params.MaxLevel(), ErrLevelMismatch)
+	}
+	// A non-positive or non-finite scale would encode fine but decode to
+	// NaN/Inf (found by FuzzEncodeDecode) — reject it at the boundary.
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return nil, fmt.Errorf("ckks: invalid encoding scale %g: %w", scale, ErrInvalidValue)
 	}
 	w := make([]complex128, slots)
 	copy(w, values)
@@ -156,7 +161,7 @@ func (e *Encoder) Encode(values []complex128) (*Plaintext, error) {
 func scaleToInt(v, scale float64) (*big.Int, error) {
 	f := v * scale
 	if math.IsNaN(f) || math.IsInf(f, 0) {
-		return nil, fmt.Errorf("ckks: value %g overflows at scale %g", v, scale)
+		return nil, fmt.Errorf("ckks: value %g overflows at scale %g: %w", v, scale, ErrInvalidValue)
 	}
 	bf := new(big.Float).SetPrec(96).SetFloat64(v)
 	bf.Mul(bf, new(big.Float).SetPrec(96).SetFloat64(scale))

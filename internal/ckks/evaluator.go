@@ -119,7 +119,7 @@ func NewEvaluatorOptions(params *Parameters, keys *EvaluationKeySet, opts Evalua
 // Deprecated: use the ...With method variants for per-call selection.
 func (ev *Evaluator) SetMethod(m KeySwitchMethod) error {
 	if _, ok := ev.switcher[m]; !ok {
-		return fmt.Errorf("ckks: evaluator has no %v backend", m)
+		return fmt.Errorf("ckks: evaluator has no %v backend: %w", m, ErrMethodUnavailable)
 	}
 	ev.method.Store(int32(m))
 	return nil
@@ -132,7 +132,7 @@ func (ev *Evaluator) Method() KeySwitchMethod { return KeySwitchMethod(ev.method
 func (ev *Evaluator) switcherFor(m KeySwitchMethod) (*KeySwitcher, error) {
 	sw, ok := ev.switcher[m]
 	if !ok {
-		return nil, fmt.Errorf("ckks: evaluator has no %v backend", m)
+		return nil, fmt.Errorf("ckks: evaluator has no %v backend: %w", m, ErrMethodUnavailable)
 	}
 	return sw, nil
 }
@@ -180,7 +180,7 @@ func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	}
 	a, b = ev.alignLevels(a, b)
 	if !scalesMatch(a.Scale, b.Scale) {
-		return nil, fmt.Errorf("ckks: HAdd scale mismatch: %g vs %g", a.Scale, b.Scale)
+		return nil, fmt.Errorf("ckks: HAdd %w: %g vs %g", ErrScaleMismatch, a.Scale, b.Scale)
 	}
 	rq := ev.params.ringQ.AtLevel(a.Level)
 	out := &Ciphertext{C0: rq.NewPoly(), C1: rq.NewPoly(), Level: a.Level, Scale: a.Scale}
@@ -200,7 +200,7 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
 	}
 	a, b = ev.alignLevels(a, b)
 	if !scalesMatch(a.Scale, b.Scale) {
-		return nil, fmt.Errorf("ckks: HSub scale mismatch: %g vs %g", a.Scale, b.Scale)
+		return nil, fmt.Errorf("ckks: HSub %w: %g vs %g", ErrScaleMismatch, a.Scale, b.Scale)
 	}
 	rq := ev.params.ringQ.AtLevel(a.Level)
 	out := &Ciphertext{C0: rq.NewPoly(), C1: rq.NewPoly(), Level: a.Level, Scale: a.Scale}
@@ -220,7 +220,7 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 	}
 	level := min(ct.Level, pt.Level)
 	if !scalesMatch(ct.Scale, pt.Scale) {
-		return nil, fmt.Errorf("ckks: PAdd scale mismatch: %g vs %g", ct.Scale, pt.Scale)
+		return nil, fmt.Errorf("ckks: PAdd %w: %g vs %g", ErrScaleMismatch, ct.Scale, pt.Scale)
 	}
 	rq := ev.params.ringQ.AtLevel(level)
 	out := &Ciphertext{C0: rq.NewPoly(), C1: ct.C1.Truncated(level + 1).Clone(), Level: level, Scale: ct.Scale}
@@ -353,7 +353,7 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 		t0 = time.Now()
 	}
 	if ct.Level == 0 {
-		return nil, fmt.Errorf("ckks: cannot rescale at level 0")
+		return nil, fmt.Errorf("ckks: cannot rescale at level 0: %w", ErrLevelExhausted)
 	}
 	level := ct.Level
 	rqIn := ev.params.ringQ.AtLevel(level)

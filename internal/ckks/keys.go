@@ -51,7 +51,7 @@ func NewEvaluationKeySet() *EvaluationKeySet {
 func (s *EvaluationKeySet) RelinKey(m KeySwitchMethod) (*SwitchingKey, error) {
 	k, ok := s.Relin[m]
 	if !ok {
-		return nil, fmt.Errorf("ckks: no %v relinearization key in the set", m)
+		return nil, fmt.Errorf("ckks: no %v relinearization key in the set: %w", m, ErrKeyMissing)
 	}
 	return k, nil
 }
@@ -60,7 +60,7 @@ func (s *EvaluationKeySet) RelinKey(m KeySwitchMethod) (*SwitchingKey, error) {
 func (s *EvaluationKeySet) GaloisKey(m KeySwitchMethod, galEl uint64) (*SwitchingKey, error) {
 	k, ok := s.Galois[m][galEl]
 	if !ok {
-		return nil, fmt.Errorf("ckks: no %v galois key for element %d", m, galEl)
+		return nil, fmt.Errorf("ckks: no %v galois key for element %d: %w", m, galEl, ErrKeyMissing)
 	}
 	return k, nil
 }
@@ -143,11 +143,11 @@ func (p *Parameters) keyRing(m KeySwitchMethod) (*ring.Ring, int, error) {
 		return p.ringQP, len(p.pChain), nil
 	case KLSS:
 		if p.ringQT == nil {
-			return nil, 0, fmt.Errorf("ckks: parameter set has no KLSS auxiliary chain")
+			return nil, 0, fmt.Errorf("ckks: parameter set has no KLSS auxiliary chain: %w", ErrMethodUnavailable)
 		}
 		return p.ringQT, len(p.tChain), nil
 	default:
-		return nil, 0, fmt.Errorf("ckks: unknown key-switching method %v", m)
+		return nil, 0, fmt.Errorf("ckks: unknown key-switching method %v: %w", m, ErrMethodUnavailable)
 	}
 }
 

@@ -215,7 +215,7 @@ func (ks *KeySwitcher) modFor(level, i int) ring.Modulus {
 // The returned decomposition holds pooled buffers; Release it when done.
 func (ks *KeySwitcher) Decompose(c ring.Poly, level int) (*Decomposition, error) {
 	if c.Limbs() != level+1 {
-		return nil, fmt.Errorf("ckks: decompose input has %d limbs, want %d", c.Limbs(), level+1)
+		return nil, fmt.Errorf("ckks: decompose input has %d limbs, want %d: %w", c.Limbs(), level+1, ErrLevelMismatch)
 	}
 	var t0 time.Time
 	if ks.modUpNS != nil {
@@ -313,7 +313,7 @@ func (ks *KeySwitcher) Automorph(d *Decomposition, index []int) *Decomposition {
 // lazy-tolerant ModDown — one fused parallel pass per lane.
 func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (d0, d1 ring.Poly, err error) {
 	if key.Method != ks.method {
-		return d0, d1, fmt.Errorf("ckks: %v switcher given a %v key", ks.method, key.Method)
+		return d0, d1, fmt.Errorf("ckks: %v switcher given a %v key: %w", ks.method, key.Method, ErrMethodUnavailable)
 	}
 	beta := ks.beta(level)
 	if beta > len(key.B) {

@@ -35,10 +35,10 @@ func NewLinearTransform(enc *Encoder, diags map[int][]complex128, level int, sca
 	maxD := 0
 	for d, v := range diags {
 		if d < 0 || d >= n {
-			return nil, fmt.Errorf("ckks: diagonal index %d out of [0,%d)", d, n)
+			return nil, fmt.Errorf("ckks: diagonal index %d out of [0,%d): %w", d, n, ErrSlotCountMismatch)
 		}
 		if len(v) != n {
-			return nil, fmt.Errorf("ckks: diagonal %d has %d entries, want %d", d, len(v), n)
+			return nil, fmt.Errorf("ckks: diagonal %d has %d entries, want %d: %w", d, len(v), n, ErrSlotCountMismatch)
 		}
 		if d > maxD {
 			maxD = d
@@ -101,7 +101,7 @@ func (lt *LinearTransform) Rotations() []int {
 // scale; the caller rescales.
 func (ev *Evaluator) LinearTransform(ct *Ciphertext, lt *LinearTransform) (*Ciphertext, error) {
 	if ct.Level < lt.level {
-		return nil, fmt.Errorf("ckks: ciphertext at level %d below transform level %d", ct.Level, lt.level)
+		return nil, fmt.Errorf("ckks: ciphertext at level %d below transform level %d: %w", ct.Level, lt.level, ErrLevelMismatch)
 	}
 	if ct.Level > lt.level {
 		ct = ev.DropLevel(ct, ct.Level-lt.level)

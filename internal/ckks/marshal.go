@@ -127,27 +127,44 @@ func ReadCiphertext(r io.Reader, params *Parameters) (*Ciphertext, error) {
 	return ct, nil
 }
 
-// validate checks structural consistency with the parameter set.
-func (ct *Ciphertext) validate(params *Parameters) error {
+// Validate checks the ciphertext's structural invariants against the
+// parameter set: level within the chain, limb counts consistent with the
+// level, ring degree, and a finite positive scale. Violations wrap
+// ErrInvalidCiphertext. It is cheap (no coefficient scan) — the fast package
+// runs it at every public API boundary.
+func (ct *Ciphertext) Validate(params *Parameters) error {
+	if ct == nil || ct.C0.Coeffs == nil || ct.C1.Coeffs == nil {
+		return fmt.Errorf("ckks: nil ciphertext: %w", ErrInvalidCiphertext)
+	}
 	if ct.Level < 0 || ct.Level > params.MaxLevel() {
-		return fmt.Errorf("ckks: ciphertext level %d out of range [0,%d]", ct.Level, params.MaxLevel())
+		return fmt.Errorf("ckks: ciphertext level %d out of range [0,%d]: %w", ct.Level, params.MaxLevel(), ErrInvalidCiphertext)
 	}
 	if ct.C0.Limbs() != ct.Level+1 || ct.C1.Limbs() != ct.Level+1 {
-		return fmt.Errorf("ckks: ciphertext limbs (%d,%d) inconsistent with level %d",
-			ct.C0.Limbs(), ct.C1.Limbs(), ct.Level)
+		return fmt.Errorf("ckks: ciphertext limbs (%d,%d) inconsistent with level %d: %w",
+			ct.C0.Limbs(), ct.C1.Limbs(), ct.Level, ErrInvalidCiphertext)
 	}
 	if ct.C0.N() != params.N() || ct.C1.N() != params.N() {
-		return fmt.Errorf("ckks: ciphertext degree %d does not match N=%d", ct.C0.N(), params.N())
+		return fmt.Errorf("ckks: ciphertext degree %d does not match N=%d: %w", ct.C0.N(), params.N(), ErrInvalidCiphertext)
 	}
 	if ct.Scale <= 0 || math.IsNaN(ct.Scale) || math.IsInf(ct.Scale, 0) {
-		return fmt.Errorf("ckks: invalid scale %g", ct.Scale)
+		return fmt.Errorf("ckks: invalid scale %g: %w", ct.Scale, ErrInvalidCiphertext)
+	}
+	return nil
+}
+
+// validate is the deserialisation-strength check: the structural invariants
+// of Validate plus a full coefficient-range scan (every residue must sit
+// below its limb modulus), guarding against hostile or corrupted wire data.
+func (ct *Ciphertext) validate(params *Parameters) error {
+	if err := ct.Validate(params); err != nil {
+		return err
 	}
 	for i := 0; i <= ct.Level; i++ {
 		q := params.qChain[i]
 		for _, row := range [][]uint64{ct.C0.Coeffs[i], ct.C1.Coeffs[i]} {
 			for _, v := range row {
 				if v >= q {
-					return fmt.Errorf("ckks: coefficient %d out of range for limb %d (q=%d)", v, i, q)
+					return fmt.Errorf("ckks: coefficient %d out of range for limb %d (q=%d): %w", v, i, q, ErrInvalidCiphertext)
 				}
 			}
 		}

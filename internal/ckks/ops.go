@@ -8,10 +8,10 @@ import "fmt"
 // The rotation tree needs Galois keys for batch/2, batch/4, ..., 1.
 func (ev *Evaluator) InnerSum(ct *Ciphertext, batch int) (*Ciphertext, error) {
 	if batch < 1 || batch&(batch-1) != 0 {
-		return nil, fmt.Errorf("ckks: InnerSum batch %d must be a power of two", batch)
+		return nil, fmt.Errorf("ckks: InnerSum batch %d must be a power of two: %w", batch, ErrInvalidValue)
 	}
 	if batch > ev.params.Slots() {
-		return nil, fmt.Errorf("ckks: InnerSum batch %d exceeds %d slots", batch, ev.params.Slots())
+		return nil, fmt.Errorf("ckks: InnerSum batch %d exceeds %d slots: %w", batch, ev.params.Slots(), ErrSlotCountMismatch)
 	}
 	out := ct
 	var err error
@@ -34,10 +34,10 @@ func (ev *Evaluator) InnerSum(ct *Ciphertext, batch int) (*Ciphertext, error) {
 // adjoint of InnerSum and uses the inverse rotation tree.
 func (ev *Evaluator) Replicate(ct *Ciphertext, batch int) (*Ciphertext, error) {
 	if batch < 1 || batch&(batch-1) != 0 {
-		return nil, fmt.Errorf("ckks: Replicate batch %d must be a power of two", batch)
+		return nil, fmt.Errorf("ckks: Replicate batch %d must be a power of two: %w", batch, ErrInvalidValue)
 	}
 	if batch > ev.params.Slots() {
-		return nil, fmt.Errorf("ckks: Replicate batch %d exceeds %d slots", batch, ev.params.Slots())
+		return nil, fmt.Errorf("ckks: Replicate batch %d exceeds %d slots: %w", batch, ev.params.Slots(), ErrSlotCountMismatch)
 	}
 	out := ct
 	var err error
@@ -58,7 +58,7 @@ func (ev *Evaluator) Replicate(ct *Ciphertext, batch int) (*Ciphertext, error) {
 // multiplication by the 0/1 indicator, followed by a rescale).
 func (ev *Evaluator) MaskSlots(ct *Ciphertext, mask []bool, enc *Encoder) (*Ciphertext, error) {
 	if len(mask) != ev.params.Slots() {
-		return nil, fmt.Errorf("ckks: mask length %d != %d slots", len(mask), ev.params.Slots())
+		return nil, fmt.Errorf("ckks: mask length %d != %d slots: %w", len(mask), ev.params.Slots(), ErrSlotCountMismatch)
 	}
 	v := make([]complex128, len(mask))
 	for i, keep := range mask {

@@ -94,22 +94,22 @@ type Parameters struct {
 // NTT-friendly prime chains and precomputes all ring tables.
 func NewParameters(lit ParametersLiteral) (*Parameters, error) {
 	if lit.LogN < 4 || lit.LogN > 17 {
-		return nil, fmt.Errorf("ckks: LogN %d out of supported range [4,17]", lit.LogN)
+		return nil, fmt.Errorf("ckks: LogN %d out of supported range [4,17]: %w", lit.LogN, ErrInvalidParameters)
 	}
 	if lit.LogSlots < 1 || lit.LogSlots > lit.LogN-1 {
-		return nil, fmt.Errorf("ckks: LogSlots %d out of range [1,%d]", lit.LogSlots, lit.LogN-1)
+		return nil, fmt.Errorf("ckks: LogSlots %d out of range [1,%d]: %w", lit.LogSlots, lit.LogN-1, ErrInvalidParameters)
 	}
 	if len(lit.LogQ) < 1 {
-		return nil, fmt.Errorf("ckks: need at least one ciphertext prime")
+		return nil, fmt.Errorf("ckks: need at least one ciphertext prime: %w", ErrInvalidParameters)
 	}
 	if len(lit.LogP) < 1 {
-		return nil, fmt.Errorf("ckks: need at least one special prime")
+		return nil, fmt.Errorf("ckks: need at least one special prime: %w", ErrInvalidParameters)
 	}
 	if lit.Alpha < 1 {
-		return nil, fmt.Errorf("ckks: Alpha must be >= 1, got %d", lit.Alpha)
+		return nil, fmt.Errorf("ckks: Alpha must be >= 1, got %d: %w", lit.Alpha, ErrInvalidParameters)
 	}
 	if lit.LogScale < 8 || lit.LogScale > 55 {
-		return nil, fmt.Errorf("ckks: LogScale %d out of range [8,55]", lit.LogScale)
+		return nil, fmt.Errorf("ckks: LogScale %d out of range [8,55]: %w", lit.LogScale, ErrInvalidParameters)
 	}
 	if lit.Sigma == 0 {
 		lit.Sigma = 3.2

@@ -1,0 +1,192 @@
+package fault
+
+import (
+	"testing"
+
+	"github.com/fastfhe/fast/internal/obs"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var i *Injector
+	if i.Enabled() {
+		t.Fatal("nil injector must be disabled")
+	}
+	if i.TransferFails() || i.Corrupts() {
+		t.Error("nil injector fired")
+	}
+	if f, ok := i.Spike(); ok || f != 1 {
+		t.Errorf("nil Spike = %g,%v", f, ok)
+	}
+	if s, ok := i.PoolPressure(); ok || s != 1 {
+		t.Errorf("nil PoolPressure = %g,%v", s, ok)
+	}
+	i.SetObserver(obs.New()) // must not panic
+	if i.Plan().Enabled() {
+		t.Error("nil injector plan must be zero")
+	}
+}
+
+func TestEmptyPlanCompilesToNil(t *testing.T) {
+	if NewInjector(Plan{Seed: 42}) != nil {
+		t.Fatal("a plan that injects nothing must compile to the nil injector")
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	plan := Plan{Seed: 7, TransferFailure: 0.3, LatencySpike: 0.2, Corruption: 0.1, PoolPressure: 0.1}
+	draw := func() []bool {
+		i := NewInjector(plan)
+		var out []bool
+		for k := 0; k < 2000; k++ {
+			out = append(out, i.TransferFails(), i.Corrupts())
+			_, s := i.Spike()
+			_, p := i.PoolPressure()
+			out = append(out, s, p)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("draw %d differs between identically-seeded injectors", k)
+		}
+	}
+	// A different seed must (overwhelmingly) give a different pattern.
+	plan.Seed = 8
+	c := NewInjector(plan)
+	same := true
+	for k := 0; k < 2000 && same; k++ {
+		if c.TransferFails() != a[4*k] {
+			same = false
+		}
+		c.Corrupts()
+		c.Spike()
+		c.PoolPressure()
+	}
+	if same {
+		t.Error("different seeds produced an identical 2000-draw pattern")
+	}
+}
+
+func TestFiringRates(t *testing.T) {
+	i := NewInjector(Plan{Seed: 3, TransferFailure: 0.25})
+	fired := 0
+	const n = 20000
+	for k := 0; k < n; k++ {
+		if i.TransferFails() {
+			fired++
+		}
+	}
+	rate := float64(fired) / n
+	if rate < 0.22 || rate > 0.28 {
+		t.Errorf("transfer-failure rate %.3f, want ~0.25", rate)
+	}
+}
+
+func TestObserverCountsInjections(t *testing.T) {
+	o := obs.New()
+	i := NewInjector(Plan{Seed: 1, Corruption: 1})
+	i.SetObserver(o)
+	for k := 0; k < 5; k++ {
+		if !i.Corrupts() {
+			t.Fatal("probability-1 corruption must fire")
+		}
+	}
+	if got := o.Reg().Counter("fault.injected").Value(); got != 5 {
+		t.Errorf("fault.injected = %d, want 5", got)
+	}
+	if got := o.Reg().Counter("fault.injected.corruption").Value(); got != 5 {
+		t.Errorf("fault.injected.corruption = %d, want 5", got)
+	}
+	i.SetObserver(nil) // detach must not panic and must stop counting
+	i.Corrupts()
+	if got := o.Reg().Counter("fault.injected").Value(); got != 5 {
+		t.Errorf("detached injector still counted: %d", got)
+	}
+}
+
+func TestDefaultsResolved(t *testing.T) {
+	i := NewInjector(Plan{LatencySpike: 1, PoolPressure: 1})
+	if f, ok := i.Spike(); !ok || f != 8 {
+		t.Errorf("default spike factor = %g,%v, want 8,true", f, ok)
+	}
+	if s, ok := i.PoolPressure(); !ok || s != 0.5 {
+		t.Errorf("default surviving fraction = %g,%v, want 0.5,true", s, ok)
+	}
+}
+
+func TestScenariosAndParse(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		p, err := Scenario(name)
+		if err != nil {
+			t.Fatalf("Scenario(%q): %v", name, err)
+		}
+		if name == "none" && p.Enabled() {
+			t.Error("scenario none must be empty")
+		}
+		if name != "none" && !p.Enabled() {
+			t.Errorf("scenario %q is empty", name)
+		}
+		// Round-trip through the ParsePlan syntax.
+		rt, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", p.String(), err)
+		}
+		if rt != p {
+			t.Errorf("round-trip %q: got %+v, want %+v", name, rt, p)
+		}
+	}
+	if _, err := Scenario("bogus"); err == nil {
+		t.Error("unknown scenario must error")
+	}
+
+	p, err := ParsePlan("transfer=0.2,spike=0.1x12,corrupt=0.05,pressure=0.1/0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{TransferFailure: 0.2, LatencySpike: 0.1, SpikeFactor: 12, Corruption: 0.05, PoolPressure: 0.1, PressureFraction: 0.25}
+	if p != want {
+		t.Errorf("parsed %+v, want %+v", p, want)
+	}
+	for _, bad := range []string{"bogus", "transfer=x", "transfer=2", "spike=0.1xq", "warp=0.1", "transfer=-1"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", bad)
+		}
+	}
+	if p, err := ParsePlan(""); err != nil || p.Enabled() {
+		t.Errorf("empty spec = %+v, %v", p, err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || s == "Kind(0)" {
+			t.Errorf("Kind(%d).String() = %q", k, s)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Error("out-of-range kind string")
+	}
+}
+
+func TestConcurrentDrawsRaceFree(t *testing.T) {
+	i := NewInjector(Plan{Seed: 9, TransferFailure: 0.5, Corruption: 0.5})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer close0(done)
+			for k := 0; k < 1000; k++ {
+				i.TransferFails()
+				i.Corrupts()
+				i.Spike()
+				i.PoolPressure()
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}
+
+// close0 signals one completion on a shared channel.
+func close0(ch chan struct{}) { ch <- struct{}{} }

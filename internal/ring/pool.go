@@ -32,6 +32,9 @@ type PolyPool struct {
 // NewPolyPool creates a pool of polynomials with the given degree and maximal
 // limb count.
 func NewPolyPool(n, maxLimbs int) *PolyPool {
+	// INVARIANT: pool shapes are fixed at construction from a validated parameter set.
+	// A panic here is a repo-internal bug, never a reaction to caller input —
+	// malformed inputs are rejected with typed errors at the public boundary.
 	if n < 1 || maxLimbs < 1 {
 		panic(fmt.Sprintf("ring: invalid pool shape %dx%d", maxLimbs, n))
 	}
@@ -70,6 +73,9 @@ func (pp *PolyPool) MaxLimbs() int { return pp.maxLimbs }
 // unspecified (callers that accumulate must use GetZero or overwrite every
 // coefficient). The returned Poly must be handed back with Put once dead.
 func (pp *PolyPool) Get(limbs int) Poly {
+	// INVARIANT: limb counts come from ciphertext levels already range-checked upstream.
+	// A panic here is a repo-internal bug, never a reaction to caller input —
+	// malformed inputs are rejected with typed errors at the public boundary.
 	if limbs < 1 || limbs > pp.maxLimbs {
 		panic(fmt.Sprintf("ring: pool Get(%d) out of range [1,%d]", limbs, pp.maxLimbs))
 	}

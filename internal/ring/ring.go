@@ -64,6 +64,9 @@ func (r *Ring) ModulusProductAtLevel(level int) *big.Int {
 // AtLevel returns a shallow view of the ring truncated to level+1 limbs.
 // The returned ring shares tables with the receiver.
 func (r *Ring) AtLevel(level int) *Ring {
+	// INVARIANT: levels are validated at the ckks boundary (ErrLevelMismatch) before reaching ring kernels.
+	// A panic here is a repo-internal bug, never a reaction to caller input —
+	// malformed inputs are rejected with typed errors at the public boundary.
 	if level < 0 || level > r.Level() {
 		panic(fmt.Sprintf("ring: level %d out of range [0,%d]", level, r.Level()))
 	}
@@ -157,6 +160,9 @@ func (p Poly) Equal(q Poly) bool {
 // checkShape panics unless all operands have exactly limbs(r) limbs of degree N.
 func (r *Ring) checkShape(ps ...Poly) {
 	for _, p := range ps {
+		// INVARIANT: operand shapes are pinned by the parameter set; the public API validates ciphertext shape (ErrInvalidCiphertext) at entry.
+		// A panic here is a repo-internal bug, never a reaction to caller input —
+		// malformed inputs are rejected with typed errors at the public boundary.
 		if p.Limbs() != len(r.Moduli) || p.N() != r.N {
 			panic(fmt.Sprintf("ring: operand shape %dx%d does not match ring %dx%d",
 				p.Limbs(), p.N(), len(r.Moduli), r.N))

@@ -138,6 +138,9 @@ func (e *Extender) scratchRows(n int) ([][]uint64, *rowPool) {
 // AccumCapacity terms (≥ 8 even at the 61-bit cap); longer source bases fold
 // the accumulator through an intermediate Barrett reduction.
 func (e *Extender) Convert(src, dst [][]uint64) {
+	// INVARIANT: basis shapes are derived from one validated parameter set.
+	// A panic here is a repo-internal bug, never a reaction to caller input —
+	// malformed inputs are rejected with typed errors at the public boundary.
 	if len(src) != len(e.From) || len(dst) != len(e.To) {
 		panic(fmt.Sprintf("rns: Convert limb mismatch: src %d/%d, dst %d/%d",
 			len(src), len(e.From), len(dst), len(e.To)))
@@ -329,6 +332,9 @@ func (d *ModDowner) scratchRows(n int) ([][]uint64, *rowPool) {
 // coefficient form. Input rows may be lazily reduced ([0, 2q); e.g. straight
 // out of InverseLazy); outputs are fully reduced. Safe for concurrent use.
 func (d *ModDowner) ModDown(xQ, xP, out [][]uint64) {
+	// INVARIANT: ModDown operands are sized by the key switcher from the same chain.
+	// A panic here is a repo-internal bug, never a reaction to caller input —
+	// malformed inputs are rejected with typed errors at the public boundary.
 	if len(xQ) != len(d.Q) || len(xP) != len(d.P) || len(out) != len(d.Q) {
 		panic("rns: ModDown limb mismatch")
 	}
@@ -392,6 +398,9 @@ func NewRescaler(moduli []ring.Modulus) *Rescaler {
 // concurrent use.
 func (r *Rescaler) Rescale(x, out [][]uint64) {
 	l := len(x) - 1
+	// INVARIANT: Rescale at level 0 is rejected with ErrLevelExhausted at the evaluator boundary.
+	// A panic here is a repo-internal bug, never a reaction to caller input —
+	// malformed inputs are rejected with typed errors at the public boundary.
 	if l < 1 || len(out) != l {
 		panic(fmt.Sprintf("rns: Rescale needs >=2 limbs and out of %d rows", l))
 	}

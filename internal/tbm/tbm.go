@@ -25,6 +25,9 @@ const base36Mask = (uint64(1) << 36) - 1
 // (hi, lo). Operands wider than 60 bits panic, mirroring the hardware's
 // input-buffer contract.
 func Mul60(x, y uint64) (hi, lo uint64) {
+	// INVARIANT: operands are residues of NewParameters-validated <=60-bit moduli.
+	// A panic here is a repo-internal bug, never a reaction to caller input —
+	// malformed inputs are rejected with typed errors at the public boundary.
 	if bits.Len64(x) > 60 || bits.Len64(y) > 60 {
 		panic("tbm: Mul60 operand exceeds 60 bits")
 	}
@@ -63,6 +66,9 @@ func sub128(ah, al, bh, bl uint64) (h, l uint64) {
 // Operands wider than 36 bits panic.
 func Mul36Pair(a0, b0, a1, b1 uint64) (p0hi, p0lo, p1hi, p1lo uint64) {
 	for _, v := range [...]uint64{a0, b0, a1, b1} {
+		// INVARIANT: operands are residues of NewParameters-validated <=36-bit moduli.
+		// A panic here is a repo-internal bug, never a reaction to caller input —
+		// malformed inputs are rejected with typed errors at the public boundary.
 		if bits.Len64(v) > 36 {
 			panic("tbm: Mul36Pair operand exceeds 36 bits")
 		}

@@ -106,6 +106,9 @@ func (p Profile) appendBootstrap(t *trace.Trace, ctBase int) int {
 	for m := 0; m < p.CtSMatrices; m++ {
 		level = p.dftFactor(t, "SlotToCoeff", level, ctBase)
 	}
+	// INVARIANT: profiles are package-internal constants (DefaultProfile); no user input reaches this check.
+	// A panic here is a repo-internal bug, never a reaction to caller input —
+	// malformed inputs are rejected with typed errors at the public boundary.
 	if level < p.LEff {
 		panic(fmt.Sprintf("workloads: bootstrap profile exhausts the chain (ends at %d, want >= %d)", level, p.LEff))
 	}
@@ -117,6 +120,8 @@ func Bootstrap(p Profile) *trace.Trace {
 	t := &trace.Trace{Name: "Bootstrap", Slots: p.Slots}
 	p.appendBootstrap(t, 0)
 	if err := t.Validate(); err != nil {
+		// INVARIANT: traces are generated from fixed in-repo profiles; a
+		// validation failure is a bug in the generator, not caller input.
 		panic(err)
 	}
 	return t
@@ -159,6 +164,8 @@ func HELR(p Profile, batch int) *trace.Trace {
 	}
 	p.appendBootstrap(t, 100)
 	if err := t.Validate(); err != nil {
+		// INVARIANT: traces are generated from fixed in-repo profiles; a
+		// validation failure is a bug in the generator, not caller input.
 		panic(err)
 	}
 	return t
@@ -178,6 +185,8 @@ func HELRTraining(p Profile, batch, iterations int) *trace.Trace {
 		}
 	}
 	if err := t.Validate(); err != nil {
+		// INVARIANT: traces are generated from fixed in-repo profiles; a
+		// validation failure is a bug in the generator, not caller input.
 		panic(err)
 	}
 	return t
@@ -245,6 +254,8 @@ func ResNet20(p Profile) *trace.Trace {
 	bootstrap()
 
 	if err := t.Validate(); err != nil {
+		// INVARIANT: traces are generated from fixed in-repo profiles; a
+		// validation failure is a bug in the generator, not caller input.
 		panic(err)
 	}
 	return t
