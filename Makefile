@@ -28,9 +28,13 @@ race:
 # Chaos gate: the fault-injection suites under the race detector. Long random
 # op sequences run under every fault scenario; decryptions must stay bit-exact
 # with the fault-free run, and the simulator must be deterministic per fault
-# seed. (-short keeps the op count CI-sized; drop it for a deeper soak.)
+# seed. The fastd suite runs the serve loop in-process under every scenario:
+# accepted responses must be bit-identical to a fault-free reference, shed and
+# canceled requests must carry typed errors, and the circuit breaker must
+# re-close once faults stop. (-short keeps the op count CI-sized; drop it for
+# a deeper soak.)
 chaos:
-	$(GO) test -race -short -run 'Chaos|Fault|Resilience' . ./internal/sim ./internal/hemera ./cmd/fastsim
+	$(GO) test -race -short -run 'Chaos|Fault|Resilience' . ./internal/sim ./internal/hemera ./cmd/fastsim ./cmd/fastd ./internal/serve
 	$(GO) test -race ./internal/fault
 
 # Fuzz smoke pass: each target fuzzes for 10s (Go allows one -fuzz pattern
@@ -38,6 +42,7 @@ chaos:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzEncodeDecode -fuzztime 10s ./internal/ckks
 	$(GO) test -run '^$$' -fuzz FuzzReadCiphertext -fuzztime 10s ./internal/ckks
+	$(GO) test -run '^$$' -fuzz FuzzCiphertextMarshal -fuzztime 10s ./internal/ckks
 	$(GO) test -run '^$$' -fuzz FuzzContextConfig -fuzztime 10s .
 
 bench:

@@ -1,6 +1,7 @@
 package fast
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/fastfhe/fast/internal/ckks"
@@ -94,7 +95,26 @@ func NewBootstrapContext(cfg BootstrapContextConfig) (*BootstrapContext, error) 
 // Bootstrap refreshes a level-0 ciphertext, restoring usable multiplicative
 // levels while preserving the message (to the scheme's approximation error).
 func (c *BootstrapContext) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
+	if err := c.validate(ct); err != nil {
+		return nil, err
+	}
 	out, err := c.bt.Bootstrap(ct.ct)
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{out}, nil
+}
+
+// BootstrapCtx is Bootstrap with cancellation: the multi-second pipeline polls
+// ctx between stages and at every level of the homomorphic DFTs, polynomial
+// evaluation and double-angle ladder, abandoning with an error matching
+// fast.ErrCanceled or fast.ErrDeadline (and the corresponding context
+// sentinel) within roughly one key-switch of ctx being done.
+func (c *BootstrapContext) BootstrapCtx(ctx context.Context, ct *Ciphertext) (*Ciphertext, error) {
+	if err := c.validate(ct); err != nil {
+		return nil, err
+	}
+	out, err := c.bt.BootstrapCtx(ctx, ct.ct)
 	if err != nil {
 		return nil, err
 	}

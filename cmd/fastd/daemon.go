@@ -1,0 +1,517 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	fast "github.com/fastfhe/fast"
+	"github.com/fastfhe/fast/internal/costmodel"
+	"github.com/fastfhe/fast/internal/obs"
+	"github.com/fastfhe/fast/internal/serve"
+)
+
+// daemonConfig sizes the serving layer.
+type daemonConfig struct {
+	Workers    int
+	QueueDepth int
+	// BreakerThreshold is the number of consecutive fault-bearing requests
+	// that open the circuit breaker; BreakerCooldown the open interval before
+	// the half-open probe.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MaxSessions bounds the session registry (each session owns a full key
+	// set — memory, not descriptors, is the scarce resource).
+	MaxSessions int
+	Observer    *fast.Observer
+}
+
+func (c daemonConfig) withDefaults() daemonConfig {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 16
+	}
+	if c.Observer == nil {
+		c.Observer = fast.NewObserver()
+	}
+	return c
+}
+
+// session is one client keyspace: a fast.Context plus the bookkeeping the
+// admission layer needs (cost parameters, fault-recovery watermark).
+type session struct {
+	id  string
+	ctx *fast.Context
+	cm  costmodel.Params
+
+	mu           sync.Mutex
+	lastRecovery int // Retries+Timeouts+Refetches watermark for breaker deltas
+}
+
+// faultRecoveryDelta returns the growth of the session's fault-recovery
+// counters since the previous call — the breaker's health signal.
+func (s *session) faultRecoveryDelta() int {
+	st := s.ctx.FaultStats()
+	total := st.Retries + st.Timeouts + st.Refetches
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delta := total - s.lastRecovery
+	s.lastRecovery = total
+	return delta
+}
+
+// daemon is the fastd HTTP server: a session registry in front of the
+// admission-controlled evaluator pool.
+type daemon struct {
+	cfg      daemonConfig
+	srv      *serve.Server
+	breaker  *serve.Breaker
+	observer *fast.Observer
+
+	mu       sync.RWMutex
+	sessions map[string]*session
+	nextID   uint64
+
+	mRequests     *obs.Counter
+	mFaultTrips   *obs.Counter
+	mSessionCount *obs.Gauge
+}
+
+func newDaemon(cfg daemonConfig) *daemon {
+	cfg = cfg.withDefaults()
+	reg := cfg.Observer.Registry()
+	br := serve.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	d := &daemon{
+		cfg:      cfg,
+		breaker:  br,
+		observer: cfg.Observer,
+		sessions: map[string]*session{},
+		srv: serve.New(serve.Config{
+			Workers:    cfg.Workers,
+			QueueDepth: cfg.QueueDepth,
+			Breaker:    br,
+			Reg:        reg,
+		}),
+	}
+	if reg != nil {
+		d.mRequests = reg.Counter("fastd.requests")
+		d.mFaultTrips = reg.Counter("fastd.breaker_fault_reports")
+		d.mSessionCount = reg.Gauge("fastd.sessions")
+	}
+	return d
+}
+
+// drain gracefully stops the admission layer (bounded by ctx).
+func (d *daemon) drain(ctx context.Context) error { return d.srv.Drain(ctx) }
+
+// ---- HTTP surface ----------------------------------------------------------
+
+// handler mounts the daemon's endpoints plus the observer's observability
+// surface (/metrics, /debug/..., /snapshot.json, /trace.json).
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
+	mux.HandleFunc("POST /v1/sessions", d.handleCreateSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", d.handleDeleteSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/encrypt", d.handleEncrypt)
+	mux.HandleFunc("POST /v1/sessions/{id}/decrypt", d.handleDecrypt)
+	mux.HandleFunc("POST /v1/sessions/{id}/eval", d.handleEval)
+
+	ob := d.observer.Handler()
+	for _, p := range []string{"/metrics", "/debug/", "/snapshot.json", "/trace.json", "/trace.txt"} {
+		mux.Handle(p, ob)
+	}
+	return mux
+}
+
+func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (d *daemon) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	type readiness struct {
+		Ready    bool   `json:"ready"`
+		Draining bool   `json:"draining"`
+		Breaker  string `json:"breaker"`
+		Queue    int    `json:"queue_depth"`
+	}
+	r := readiness{
+		Draining: d.srv.Draining(),
+		Breaker:  d.breaker.State().String(),
+		Queue:    d.srv.QueueLen(),
+	}
+	r.Ready = !r.Draining && d.breaker.State() != serve.BreakerOpen
+	if !r.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, r)
+}
+
+// sessionRequest mirrors fast.ContextConfig over the wire, plus an optional
+// named fault scenario for chaos exercises.
+type sessionRequest struct {
+	LogN          int    `json:"log_n"`
+	LogSlots      int    `json:"log_slots"`
+	Levels        int    `json:"levels"`
+	LogScale      int    `json:"log_scale"`
+	Rotations     []int  `json:"rotations"`
+	Conjugation   bool   `json:"conjugation"`
+	EnableKLSS    bool   `json:"enable_klss"`
+	Seed          int64  `json:"seed"`
+	Parallelism   int    `json:"parallelism"`
+	FaultScenario string `json:"fault_scenario,omitempty"`
+}
+
+type sessionResponse struct {
+	ID       string `json:"id"`
+	Slots    int    `json:"slots"`
+	MaxLevel int    `json:"max_level"`
+}
+
+func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	d.mRequests.Inc()
+	var req sessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode session request: %w", err))
+		return
+	}
+	cfg := fast.ContextConfig{
+		LogN:        req.LogN,
+		LogSlots:    req.LogSlots,
+		Levels:      req.Levels,
+		LogScale:    req.LogScale,
+		Rotations:   req.Rotations,
+		Conjugation: req.Conjugation,
+		EnableKLSS:  req.EnableKLSS,
+		Seed:        req.Seed,
+		Parallelism: req.Parallelism,
+	}
+	opts := []fast.Option{fast.WithObserver(d.observer)}
+	if req.FaultScenario != "" && req.FaultScenario != "none" {
+		plan, err := fast.FaultScenario(req.FaultScenario)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts = append(opts, fast.WithFaultPlan(plan))
+	}
+
+	d.mu.Lock()
+	if len(d.sessions) >= d.cfg.MaxSessions {
+		d.mu.Unlock()
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("session limit %d reached", d.cfg.MaxSessions))
+		return
+	}
+	d.nextID++
+	id := "s" + strconv.FormatUint(d.nextID, 10)
+	d.mu.Unlock()
+
+	// Key generation is expensive: run it under admission control too, so a
+	// burst of session creates cannot starve evaluation workers unnoticed.
+	var fctx *fast.Context
+	units := keygenUnits(cfg)
+	err := d.srv.Do(r.Context(), serve.Op{Name: "keygen", Units: units}, func(ctx context.Context) error {
+		var err error
+		fctx, err = fast.NewContext(cfg, opts...)
+		return err
+	})
+	if err != nil {
+		d.writeAdmissionError(w, err)
+		return
+	}
+
+	cm := costmodel.SetI()
+	cm.LogN = cfg.LogN
+	if cm.LogN == 0 {
+		cm.LogN = 11
+	}
+	cm.L = fctx.MaxLevel()
+	sess := &session{id: id, ctx: fctx, cm: cm}
+
+	d.mu.Lock()
+	d.sessions[id] = sess
+	n := len(d.sessions)
+	d.mu.Unlock()
+	d.mSessionCount.Set(int64(n))
+	writeJSON(w, sessionResponse{ID: id, Slots: fctx.Slots(), MaxLevel: fctx.MaxLevel()})
+}
+
+func (d *daemon) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	d.mRequests.Inc()
+	id := r.PathValue("id")
+	d.mu.Lock()
+	_, ok := d.sessions[id]
+	delete(d.sessions, id)
+	n := len(d.sessions)
+	d.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		return
+	}
+	d.mSessionCount.Set(int64(n))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (d *daemon) session(id string) (*session, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.sessions[id]
+	return s, ok
+}
+
+type cnum struct {
+	Re float64 `json:"re"`
+	Im float64 `json:"im"`
+}
+
+func toComplex(vs []cnum) []complex128 {
+	out := make([]complex128, len(vs))
+	for i, v := range vs {
+		out[i] = complex(v.Re, v.Im)
+	}
+	return out
+}
+
+func fromComplex(vs []complex128) []cnum {
+	out := make([]cnum, len(vs))
+	for i, v := range vs {
+		out[i] = cnum{Re: real(v), Im: imag(v)}
+	}
+	return out
+}
+
+type encryptRequest struct {
+	Values []cnum `json:"values"`
+}
+
+type ciphertextResponse struct {
+	Ciphertext string  `json:"ciphertext"` // base64 of the wire format
+	Level      int     `json:"level"`
+	Scale      float64 `json:"scale"`
+}
+
+func encodeCiphertext(ct *fast.Ciphertext) (ciphertextResponse, error) {
+	var buf bytes.Buffer
+	if err := ct.Serialize(&buf); err != nil {
+		return ciphertextResponse{}, err
+	}
+	return ciphertextResponse{
+		Ciphertext: base64.StdEncoding.EncodeToString(buf.Bytes()),
+		Level:      ct.Level(),
+		Scale:      ct.Scale(),
+	}, nil
+}
+
+func decodeCiphertext(fctx *fast.Context, b64 string) (*fast.Ciphertext, error) {
+	raw, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return nil, fmt.Errorf("ciphertext base64: %w", err)
+	}
+	return fctx.ReadCiphertext(bytes.NewReader(raw))
+}
+
+func (d *daemon) handleEncrypt(w http.ResponseWriter, r *http.Request) {
+	d.mRequests.Inc()
+	sess, ok := d.session(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	var req encryptRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := requestContext(r)
+	defer cancel()
+
+	var resp ciphertextResponse
+	err := d.srv.Do(ctx, serve.Op{Name: "encrypt", Units: cheapUnits(sess.cm)}, func(ctx context.Context) error {
+		ct, err := sess.ctx.Encrypt(toComplex(req.Values))
+		if err != nil {
+			return err
+		}
+		resp, err = encodeCiphertext(ct)
+		return err
+	})
+	if err != nil {
+		d.writeAdmissionError(w, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+type decryptRequest struct {
+	Ciphertext string `json:"ciphertext"`
+}
+
+type decryptResponse struct {
+	Values []cnum `json:"values"`
+}
+
+func (d *daemon) handleDecrypt(w http.ResponseWriter, r *http.Request) {
+	d.mRequests.Inc()
+	sess, ok := d.session(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	var req decryptRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ct, err := decodeCiphertext(sess.ctx, req.Ciphertext)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := requestContext(r)
+	defer cancel()
+
+	var resp decryptResponse
+	err = d.srv.Do(ctx, serve.Op{Name: "decrypt", Units: cheapUnits(sess.cm)}, func(ctx context.Context) error {
+		vals := sess.ctx.Decrypt(ct)
+		if vals == nil {
+			return fmt.Errorf("decrypt: %w", fast.ErrInvalidCiphertext)
+		}
+		resp.Values = fromComplex(vals)
+		return nil
+	})
+	if err != nil {
+		d.writeAdmissionError(w, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (d *daemon) handleEval(w http.ResponseWriter, r *http.Request) {
+	d.mRequests.Inc()
+	sess, ok := d.session(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	var req evalRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	prog, err := compileProgram(sess, req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := requestContext(r)
+	defer cancel()
+
+	var resp ciphertextResponse
+	err = d.srv.Do(ctx, serve.Op{Name: "eval", Units: prog.units}, func(ctx context.Context) error {
+		out, err := prog.run(ctx)
+		d.recordFaultHealth(sess)
+		if err != nil {
+			return err
+		}
+		resp, err = encodeCiphertext(out)
+		return err
+	})
+	if err != nil {
+		d.writeAdmissionError(w, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// recordFaultHealth feeds the circuit breaker the session's modeled Hemera
+// transfer-fault delta: a request whose key transfers needed recovery actions
+// (retries, timeouts, refetches) counts as a downstream failure even though
+// the computation itself succeeded bit-exactly — the breaker's job is to
+// detect the transfer fault storm, not corrupt data.
+func (d *daemon) recordFaultHealth(sess *session) {
+	if !sess.ctx.FaultPlanActive() {
+		d.breaker.RecordSuccess()
+		return
+	}
+	if delta := sess.faultRecoveryDelta(); delta > 0 {
+		d.mFaultTrips.Inc()
+		d.breaker.RecordFailure()
+	} else {
+		d.breaker.RecordSuccess()
+	}
+}
+
+// requestContext derives the task context from the request: the client
+// disconnect propagates via r.Context(), and an optional X-Deadline-Ms header
+// adds a deadline the admission layer can shed against.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		if ms, err := strconv.Atoi(h); err == nil && ms > 0 {
+			return context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		}
+	}
+	return ctx, func() {}
+}
+
+// writeAdmissionError maps the serving-layer error taxonomy onto HTTP status
+// codes — the degradation ladder, as seen by a client:
+//
+//	429 Too Many Requests   queue full (burst; back off and retry)
+//	503 Service Unavailable breaker open or draining (retry elsewhere/later)
+//	504 Gateway Timeout     shed: deadline provably unmeetable
+//	408 Request Timeout     canceled/deadline mid-flight
+//	500 Internal            panic (isolated) or evaluation failure
+func (d *daemon) writeAdmissionError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, serve.ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrShed):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, serve.ErrBreakerOpen), errors.Is(err, serve.ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, fast.ErrDeadline):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, fast.ErrCanceled):
+		status = http.StatusRequestTimeout
+	case errors.Is(err, fast.ErrKeyMissing), errors.Is(err, fast.ErrInvalidCiphertext),
+		errors.Is(err, fast.ErrLevelMismatch), errors.Is(err, fast.ErrLevelExhausted),
+		errors.Is(err, fast.ErrScaleMismatch), errors.Is(err, fast.ErrSlotCountMismatch),
+		errors.Is(err, fast.ErrInvalidValue), errors.Is(err, fast.ErrMethodUnavailable),
+		errors.Is(err, fast.ErrInvalidParameters):
+		status = http.StatusBadRequest
+	}
+	httpError(w, status, err)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,111 @@
+// Command fastd serves homomorphic evaluation over JSON/HTTP with production
+// degradation semantics: a bounded admission queue in front of a fixed
+// evaluator pool, deadline-aware load shedding, a circuit breaker over the
+// modeled evaluation-key transfer path, per-request cancellation threaded
+// down into the CKKS kernels, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	fastd [-addr 127.0.0.1:8080] [-workers 2] [-queue 8]
+//	      [-breaker-threshold 5] [-breaker-cooldown 2s] [-max-sessions 16]
+//
+// Endpoints:
+//
+//	GET  /healthz                     liveness (always ok while the process runs)
+//	GET  /readyz                      readiness (503 while draining or breaker open)
+//	POST /v1/sessions                 create a keyspace {log_n, levels, rotations, ...}
+//	DELETE /v1/sessions/{id}          drop a keyspace
+//	POST /v1/sessions/{id}/encrypt    {values:[{re,im},...]} -> {ciphertext}
+//	POST /v1/sessions/{id}/decrypt    {ciphertext} -> {values}
+//	POST /v1/sessions/{id}/eval      {inputs, program, output} -> {ciphertext}
+//	GET  /metrics, /debug/...         observability surface (Prometheus, pprof, traces)
+//
+// Requests may carry an X-Deadline-Ms header; the admission layer sheds
+// requests whose deadline is provably unmeetable (HTTP 504) instead of
+// queuing them to time out. A full queue returns 429, an open breaker or a
+// draining server 503.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	fast "github.com/fastfhe/fast"
+	"github.com/fastfhe/fast/internal/obs"
+)
+
+// Test hooks, mirroring cmd/fastsim: httpStarted observes the bound address
+// once serving begins, httpWait blocks until shutdown should start.
+var (
+	httpStarted = func(net.Addr) {}
+	httpWait    = func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		signal.Stop(ch)
+	}
+)
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fastd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:0 picks a free port)")
+	workers := fs.Int("workers", 2, "concurrent evaluation workers")
+	queue := fs.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive fault-bearing requests that open the circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "open interval before the half-open probe")
+	maxSessions := fs.Int("max-sessions", 16, "maximum live sessions")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d := newDaemon(daemonConfig{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		MaxSessions:      *maxSessions,
+		Observer:         fast.NewTracingObserver(0),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("fastd: listen %s: %w", *addr, err)
+	}
+	srv := &http.Server{Handler: d.handler()}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "fastd serving on http://%s (%d workers, queue %d)\n",
+		ln.Addr(), *workers, d.srv.QueueCap())
+	httpStarted(ln.Addr())
+	httpWait()
+
+	// Degradation ladder, shutdown edition: stop admitting (ErrDraining),
+	// finish queued work bounded by -drain-timeout, then close the listener
+	// gracefully (obs.ShutdownServer bounds the HTTP drain too).
+	fmt.Fprintln(stdout, "fastd draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := d.drain(drainCtx); err != nil {
+		fmt.Fprintf(stdout, "fastd drain incomplete: %v\n", err)
+	}
+	if err := obs.ShutdownServer(srv, 5*time.Second); err != nil {
+		return fmt.Errorf("fastd: shutdown: %w", err)
+	}
+	fmt.Fprintln(stdout, "fastd stopped")
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	fast "github.com/fastfhe/fast"
+	"github.com/fastfhe/fast/internal/costmodel"
+)
+
+// evalRequest is a straight-line homomorphic program over named registers:
+// inputs seed the registers with wire-format ciphertexts, each instruction
+// reads registers (and literals) and writes a register, and the named output
+// register is returned as a ciphertext.
+type evalRequest struct {
+	Inputs  map[string]string `json:"inputs"` // register -> base64 ciphertext
+	Program []progOp          `json:"program"`
+	Output  string            `json:"output"`
+}
+
+// progOp is one instruction. Fields are op-dependent:
+//
+//	op          a     b/values/value/r   out
+//	add,sub,mul a,b                      out
+//	mulplain    a     values             out
+//	addplain    a     values             out
+//	mulconst    a     value              out
+//	addconst    a     value              out
+//	rotate      a     r                  out
+//	conjugate   a                        out
+//	rescale     a                        out
+//
+// method selects the key-switching backend for mul/rotate/conjugate
+// ("hybrid"/"klss", default the session's default); no_rescale suppresses the
+// automatic rescale of the multiplying ops.
+type progOp struct {
+	Op        string  `json:"op"`
+	A         string  `json:"a"`
+	B         string  `json:"b,omitempty"`
+	Out       string  `json:"out"`
+	R         int     `json:"r,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	Values    []cnum  `json:"values,omitempty"`
+	Method    string  `json:"method,omitempty"`
+	NoRescale bool    `json:"no_rescale,omitempty"`
+}
+
+// program is a compiled evalRequest: inputs decoded and validated, per-op
+// option closures resolved, total unit cost estimated for admission.
+type program struct {
+	sess  *session
+	regs  map[string]*fast.Ciphertext
+	ops   []progOp
+	out   string
+	units float64
+}
+
+// compileProgram validates the request shape and decodes the input
+// ciphertexts. Validation failures are client errors (HTTP 400) and never
+// reach the worker pool.
+func compileProgram(sess *session, req evalRequest) (*program, error) {
+	if len(req.Program) == 0 {
+		return nil, fmt.Errorf("empty program")
+	}
+	if req.Output == "" {
+		return nil, fmt.Errorf("missing output register")
+	}
+	p := &program{sess: sess, regs: map[string]*fast.Ciphertext{}, ops: req.Program, out: req.Output}
+	for name, b64 := range req.Inputs {
+		ct, err := decodeCiphertext(sess.ctx, b64)
+		if err != nil {
+			return nil, fmt.Errorf("input %q: %w", name, err)
+		}
+		p.regs[name] = ct
+	}
+	defined := map[string]bool{}
+	for name := range p.regs {
+		defined[name] = true
+	}
+	for i, op := range p.ops {
+		if op.Out == "" {
+			return nil, fmt.Errorf("op %d (%s): missing out register", i, op.Op)
+		}
+		if op.A == "" || !defined[op.A] {
+			return nil, fmt.Errorf("op %d (%s): undefined register %q", i, op.Op, op.A)
+		}
+		switch op.Op {
+		case "add", "sub", "mul":
+			if op.B == "" || !defined[op.B] {
+				return nil, fmt.Errorf("op %d (%s): undefined register %q", i, op.Op, op.B)
+			}
+		case "mulplain", "addplain":
+			if len(op.Values) == 0 {
+				return nil, fmt.Errorf("op %d (%s): missing values", i, op.Op)
+			}
+		case "mulconst", "addconst", "rotate", "conjugate", "rescale":
+		default:
+			return nil, fmt.Errorf("op %d: unknown op %q", i, op.Op)
+		}
+		if op.Method != "" && op.Method != "hybrid" && op.Method != "klss" {
+			return nil, fmt.Errorf("op %d (%s): unknown method %q", i, op.Op, op.Method)
+		}
+		defined[op.Out] = true
+		p.units += opUnits(sess.cm, op)
+	}
+	if !defined[p.out] {
+		return nil, fmt.Errorf("output register %q never written", p.out)
+	}
+	return p, nil
+}
+
+// run executes the program. ctx rides into every operation through the
+// WithContext option, so a canceled request abandons mid-kernel with a typed
+// error instead of finishing a doomed computation.
+func (p *program) run(ctx context.Context) (*fast.Ciphertext, error) {
+	fc := p.sess.ctx
+	for i, op := range p.ops {
+		opts := []fast.OpOption{fast.WithContext(ctx)}
+		switch op.Method {
+		case "hybrid":
+			opts = append(opts, fast.WithMethod(fast.Hybrid))
+		case "klss":
+			opts = append(opts, fast.WithMethod(fast.KLSS))
+		}
+		if op.NoRescale {
+			opts = append(opts, fast.NoRescale())
+		}
+		a := p.regs[op.A]
+		var (
+			out *fast.Ciphertext
+			err error
+		)
+		switch op.Op {
+		case "add":
+			out, err = fc.Add(a, p.regs[op.B])
+		case "sub":
+			out, err = fc.Sub(a, p.regs[op.B])
+		case "mul":
+			out, err = fc.Mul(a, p.regs[op.B], opts...)
+		case "mulplain":
+			out, err = fc.MulPlain(a, toComplex(op.Values), opts...)
+		case "addplain":
+			out, err = fc.AddPlain(a, toComplex(op.Values))
+		case "mulconst":
+			out, err = fc.MulConst(a, op.Value, opts...)
+		case "addconst":
+			out, err = fc.AddConst(a, op.Value)
+		case "rotate":
+			out, err = fc.Rotate(a, op.R, opts...)
+		case "conjugate":
+			out, err = fc.Conjugate(a, opts...)
+		case "rescale":
+			out, err = fc.Rescale(a, opts...)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("op %d (%s -> %s): %w", i, op.Op, op.Out, err)
+		}
+		p.regs[op.Out] = out
+	}
+	return p.regs[p.out], nil
+}
+
+// ---- cost estimation -------------------------------------------------------
+
+// opUnits estimates one instruction's work in the costmodel's 36-bit
+// modular-operation equivalents. Key-switch-bearing ops use the full model at
+// the session's top level (a conservative upper bound: real programs run at
+// descending levels); element-wise ops count one pass over the ciphertext
+// limbs.
+func opUnits(cm costmodel.Params, op progOp) float64 {
+	switch op.Op {
+	case "mul", "rotate", "conjugate":
+		m := costmodel.Hybrid
+		if op.Method == "klss" {
+			m = costmodel.KLSS
+		}
+		return cm.KeySwitch(m, cm.L, 1).Total()
+	default:
+		return cheapUnits(cm)
+	}
+}
+
+// cheapUnits is the unit weight of an element-wise pass (add, rescale,
+// plaintext ops, encode/encrypt/decrypt): one touch per coefficient per limb.
+func cheapUnits(cm costmodel.Params) float64 {
+	return float64(cm.N()) * float64(cm.L+1)
+}
+
+// keygenUnits weighs session creation for admission: key generation touches
+// every rotation key across the full chain, modeled as one key-switch per
+// generated key plus a constant floor.
+func keygenUnits(cfg fast.ContextConfig) float64 {
+	cm := costmodel.SetI()
+	cm.LogN = cfg.LogN
+	if cm.LogN == 0 {
+		cm.LogN = 11
+	}
+	cm.L = cfg.Levels
+	if cm.L == 0 {
+		cm.L = 5
+	}
+	keys := float64(len(cfg.Rotations) + 2) // + relin + conjugation
+	return keys * cm.KeySwitch(costmodel.Hybrid, cm.L, 1).Total()
+}

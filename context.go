@@ -1,6 +1,7 @@
 package fast
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync/atomic"
@@ -336,15 +337,24 @@ func (c *Context) Mul(a, b *Ciphertext, opts ...OpOption) (*Ciphertext, error) {
 	}
 	s := c.settings(opts)
 	c.faults.request(c.params, "relin", min(a.ct.Level, b.ct.Level), s.method)
-	prod, err := c.eval.MulRelinWith(a.ct, b.ct, s.method.internal())
+	prod, err := c.eval.MulRelinCtx(s.ctx, a.ct, b.ct, s.method.internal())
 	if err != nil {
 		return nil, err
 	}
 	if s.noRescale {
 		return &Ciphertext{prod}, nil
 	}
-	out, err := c.eval.Rescale(prod)
+	out, err := c.eval.RescaleCtx(s.ctx, prod)
 	return wrap(out, err)
+}
+
+// MulCtx is Mul with cancellation: ctx is polled at cheap checkpoints inside
+// the tensoring, relinearisation and rescale kernels, and the operation
+// abandons with an error matching fast.ErrCanceled or fast.ErrDeadline (and
+// the corresponding context sentinel) as soon as ctx is done. Shorthand for
+// Mul(a, b, append(opts, WithContext(ctx))...).
+func (c *Context) MulCtx(ctx context.Context, a, b *Ciphertext, opts ...OpOption) (*Ciphertext, error) {
+	return c.Mul(a, b, append(opts[:len(opts):len(opts)], WithContext(ctx))...)
 }
 
 // MulPlain multiplies by a plaintext vector and (unless NoRescale is passed)
@@ -365,7 +375,7 @@ func (c *Context) MulPlain(a *Ciphertext, values []complex128, opts ...OpOption)
 	if s.noRescale {
 		return &Ciphertext{prod}, nil
 	}
-	out, err := c.eval.Rescale(prod)
+	out, err := c.eval.RescaleCtx(s.ctx, prod)
 	return wrap(out, err)
 }
 
@@ -396,7 +406,7 @@ func (c *Context) MulConst(a *Ciphertext, v float64, opts ...OpOption) (*Ciphert
 	if s.noRescale {
 		return &Ciphertext{prod}, nil
 	}
-	out, err := c.eval.Rescale(prod)
+	out, err := c.eval.RescaleCtx(s.ctx, prod)
 	return wrap(out, err)
 }
 
@@ -412,11 +422,12 @@ func (c *Context) AddConst(a *Ciphertext, v float64) (*Ciphertext, error) {
 // Rescale divides a by its top chain prime, dropping one level and the
 // corresponding scale factor. Pairs with NoRescale: accumulate several
 // unrescaled products at the same scale, then rescale the sum once.
-func (c *Context) Rescale(a *Ciphertext) (*Ciphertext, error) {
+func (c *Context) Rescale(a *Ciphertext, opts ...OpOption) (*Ciphertext, error) {
 	if err := c.validate(a); err != nil {
 		return nil, err
 	}
-	out, err := c.eval.Rescale(a.ct)
+	s := c.settings(opts)
+	out, err := c.eval.RescaleCtx(s.ctx, a.ct)
 	return wrap(out, err)
 }
 
@@ -428,8 +439,13 @@ func (c *Context) Rotate(a *Ciphertext, r int, opts ...OpOption) (*Ciphertext, e
 	}
 	s := c.settings(opts)
 	c.faults.request(c.params, "rot:"+strconv.Itoa(r), a.ct.Level, s.method)
-	out, err := c.eval.RotateWith(a.ct, r, s.method.internal())
+	out, err := c.eval.RotateCtx(s.ctx, a.ct, r, s.method.internal())
 	return wrap(out, err)
+}
+
+// RotateCtx is Rotate with cancellation (see MulCtx for semantics).
+func (c *Context) RotateCtx(ctx context.Context, a *Ciphertext, r int, opts ...OpOption) (*Ciphertext, error) {
+	return c.Rotate(a, r, append(opts[:len(opts):len(opts)], WithContext(ctx))...)
 }
 
 // RotateHoisted produces all requested rotations of one ciphertext sharing a
@@ -444,7 +460,7 @@ func (c *Context) RotateHoisted(a *Ciphertext, rotations []int, opts ...OpOption
 			c.faults.request(c.params, "rot:"+strconv.Itoa(r), a.ct.Level, s.method)
 		}
 	}
-	outs, err := c.eval.RotateHoistedWith(a.ct, rotations, s.method.internal())
+	outs, err := c.eval.RotateHoistedCtx(s.ctx, a.ct, rotations, s.method.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -455,6 +471,13 @@ func (c *Context) RotateHoisted(a *Ciphertext, rotations []int, opts ...OpOption
 	return m, nil
 }
 
+// RotateHoistedCtx is RotateHoisted with cancellation (see MulCtx for
+// semantics); ctx is additionally polled between the per-rotation key
+// multiplications that share the hoisted decomposition.
+func (c *Context) RotateHoistedCtx(ctx context.Context, a *Ciphertext, rotations []int, opts ...OpOption) (map[int]*Ciphertext, error) {
+	return c.RotateHoisted(a, rotations, append(opts[:len(opts):len(opts)], WithContext(ctx))...)
+}
+
 // Conjugate returns the slot-wise complex conjugate.
 func (c *Context) Conjugate(a *Ciphertext, opts ...OpOption) (*Ciphertext, error) {
 	if err := c.validate(a); err != nil {
@@ -462,8 +485,13 @@ func (c *Context) Conjugate(a *Ciphertext, opts ...OpOption) (*Ciphertext, error
 	}
 	s := c.settings(opts)
 	c.faults.request(c.params, "conj", a.ct.Level, s.method)
-	out, err := c.eval.ConjugateWith(a.ct, s.method.internal())
+	out, err := c.eval.ConjugateCtx(s.ctx, a.ct, s.method.internal())
 	return wrap(out, err)
+}
+
+// ConjugateCtx is Conjugate with cancellation (see MulCtx for semantics).
+func (c *Context) ConjugateCtx(ctx context.Context, a *Ciphertext, opts ...OpOption) (*Ciphertext, error) {
+	return c.Conjugate(a, append(opts[:len(opts):len(opts)], WithContext(ctx))...)
 }
 
 func wrap(ct *ckks.Ciphertext, err error) (*Ciphertext, error) {

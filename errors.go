@@ -60,4 +60,16 @@ var (
 	// encoded (NaN, Inf, overflow at the target scale, or a non-power-of-two
 	// batch).
 	ErrInvalidValue = ckks.ErrInvalidValue
+
+	// ErrCanceled reports an operation abandoned because its context (passed
+	// with WithContext or a *Ctx method) was canceled. The wrapped chain also
+	// matches context.Canceled. Every pooled scratch buffer acquired by the
+	// abandoned operation has been released; the input ciphertexts are
+	// untouched.
+	ErrCanceled = ckks.ErrCanceled
+
+	// ErrDeadline reports an operation abandoned because its context deadline
+	// expired (errors.Is also matches context.DeadlineExceeded), or a serving
+	// request shed on arrival because its deadline could not be met.
+	ErrDeadline = ckks.ErrDeadline
 )

@@ -30,7 +30,7 @@ func TestCoeffToSlotProbe(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	folded0, err := bt.subSum(raised)
+	folded0, err := bt.subSum(nil, raised)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestEvalModProbe(t *testing.T) {
 		t.Fatal(err)
 	}
 	ct, _ := tc.encr.Encrypt(pt)
-	out, err := bt.evalMod(ct, 1, p.Scale(), 1)
+	out, err := bt.evalMod(nil, ct, 1, p.Scale(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestBootstrapStageProbe(t *testing.T) {
 	ct = ev.DropLevel(ct, ct.Level)
 
 	raised, _ := bt.modRaise(ct)
-	folded, _ := bt.subSum(raised)
+	folded, _ := bt.subSum(nil, raised)
 	slots, _ := ev.LinearTransform(folded, bt.ctsLT)
 	slots, _ = ev.Rescale(slots)
 	w := tc.enc.Decode(tc.decr.Decrypt(slots))
@@ -183,11 +183,11 @@ func TestBootstrapStageProbe(t *testing.T) {
 
 	fold := float64(p.N()) / float64(2*n)
 	anchor := ct.Scale
-	uu, err := bt.evalMod(u, 1/fold, anchor, fold)
+	uu, err := bt.evalMod(nil, u, 1/fold, anchor, fold)
 	if err != nil {
 		t.Fatal(err)
 	}
-	vv, err := bt.evalMod(v, 1/fold, anchor, fold)
+	vv, err := bt.evalMod(nil, v, 1/fold, anchor, fold)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestBootstrapStageProbe(t *testing.T) {
 	}
 	t.Log("recombine OK")
 
-	out, err := bt.slotToCoeff(rec)
+	out, err := bt.slotToCoeff(nil, rec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +271,7 @@ func TestTraceMultiplesOfFold(t *testing.T) {
 	anchor := ct.Scale
 
 	raised, _ := bt.modRaise(ct)
-	folded, _ := bt.subSum(raised)
+	folded, _ := bt.subSum(nil, raised)
 	slots, _ := ev.LinearTransform(folded, bt.ctsLT)
 	slots, _ = ev.Rescale(slots)
 

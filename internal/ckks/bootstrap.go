@@ -1,6 +1,7 @@
 package ckks
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -197,9 +198,9 @@ func (bt *Bootstrapper) modRaise(ct *Ciphertext) (*Ciphertext, error) {
 // ct += rot(ct, n*2^t) projects the raised polynomial onto the subring the
 // sparse embedding reads, scaled by N/(2n) (compensated inside the
 // CoeffToSlot matrix).
-func (bt *Bootstrapper) subSum(ct *Ciphertext) (*Ciphertext, error) {
+func (bt *Bootstrapper) subSum(cc *cancelCheck, ct *Ciphertext) (*Ciphertext, error) {
 	for i := bt.params.Slots(); i < bt.params.N()/2; i <<= 1 {
-		rot, err := bt.eval.Rotate(ct, i)
+		rot, err := bt.eval.rotate(cc, ct, i, bt.eval.Method())
 		if err != nil {
 			return nil, err
 		}
@@ -226,7 +227,7 @@ func (bt *Bootstrapper) subSum(ct *Ciphertext) (*Ciphertext, error) {
 // q0-multiples are exact multiples of q0*fold (the SubSum trace fixes the
 // gap monomials, summing fold equal contributions), so reducing modulo
 // q0*fold both is correct and shrinks the integer range by fold.
-func (bt *Bootstrapper) evalMod(ct *Ciphertext, postFactor, anchor, foldQ float64) (*Ciphertext, error) {
+func (bt *Bootstrapper) evalMod(cc *cancelCheck, ct *Ciphertext, postFactor, anchor, foldQ float64) (*Ciphertext, error) {
 	ev := bt.eval
 	q0 := float64(bt.params.qChain[0]) * foldQ
 	pow2r := math.Exp2(float64(bt.bp.DoubleAngles))
@@ -248,14 +249,14 @@ func (bt *Bootstrapper) evalMod(ct *Ciphertext, postFactor, anchor, foldQ float6
 	if err != nil {
 		return nil, err
 	}
-	if theta, err = ev.Rescale(theta); err != nil {
+	if theta, err = ev.rescaleCC(cc, theta); err != nil {
 		return nil, err
 	}
 	if k > 0 {
 		if theta, err = ev.MulConst(theta, math.Exp2(-float64(k))); err != nil {
 			return nil, err
 		}
-		if theta, err = ev.Rescale(theta); err != nil {
+		if theta, err = ev.rescaleCC(cc, theta); err != nil {
 			return nil, err
 		}
 	}
@@ -287,22 +288,25 @@ func (bt *Bootstrapper) evalMod(ct *Ciphertext, postFactor, anchor, foldQ float6
 			cosCoeffs[i] = -1 / fact
 		}
 	}
-	sin, err := ev.EvaluatePoly(theta, Polynomial{Coeffs: sinCoeffs})
+	sin, err := ev.evaluatePoly(cc, theta, Polynomial{Coeffs: sinCoeffs})
 	if err != nil {
 		return nil, err
 	}
-	cos, err := ev.EvaluatePoly(theta, Polynomial{Coeffs: cosCoeffs})
+	cos, err := ev.evaluatePoly(cc, theta, Polynomial{Coeffs: cosCoeffs})
 	if err != nil {
 		return nil, err
 	}
 
 	// Double-angle ladder: sin(2x) = 2 sin cos, cos(2x) = 1 - 2 sin^2.
 	for it := 0; it < bt.bp.DoubleAngles; it++ {
-		sc, err := ev.mulRescale(sin, cos)
+		if err := cc.err("EvalMod"); err != nil {
+			return nil, err
+		}
+		sc, err := ev.mulRescaleCC(cc, sin, cos)
 		if err != nil {
 			return nil, err
 		}
-		s2, err := ev.mulRescale(sin, sin)
+		s2, err := ev.mulRescaleCC(cc, sin, sin)
 		if err != nil {
 			return nil, err
 		}
@@ -324,7 +328,7 @@ func (bt *Bootstrapper) evalMod(ct *Ciphertext, postFactor, anchor, foldQ float6
 	if err != nil {
 		return nil, err
 	}
-	return ev.Rescale(out)
+	return ev.rescaleCC(cc, out)
 }
 
 // negateInPlace flips the sign of every component (no level or scale cost).
@@ -354,7 +358,7 @@ func (bt *Bootstrapper) iConstant(level int) (*Plaintext, error) {
 
 // slotToCoeff applies the forward special FFT matrix at the ciphertext's
 // current level (built lazily and cached per level).
-func (bt *Bootstrapper) slotToCoeff(ct *Ciphertext) (*Ciphertext, error) {
+func (bt *Bootstrapper) slotToCoeff(cc *cancelCheck, ct *Ciphertext) (*Ciphertext, error) {
 	lt, ok := bt.stcLT[ct.Level]
 	if !ok {
 		diags, err := bt.dftDiagonals(func(col []complex128) { bt.enc.project(col) }, 1)
@@ -366,38 +370,54 @@ func (bt *Bootstrapper) slotToCoeff(ct *Ciphertext) (*Ciphertext, error) {
 		}
 		bt.stcLT[ct.Level] = lt
 	}
-	out, err := bt.eval.LinearTransform(ct, lt)
+	out, err := bt.eval.linearTransform(cc, ct, lt)
 	if err != nil {
 		return nil, err
 	}
-	return bt.eval.Rescale(out)
+	return bt.eval.rescaleCC(cc, out)
 }
 
 // Bootstrap refreshes a level-0 ciphertext, returning an encryption of the
 // same message with the levels consumed by the pipeline still available.
 func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
+	return bt.bootstrap(nil, ct)
+}
+
+// BootstrapCtx is Bootstrap with cancellation: ctx is polled between every
+// pipeline stage (ModRaise, SubSum, CoeffToSlot, EvalMod, SlotToCoeff) and
+// inside each stage at every level of the underlying DFTs, polynomial
+// evaluations and double-angle iterations, so a multi-second bootstrap
+// abandons within roughly one key-switch of ctx being done.
+func (bt *Bootstrapper) BootstrapCtx(ctx context.Context, ct *Ciphertext) (*Ciphertext, error) {
+	return bt.bootstrap(newCancelCheck(ctx), ct)
+}
+
+func (bt *Bootstrapper) bootstrap(cc *cancelCheck, ct *Ciphertext) (*Ciphertext, error) {
 	ev := bt.eval
 
+	if err := cc.err("Bootstrap"); err != nil {
+		return nil, err
+	}
 	raised, err := bt.modRaise(ct)
 	if err != nil {
 		return nil, err
 	}
-	folded, err := bt.subSum(raised)
+	folded, err := bt.subSum(cc, raised)
 	if err != nil {
 		return nil, err
 	}
 
 	// CoeffToSlot: slots now hold w_j = c[j*gap]/Δ + i*c[j*gap+N/2]/Δ.
-	slots, err := ev.LinearTransform(folded, bt.ctsLT)
+	slots, err := ev.linearTransform(cc, folded, bt.ctsLT)
 	if err != nil {
 		return nil, err
 	}
-	if slots, err = ev.Rescale(slots); err != nil {
+	if slots, err = ev.rescaleCC(cc, slots); err != nil {
 		return nil, err
 	}
 
 	// Split into real and imaginary parts (both real-valued slot vectors).
-	conj, err := ev.Conjugate(slots)
+	conj, err := ev.conjugate(cc, slots, ev.Method())
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +433,7 @@ func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	if u, err = ev.Rescale(u); err != nil {
+	if u, err = ev.rescaleCC(cc, u); err != nil {
 		return nil, err
 	}
 	iPt, err := bt.iConstant(diff.Level)
@@ -424,13 +444,13 @@ func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v, err = ev.Rescale(v); err != nil {
+	if v, err = ev.rescaleCC(cc, v); err != nil {
 		return nil, err
 	}
 	if v, err = ev.MulConst(v, -0.5); err != nil {
 		return nil, err
 	}
-	if v, err = ev.Rescale(v); err != nil {
+	if v, err = ev.rescaleCC(cc, v); err != nil {
 		return nil, err
 	}
 
@@ -438,10 +458,10 @@ func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 	// through the sine output constant.
 	fold := float64(bt.params.N()) / float64(2*bt.params.Slots())
 	anchor := ct.Scale
-	if u, err = bt.evalMod(u, 1/fold, anchor, fold); err != nil {
+	if u, err = bt.evalMod(cc, u, 1/fold, anchor, fold); err != nil {
 		return nil, err
 	}
-	if v, err = bt.evalMod(v, 1/fold, anchor, fold); err != nil {
+	if v, err = bt.evalMod(cc, v, 1/fold, anchor, fold); err != nil {
 		return nil, err
 	}
 
@@ -454,7 +474,7 @@ func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	if iv, err = ev.Rescale(iv); err != nil {
+	if iv, err = ev.rescaleCC(cc, iv); err != nil {
 		return nil, err
 	}
 	// u must land on iv's scale/level before the addition.
@@ -470,7 +490,7 @@ func (bt *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 	}
 
 	// SlotToCoeff back to the coefficient layout.
-	out, err := bt.slotToCoeff(recombined)
+	out, err := bt.slotToCoeff(cc, recombined)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,79 @@
+package ckks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Cancellation support for the heavyweight kernels.
+//
+// The kernels poll a *cancelCheck at their natural chunk boundaries: per limb
+// chunk in the key-switch ModUp/KeyMult/ModDown stages, per rotation in a
+// hoisted batch, per level in the bootstrap and linear-transform pipelines.
+// A nil *cancelCheck (the default, used by every context-free entry point)
+// reduces each checkpoint to a single nil-pointer comparison, so the
+// uncancellable hot path is unchanged — the same property as the nil
+// observer.
+//
+// Cancellation is cooperative and prompt but not preemptive: a checkpoint is
+// reached at least once per limb chunk of a key-switch stage, so the latency
+// between ctx.Done() and the operation returning is a small fraction of one
+// key-switch. Every early-exit path releases its pooled scratch (the pool
+// invariant gets == puts holds after a canceled operation).
+
+// cancelCheck latches a context's cancellation so kernel loops can poll it
+// with one atomic load instead of a context-tree walk per checkpoint.
+type cancelCheck struct {
+	ctx  context.Context
+	done atomic.Bool
+}
+
+// newCancelCheck returns the checkpoint handle for ctx, or nil when ctx can
+// never be canceled (nil, Background, TODO) — the zero-overhead path.
+func newCancelCheck(ctx context.Context) *cancelCheck {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return &cancelCheck{ctx: ctx}
+}
+
+// stopped reports whether the operation should abandon its work. Safe to call
+// on a nil receiver (returns false) and from concurrent worker goroutines.
+func (cc *cancelCheck) stopped() bool {
+	if cc == nil {
+		return false
+	}
+	if cc.done.Load() {
+		return true
+	}
+	if cc.ctx.Err() != nil {
+		cc.done.Store(true)
+		return true
+	}
+	return false
+}
+
+// err returns nil while the operation may proceed, or the typed cancellation
+// error (wrapping ErrCanceled or ErrDeadline and the context cause) once the
+// context is done. Safe on a nil receiver.
+func (cc *cancelCheck) err(op string) error {
+	if !cc.stopped() {
+		return nil
+	}
+	return wrapCtxErr(op, cc.ctx.Err())
+}
+
+// wrapCtxErr maps a non-nil context error onto the typed taxonomy. The result
+// matches both the taxonomy sentinel (errors.Is(err, ErrCanceled) /
+// ErrDeadline) and the standard context sentinel (errors.Is(err,
+// context.Canceled) / context.DeadlineExceeded), so callers can branch on
+// either vocabulary.
+func wrapCtxErr(op string, cause error) error {
+	sentinel := ErrCanceled
+	if errors.Is(cause, context.DeadlineExceeded) {
+		sentinel = ErrDeadline
+	}
+	return fmt.Errorf("ckks: %s interrupted: %w: %w", op, sentinel, cause)
+}

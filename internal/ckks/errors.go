@@ -53,4 +53,14 @@ var (
 	// ErrInvalidValue marks a scalar or vector entry that cannot be encoded
 	// (NaN, Inf, or overflow at the target scale).
 	ErrInvalidValue = errors.New("invalid value")
+
+	// ErrCanceled marks an operation abandoned because its context was
+	// canceled. The wrapped chain also matches context.Canceled, and every
+	// pooled scratch buffer acquired by the operation has been released.
+	ErrCanceled = errors.New("operation canceled")
+
+	// ErrDeadline marks an operation abandoned because its context deadline
+	// expired (errors.Is also matches context.DeadlineExceeded), or a serving
+	// request shed on arrival because its deadline could not be met.
+	ErrDeadline = errors.New("deadline exceeded")
 )

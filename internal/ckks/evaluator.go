@@ -1,6 +1,7 @@
 package ckks
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -100,6 +101,7 @@ func NewEvaluatorOptions(params *Parameters, keys *EvaluationKeySet, opts Evalua
 		reg := opts.Observer.Reg()
 		ev.pool.Instrument(
 			reg.Counter("ring.pool.evaluator.gets"),
+			reg.Counter("ring.pool.evaluator.puts"),
 			reg.Counter("ring.pool.evaluator.misses"),
 			reg.Gauge("ring.pool.evaluator.alloc_bytes"),
 		)
@@ -305,9 +307,23 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
 // MulRelinWith is MulRelin with an explicit key-switching backend, enabling
 // stateless per-call method selection under concurrency.
 func (ev *Evaluator) MulRelinWith(a, b *Ciphertext, m KeySwitchMethod) (*Ciphertext, error) {
+	return ev.mulRelin(nil, a, b, m)
+}
+
+// MulRelinCtx is MulRelinWith with cancellation: the relinearisation
+// key-switch polls ctx at its limb-chunk boundaries and returns a typed
+// ErrCanceled/ErrDeadline error (pooled scratch released) once ctx is done.
+func (ev *Evaluator) MulRelinCtx(ctx context.Context, a, b *Ciphertext, m KeySwitchMethod) (*Ciphertext, error) {
+	return ev.mulRelin(newCancelCheck(ctx), a, b, m)
+}
+
+func (ev *Evaluator) mulRelin(cc *cancelCheck, a, b *Ciphertext, m KeySwitchMethod) (*Ciphertext, error) {
 	var t0 time.Time
 	if ev.om != nil {
 		t0 = time.Now()
+	}
+	if err := cc.err("HMult"); err != nil {
+		return nil, err
 	}
 	sw, err := ev.switcherFor(m)
 	if err != nil {
@@ -332,7 +348,7 @@ func (ev *Evaluator) MulRelinWith(a, b *Ciphertext, m KeySwitchMethod) (*Ciphert
 	rq.MulCoeffs(a.C1, b.C1, d2)
 
 	// Relinearise d2 with the s^2 key.
-	e0, e1, err := sw.Switch(d2, rlk, level)
+	e0, e1, err := sw.switchPoly(cc, d2, rlk, level)
 	if err != nil {
 		return nil, err
 	}
@@ -348,6 +364,16 @@ func (ev *Evaluator) MulRelinWith(a, b *Ciphertext, m KeySwitchMethod) (*Ciphert
 // Rescale divides the ciphertext by its top prime, dropping one level and
 // dividing the scale accordingly.
 func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	return ev.rescaleCC(nil, ct)
+}
+
+// RescaleCtx is Rescale with a cancellation checkpoint at entry and between
+// the two component passes.
+func (ev *Evaluator) RescaleCtx(ctx context.Context, ct *Ciphertext) (*Ciphertext, error) {
+	return ev.rescaleCC(newCancelCheck(ctx), ct)
+}
+
+func (ev *Evaluator) rescaleCC(cc *cancelCheck, ct *Ciphertext) (*Ciphertext, error) {
 	var t0 time.Time
 	if ev.om != nil {
 		t0 = time.Now()
@@ -367,6 +393,9 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	tmp := ev.pool.Get(level + 1)
 	defer ev.pool.Put(tmp)
 	for _, pair := range []struct{ in, out ring.Poly }{{ct.C0, out.C0}, {ct.C1, out.C1}} {
+		if err := cc.err("Rescale"); err != nil {
+			return nil, err
+		}
 		tmp.CopyValues(pair.in)
 		rqIn.INTTWorkers(tmp, ev.parallelism)
 		ev.rescaler.Rescale(tmp.Coeffs, pair.out.Coeffs)
@@ -386,12 +415,22 @@ func (ev *Evaluator) Rotate(ct *Ciphertext, r int) (*Ciphertext, error) {
 
 // RotateWith is Rotate with an explicit key-switching backend.
 func (ev *Evaluator) RotateWith(ct *Ciphertext, r int, m KeySwitchMethod) (*Ciphertext, error) {
+	return ev.rotate(nil, ct, r, m)
+}
+
+// RotateCtx is RotateWith with cancellation: the key-switch polls ctx at its
+// limb-chunk boundaries.
+func (ev *Evaluator) RotateCtx(ctx context.Context, ct *Ciphertext, r int, m KeySwitchMethod) (*Ciphertext, error) {
+	return ev.rotate(newCancelCheck(ctx), ct, r, m)
+}
+
+func (ev *Evaluator) rotate(cc *cancelCheck, ct *Ciphertext, r int, m KeySwitchMethod) (*Ciphertext, error) {
 	var t0 time.Time
 	if ev.om != nil {
 		t0 = time.Now()
 	}
 	galEl := ring.GaloisElementForRotation(ev.params.LogN(), r)
-	out, err := ev.automorphism(ct, galEl, m)
+	out, err := ev.automorphism(cc, ct, galEl, m)
 	if err == nil && ev.om != nil {
 		ev.om.finish(ev.om.hrot[methodIdx(m)], "HRot", m, ct.Level, t0)
 	}
@@ -405,19 +444,31 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
 
 // ConjugateWith is Conjugate with an explicit key-switching backend.
 func (ev *Evaluator) ConjugateWith(ct *Ciphertext, m KeySwitchMethod) (*Ciphertext, error) {
+	return ev.conjugate(nil, ct, m)
+}
+
+// ConjugateCtx is ConjugateWith with cancellation.
+func (ev *Evaluator) ConjugateCtx(ctx context.Context, ct *Ciphertext, m KeySwitchMethod) (*Ciphertext, error) {
+	return ev.conjugate(newCancelCheck(ctx), ct, m)
+}
+
+func (ev *Evaluator) conjugate(cc *cancelCheck, ct *Ciphertext, m KeySwitchMethod) (*Ciphertext, error) {
 	var t0 time.Time
 	if ev.om != nil {
 		t0 = time.Now()
 	}
 	galEl := ring.GaloisElementForConjugation(ev.params.LogN())
-	out, err := ev.automorphism(ct, galEl, m)
+	out, err := ev.automorphism(cc, ct, galEl, m)
 	if err == nil && ev.om != nil {
 		ev.om.finish(ev.om.conj[methodIdx(m)], "Conjugate", m, ct.Level, t0)
 	}
 	return out, err
 }
 
-func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64, m KeySwitchMethod) (*Ciphertext, error) {
+func (ev *Evaluator) automorphism(cc *cancelCheck, ct *Ciphertext, galEl uint64, m KeySwitchMethod) (*Ciphertext, error) {
+	if err := cc.err("HRot"); err != nil {
+		return nil, err
+	}
 	sw, err := ev.switcherFor(m)
 	if err != nil {
 		return nil, err
@@ -434,7 +485,7 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64, m KeySwitchMetho
 	c1Rot := ev.pool.Get(level + 1)
 	defer ev.pool.Put(c1Rot)
 	rq.AutomorphismNTT(ct.C1, c1Rot, idx)
-	d0, d1, err := sw.Switch(c1Rot, key, level)
+	d0, d1, err := sw.switchPoly(cc, c1Rot, key, level)
 	if err != nil {
 		return nil, err
 	}
@@ -454,6 +505,18 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 
 // RotateHoistedWith is RotateHoisted with an explicit key-switching backend.
 func (ev *Evaluator) RotateHoistedWith(ct *Ciphertext, rotations []int, m KeySwitchMethod) (map[int]*Ciphertext, error) {
+	return ev.rotateHoisted(nil, ct, rotations, m)
+}
+
+// RotateHoistedCtx is RotateHoistedWith with cancellation: ctx is polled
+// inside the shared decomposition and before every per-rotation key-mult, so
+// a canceled batch returns within a fraction of one key-switch with all
+// pooled scratch released.
+func (ev *Evaluator) RotateHoistedCtx(ctx context.Context, ct *Ciphertext, rotations []int, m KeySwitchMethod) (map[int]*Ciphertext, error) {
+	return ev.rotateHoisted(newCancelCheck(ctx), ct, rotations, m)
+}
+
+func (ev *Evaluator) rotateHoisted(cc *cancelCheck, ct *Ciphertext, rotations []int, m KeySwitchMethod) (map[int]*Ciphertext, error) {
 	var t0 time.Time
 	if ev.om != nil {
 		t0 = time.Now()
@@ -464,13 +527,16 @@ func (ev *Evaluator) RotateHoistedWith(ct *Ciphertext, rotations []int, m KeySwi
 	}
 	level := ct.Level
 	rq := ev.params.ringQ.AtLevel(level)
-	dec, err := sw.Decompose(ct.C1, level)
+	dec, err := sw.decompose(cc, ct.C1, level)
 	if err != nil {
 		return nil, err
 	}
 	defer sw.Release(dec)
 	out := make(map[int]*Ciphertext, len(rotations))
 	for _, r := range rotations {
+		if err := cc.err("HRotHoisted"); err != nil {
+			return nil, err
+		}
 		if r == 0 {
 			out[0] = ct.CopyNew()
 			continue
@@ -482,7 +548,7 @@ func (ev *Evaluator) RotateHoistedWith(ct *Ciphertext, rotations []int, m KeySwi
 		}
 		idx := ev.params.GaloisIndex(galEl)
 		rotDec := sw.Automorph(dec, idx)
-		d0, d1, err := sw.KeyMult(rotDec, key, level)
+		d0, d1, err := sw.keyMult(cc, rotDec, key, level)
 		sw.Release(rotDec)
 		if err != nil {
 			return nil, err

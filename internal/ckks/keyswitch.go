@@ -1,6 +1,7 @@
 package ckks
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -90,7 +91,7 @@ func (ks *KeySwitcher) Method() KeySwitchMethod { return ks.method }
 func (ks *KeySwitcher) SetObserver(o *obs.Observer) {
 	if o == nil {
 		ks.modUpNS, ks.keyMultNS, ks.modDownNS = nil, nil, nil
-		ks.pool.Instrument(nil, nil, nil)
+		ks.pool.Instrument(nil, nil, nil, nil)
 		return
 	}
 	reg := o.Reg()
@@ -101,6 +102,7 @@ func (ks *KeySwitcher) SetObserver(o *obs.Observer) {
 	poolPrefix := "ring.pool.keyswitch." + ks.method.String()
 	ks.pool.Instrument(
 		reg.Counter(poolPrefix+".gets"),
+		reg.Counter(poolPrefix+".puts"),
 		reg.Counter(poolPrefix+".misses"),
 		reg.Gauge(poolPrefix+".alloc_bytes"),
 	)
@@ -214,8 +216,22 @@ func (ks *KeySwitcher) modFor(level, i int) ring.Modulus {
 //
 // The returned decomposition holds pooled buffers; Release it when done.
 func (ks *KeySwitcher) Decompose(c ring.Poly, level int) (*Decomposition, error) {
+	return ks.decompose(nil, c, level)
+}
+
+// DecomposeCtx is Decompose with cancellation checkpoints at every limb chunk
+// and decomposition group. On cancellation it returns a typed
+// ErrCanceled/ErrDeadline error and releases every pooled buffer it acquired.
+func (ks *KeySwitcher) DecomposeCtx(ctx context.Context, c ring.Poly, level int) (*Decomposition, error) {
+	return ks.decompose(newCancelCheck(ctx), c, level)
+}
+
+func (ks *KeySwitcher) decompose(cc *cancelCheck, c ring.Poly, level int) (*Decomposition, error) {
 	if c.Limbs() != level+1 {
 		return nil, fmt.Errorf("ckks: decompose input has %d limbs, want %d: %w", c.Limbs(), level+1, ErrLevelMismatch)
+	}
+	if err := cc.err("ModUp"); err != nil {
+		return nil, err
 	}
 	var t0 time.Time
 	if ks.modUpNS != nil {
@@ -229,15 +245,25 @@ func (ks *KeySwitcher) Decompose(c ring.Poly, level int) (*Decomposition, error)
 	defer ks.pool.Put(cCoeff)
 	ring.ForEachLimbRange(level+1, ks.parallelism, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if cc.stopped() {
+				return
+			}
 			copy(cCoeff.Coeffs[i], c.Coeffs[i])
 			ks.keyRing.Tables[i].InverseLazy(cCoeff.Coeffs[i])
 		}
 	})
+	if err := cc.err("ModUp"); err != nil {
+		return nil, err
+	}
 
 	beta := ks.beta(level)
 	ext := len(ks.sMods())
 	d := &Decomposition{Level: level, Groups: make([]ring.Poly, beta)}
 	for j := 0; j < beta; j++ {
+		if err := cc.err("ModUp"); err != nil {
+			ks.Release(d)
+			return nil, err
+		}
 		lo, hi := j*ks.alpha, min((j+1)*ks.alpha, level+1)
 		e, err := ks.extender(level, j)
 		if err != nil {
@@ -245,6 +271,9 @@ func (ks *KeySwitcher) Decompose(c ring.Poly, level int) (*Decomposition, error)
 			return nil, err
 		}
 		out := ks.pool.Get(level + 1 + ext)
+		// Record the buffer before converting so a cancellation below is
+		// released by ks.Release(d) along with the earlier groups.
+		d.Groups[j] = out
 		// Source rows (coefficient form) for the conversion.
 		src := cCoeff.Coeffs[lo:hi]
 		// Destination rows: everything except the group's own rows.
@@ -262,6 +291,9 @@ func (ks *KeySwitcher) Decompose(c ring.Poly, level int) (*Decomposition, error)
 		// input directly.
 		ring.ForEachLimbRange(level+1+ext, ks.parallelism, func(rlo, rhi int) {
 			for i := rlo; i < rhi; i++ {
+				if cc.stopped() {
+					return
+				}
 				if i >= lo && i < hi {
 					copy(out.Coeffs[i], c.Coeffs[i])
 					continue
@@ -269,7 +301,10 @@ func (ks *KeySwitcher) Decompose(c ring.Poly, level int) (*Decomposition, error)
 				ks.tableFor(level, i).Forward(out.Coeffs[i])
 			}
 		})
-		d.Groups[j] = out
+	}
+	if err := cc.err("ModUp"); err != nil {
+		ks.Release(d)
+		return nil, err
 	}
 	if ks.modUpNS != nil {
 		ks.modUpNS.ObserveSince(t0)
@@ -312,12 +347,26 @@ func (ks *KeySwitcher) Automorph(d *Decomposition, index []int) *Decomposition {
 // (RecoverLimbs) follows directly, leaving the rows in [0, 2q) for the
 // lazy-tolerant ModDown — one fused parallel pass per lane.
 func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (d0, d1 ring.Poly, err error) {
+	return ks.keyMult(nil, d, key, level)
+}
+
+// KeyMultCtx is KeyMult with cancellation checkpoints at every accumulator
+// row and ModDown stage boundary. On cancellation it returns a typed
+// ErrCanceled/ErrDeadline error; all scratch is pooled and released.
+func (ks *KeySwitcher) KeyMultCtx(ctx context.Context, d *Decomposition, key *SwitchingKey, level int) (d0, d1 ring.Poly, err error) {
+	return ks.keyMult(newCancelCheck(ctx), d, key, level)
+}
+
+func (ks *KeySwitcher) keyMult(cc *cancelCheck, d *Decomposition, key *SwitchingKey, level int) (d0, d1 ring.Poly, err error) {
 	if key.Method != ks.method {
 		return d0, d1, fmt.Errorf("ckks: %v switcher given a %v key: %w", ks.method, key.Method, ErrMethodUnavailable)
 	}
 	beta := ks.beta(level)
 	if beta > len(key.B) {
 		return d0, d1, fmt.Errorf("ckks: key has %d groups, need %d", len(key.B), beta)
+	}
+	if err := cc.err("KeyMult"); err != nil {
+		return d0, d1, err
 	}
 	var t0 time.Time
 	if ks.keyMultNS != nil {
@@ -339,6 +388,9 @@ func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (
 		defer ks.pool.Put(scratch)
 		hi0, hi1 := scratch.Coeffs[0], scratch.Coeffs[1]
 		for i := rlo; i < rhi; i++ {
+			if cc.stopped() {
+				return
+			}
 			m := ks.modFor(level, i)
 			keyRow := i
 			if i > level {
@@ -391,12 +443,17 @@ func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (
 		}
 	})
 
+	if err := cc.err("KeyMult"); err != nil {
+		return ring.Poly{}, ring.Poly{}, err
+	}
+
 	if ks.keyMultNS != nil {
 		ks.keyMultNS.ObserveSince(t0)
 		t0 = time.Now()
 	}
 	// ModDown: divide by the special chain, return to NTT form on the Q
-	// limbs.
+	// limbs. Cancellation is checked between the two halves and at every
+	// limb chunk of the closing NTT pass.
 	dw, err := ks.downer(level)
 	if err != nil {
 		return d0, d1, err
@@ -404,13 +461,22 @@ func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (
 	d0 = ring.NewPoly(n, level+1)
 	d1 = ring.NewPoly(n, level+1)
 	dw.ModDown(acc0.Coeffs[:level+1], acc0.Coeffs[level+1:rows], d0.Coeffs)
+	if err := cc.err("ModDown"); err != nil {
+		return ring.Poly{}, ring.Poly{}, err
+	}
 	dw.ModDown(acc1.Coeffs[:level+1], acc1.Coeffs[level+1:rows], d1.Coeffs)
 	ring.ForEachLimbRange(level+1, ks.parallelism, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if cc.stopped() {
+				return
+			}
 			ks.keyRing.Tables[i].Forward(d0.Coeffs[i])
 			ks.keyRing.Tables[i].Forward(d1.Coeffs[i])
 		}
 	})
+	if err := cc.err("ModDown"); err != nil {
+		return ring.Poly{}, ring.Poly{}, err
+	}
 	if ks.modDownNS != nil {
 		ks.modDownNS.ObserveSince(t0)
 	}
@@ -421,10 +487,19 @@ func (ks *KeySwitcher) KeyMult(d *Decomposition, key *SwitchingKey, level int) (
 // intermediate buffers are pooled; only the returned (d0, d1) pair is
 // freshly allocated (it escapes into the output ciphertext).
 func (ks *KeySwitcher) Switch(c ring.Poly, key *SwitchingKey, level int) (d0, d1 ring.Poly, err error) {
-	d, err := ks.Decompose(c, level)
+	return ks.switchPoly(nil, c, key, level)
+}
+
+// SwitchCtx is Switch with cancellation checkpoints through both stages.
+func (ks *KeySwitcher) SwitchCtx(ctx context.Context, c ring.Poly, key *SwitchingKey, level int) (d0, d1 ring.Poly, err error) {
+	return ks.switchPoly(newCancelCheck(ctx), c, key, level)
+}
+
+func (ks *KeySwitcher) switchPoly(cc *cancelCheck, c ring.Poly, key *SwitchingKey, level int) (d0, d1 ring.Poly, err error) {
+	d, err := ks.decompose(cc, c, level)
 	if err != nil {
 		return d0, d1, err
 	}
 	defer ks.Release(d)
-	return ks.KeyMult(d, key, level)
+	return ks.keyMult(cc, d, key, level)
 }

@@ -1,6 +1,7 @@
 package ckks
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -100,6 +101,18 @@ func (lt *LinearTransform) Rotations() []int {
 // move each partial sum into place. The result carries scale ct.Scale*lt
 // scale; the caller rescales.
 func (ev *Evaluator) LinearTransform(ct *Ciphertext, lt *LinearTransform) (*Ciphertext, error) {
+	return ev.linearTransform(nil, ct, lt)
+}
+
+// LinearTransformCtx is LinearTransform with cancellation: ctx is polled
+// inside the hoisted baby rotations, per diagonal multiplication bucket and
+// per giant step, so a deep homomorphic DFT abandons within a fraction of one
+// key-switch of ctx being done.
+func (ev *Evaluator) LinearTransformCtx(ctx context.Context, ct *Ciphertext, lt *LinearTransform) (*Ciphertext, error) {
+	return ev.linearTransform(newCancelCheck(ctx), ct, lt)
+}
+
+func (ev *Evaluator) linearTransform(cc *cancelCheck, ct *Ciphertext, lt *LinearTransform) (*Ciphertext, error) {
 	if ct.Level < lt.level {
 		return nil, fmt.Errorf("ckks: ciphertext at level %d below transform level %d: %w", ct.Level, lt.level, ErrLevelMismatch)
 	}
@@ -117,7 +130,7 @@ func (ev *Evaluator) LinearTransform(ct *Ciphertext, lt *LinearTransform) (*Ciph
 		babies = append(babies, b)
 	}
 	sort.Ints(babies)
-	rotated, err := ev.RotateHoisted(ct, babies)
+	rotated, err := ev.rotateHoisted(cc, ct, babies, ev.Method())
 	if err != nil {
 		return nil, err
 	}
@@ -126,6 +139,9 @@ func (ev *Evaluator) LinearTransform(ct *Ciphertext, lt *LinearTransform) (*Ciph
 	inner := map[int]*Ciphertext{}
 	var giants []int
 	for d, pt := range lt.diags {
+		if err := cc.err("LinearTransform"); err != nil {
+			return nil, err
+		}
 		b, g := d%lt.bs, (d/lt.bs)*lt.bs
 		term, err := ev.MulPlain(rotated[b], pt)
 		if err != nil {
@@ -147,7 +163,7 @@ func (ev *Evaluator) LinearTransform(ct *Ciphertext, lt *LinearTransform) (*Ciph
 	for _, g := range giants {
 		part := inner[g]
 		if g != 0 {
-			if part, err = ev.Rotate(part, g); err != nil {
+			if part, err = ev.rotate(cc, part, g, ev.Method()); err != nil {
 				return nil, err
 			}
 		}

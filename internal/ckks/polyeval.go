@@ -1,6 +1,7 @@
 package ckks
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -28,6 +29,16 @@ func (p Polynomial) Depth() int {
 // powers x^(bs*2^j) by squaring, inner sums as constant multiplications.
 // Multiplicative depth is ~log2(deg) instead of deg.
 func (ev *Evaluator) EvaluatePoly(ct *Ciphertext, p Polynomial) (*Ciphertext, error) {
+	return ev.evaluatePoly(nil, ct, p)
+}
+
+// EvaluatePolyCtx is EvaluatePoly with cancellation: ctx is polled at every
+// power/chunk of the BSGS schedule and inside each underlying key-switch.
+func (ev *Evaluator) EvaluatePolyCtx(ctx context.Context, ct *Ciphertext, p Polynomial) (*Ciphertext, error) {
+	return ev.evaluatePoly(newCancelCheck(ctx), ct, p)
+}
+
+func (ev *Evaluator) evaluatePoly(cc *cancelCheck, ct *Ciphertext, p Polynomial) (*Ciphertext, error) {
 	deg := p.Degree()
 	switch {
 	case deg < 0:
@@ -52,9 +63,9 @@ func (ev *Evaluator) EvaluatePoly(ct *Ciphertext, p Polynomial) (*Ciphertext, er
 	var err error
 	for i := 2; i <= bs; i++ {
 		if i%2 == 0 {
-			pow[i], err = ev.mulRescale(pow[i/2], pow[i/2])
+			pow[i], err = ev.mulRescaleCC(cc, pow[i/2], pow[i/2])
 		} else {
-			pow[i], err = ev.mulRescale(pow[i-1], pow[1])
+			pow[i], err = ev.mulRescaleCC(cc, pow[i-1], pow[1])
 		}
 		if err != nil {
 			return nil, err
@@ -68,11 +79,11 @@ func (ev *Evaluator) EvaluatePoly(ct *Ciphertext, p Polynomial) (*Ciphertext, er
 	}
 	giant := make([]*Ciphertext, numGiants)
 	if numGiants > 0 {
-		if giant[0], err = ev.mulRescale(pow[bs/2], pow[bs-bs/2]); err != nil {
+		if giant[0], err = ev.mulRescaleCC(cc, pow[bs/2], pow[bs-bs/2]); err != nil {
 			return nil, err
 		}
 		for j := 1; j < numGiants; j++ {
-			if giant[j], err = ev.mulRescale(giant[j-1], giant[j-1]); err != nil {
+			if giant[j], err = ev.mulRescaleCC(cc, giant[j-1], giant[j-1]); err != nil {
 				return nil, err
 			}
 		}
@@ -82,6 +93,9 @@ func (ev *Evaluator) EvaluatePoly(ct *Ciphertext, p Polynomial) (*Ciphertext, er
 	chunks := (deg + bs) / bs
 	inner := make([]*Ciphertext, chunks)
 	for g := 0; g < chunks; g++ {
+		if err := cc.err("EvaluatePoly"); err != nil {
+			return nil, err
+		}
 		var acc *Ciphertext
 		for b := 1; b < bs && g*bs+b <= deg; b++ {
 			c := p.Coeffs[g*bs+b]
@@ -125,7 +139,7 @@ func (ev *Evaluator) EvaluatePoly(ct *Ciphertext, p Polynomial) (*Ciphertext, er
 		part := inner[g]
 		for j := 0; j < numGiants; j++ {
 			if g&(1<<j) != 0 {
-				if part, err = ev.mulRescale(part, giant[j]); err != nil {
+				if part, err = ev.mulRescaleCC(cc, part, giant[j]); err != nil {
 					return nil, err
 				}
 			}
@@ -144,9 +158,14 @@ func (ev *Evaluator) EvaluatePoly(ct *Ciphertext, p Polynomial) (*Ciphertext, er
 // mulRescale multiplies and immediately rescales (the evaluation keeps every
 // intermediate at the working scale).
 func (ev *Evaluator) mulRescale(a, b *Ciphertext) (*Ciphertext, error) {
-	p, err := ev.MulRelin(a, b)
+	return ev.mulRescaleCC(nil, a, b)
+}
+
+// mulRescaleCC is mulRescale threading the cancellation checkpoint handle.
+func (ev *Evaluator) mulRescaleCC(cc *cancelCheck, a, b *Ciphertext) (*Ciphertext, error) {
+	p, err := ev.mulRelin(cc, a, b, ev.Method())
 	if err != nil {
 		return nil, err
 	}
-	return ev.Rescale(p)
+	return ev.rescaleCC(cc, p)
 }

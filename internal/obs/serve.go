@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler returns the observer's HTTP surface:
@@ -81,10 +83,20 @@ func (o *Observer) Handler() http.Handler {
 	return mux
 }
 
+// serveShutdownTimeout bounds how long Serve's shutdown closure waits for
+// in-flight requests (a scrape or a long pprof profile) before falling back
+// to an abrupt close.
+const serveShutdownTimeout = 5 * time.Second
+
 // Serve starts the observer's HTTP surface on addr (":0" picks a free port)
 // in a background goroutine. It returns the bound address and a shutdown
 // function. Opt-in only: nothing in the repository serves unless a caller
-// (e.g. cmd/fastsim -http) asks.
+// (e.g. cmd/fastsim -http or cmd/fastd) asks.
+//
+// The shutdown function is graceful: it stops accepting new connections,
+// waits up to serveShutdownTimeout for in-flight requests (an interrupted
+// Prometheus scrape would otherwise surface as a spurious target failure),
+// then force-closes whatever remains. It is safe to call more than once.
 func (o *Observer) Serve(addr string) (bound net.Addr, shutdown func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -92,5 +104,25 @@ func (o *Observer) Serve(addr string) (bound net.Addr, shutdown func() error, er
 	}
 	srv := &http.Server{Handler: o.Handler()}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr(), srv.Close, nil
+	return ln.Addr(), func() error { return ShutdownServer(srv, serveShutdownTimeout) }, nil
+}
+
+// ShutdownServer gracefully shuts down an http.Server with a bounded wait:
+// Shutdown is given `within` to drain in-flight requests, after which the
+// server is force-closed. Shared by the observer's Serve and the fastd
+// daemon's SIGINT/SIGTERM path.
+func ShutdownServer(srv *http.Server, within time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), within)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		// Drain window expired (or the context was already done): fall back
+		// to closing the remaining connections abruptly.
+		if cerr := srv.Close(); cerr != nil && cerr != http.ErrServerClosed {
+			return cerr
+		}
+		if err != context.DeadlineExceeded {
+			return err
+		}
+	}
+	return nil
 }

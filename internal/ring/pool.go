@@ -25,6 +25,7 @@ type PolyPool struct {
 	// Optional instruments (see Instrument). Nil instruments are no-ops, so
 	// the uninstrumented hot-path cost is a nil check per Get.
 	gets       *obs.Counter
+	puts       *obs.Counter
 	misses     *obs.Counter
 	allocBytes *obs.Gauge
 }
@@ -50,6 +51,10 @@ func NewPolyPool(n, maxLimbs int) *PolyPool {
 // Instrument attaches observability instruments to the pool:
 //
 //	gets    counts every Get/GetZero (a pool hit is gets - misses);
+//	puts    counts every Put of a pool-shaped buffer — on a quiescent pool
+//	        gets == puts; a persistent gap is a scratch leak (some error or
+//	        cancellation path failed to release), the invariant the
+//	        cancellation tests assert;
 //	misses  counts Gets that had to allocate a fresh backing buffer;
 //	alloc   accumulates the bytes of those fresh backings — the pool's
 //	        steady-state footprint once the workload's concurrency peak has
@@ -59,8 +64,8 @@ func NewPolyPool(n, maxLimbs int) *PolyPool {
 //
 // Any (or all) instruments may be nil. Call before the pool is shared across
 // goroutines (construction time).
-func (pp *PolyPool) Instrument(gets, misses *obs.Counter, alloc *obs.Gauge) {
-	pp.gets, pp.misses, pp.allocBytes = gets, misses, alloc
+func (pp *PolyPool) Instrument(gets, puts, misses *obs.Counter, alloc *obs.Gauge) {
+	pp.gets, pp.puts, pp.misses, pp.allocBytes = gets, puts, misses, alloc
 }
 
 // N returns the polynomial degree of pooled buffers.
@@ -102,5 +107,6 @@ func (pp *PolyPool) Put(p Poly) {
 	if len(c) != pp.maxLimbs || len(c[0]) != pp.n {
 		return // not one of ours; let the GC have it
 	}
+	pp.puts.Inc()
 	pp.pool.Put(c)
 }

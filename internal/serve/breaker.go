@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's tri-state.
+type BreakerState int
+
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker: Threshold failures in a
+// row open it, a Cooldown later one probe is allowed through, and the probe's
+// outcome either closes it or re-arms the cooldown. fastd wires it over the
+// fault-injected Hemera key-transfer path — a storm of modeled transfer
+// faults trips the breaker, key-switch-bearing requests fail fast with
+// ErrBreakerOpen, and once the faults subside the half-open probe re-closes
+// it.
+//
+// All methods are safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+	trips       uint64
+}
+
+// NewBreaker returns a closed breaker that opens after `threshold`
+// consecutive failures and allows a half-open probe `cooldown` after opening.
+// threshold < 1 is clamped to 1; cooldown <= 0 defaults to one second.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may proceed. In the open state it returns
+// false until the cooldown has elapsed, then transitions to half-open and
+// admits exactly one probe; further calls return false until the probe's
+// outcome is recorded.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true // the probe
+		}
+		return false
+	default: // BreakerHalfOpen: probe in flight
+		return false
+	}
+}
+
+// RecordSuccess reports a successful request. It resets the failure streak
+// and closes a half-open breaker.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+	}
+}
+
+// RecordFailure reports a failed request. Threshold consecutive failures trip
+// a closed breaker; any failure re-opens a half-open one (the probe failed,
+// restart the cooldown).
+func (b *Breaker) RecordFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.trip()
+		}
+	case BreakerOpen:
+		// Late failure reports while open don't extend the cooldown.
+	}
+}
+
+// trip must be called with b.mu held.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.consecutive = 0
+	b.trips++
+}
+
+// State returns the current state (open breakers whose cooldown has elapsed
+// still report open until the next Allow performs the half-open transition).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// setClock replaces the breaker's time source (tests only).
+func (b *Breaker) setClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// ewmaAlpha weights the latest observation in the ns-per-unit average. 0.2
+// converges within ~10 requests while smoothing over GC pauses and scheduler
+// noise.
+const ewmaAlpha = 0.2
+
+// Estimator converts abstract work units (fastd feeds it the costmodel's
+// 36-bit modular-operation equivalents) into wall-clock estimates via an
+// exponentially weighted moving average of observed ns-per-unit. The cost
+// model gives the *relative* weight of each op exactly (a level-20 KLSS
+// key-switch is this many times a level-3 hybrid rotation); the EWMA
+// calibrates the single machine-dependent scale factor from live traffic.
+type Estimator struct {
+	mu        sync.Mutex
+	nsPerUnit float64
+	samples   uint64
+}
+
+// NewEstimator seeds the calibration with an initial ns-per-unit guess.
+func NewEstimator(initialNsPerUnit float64) *Estimator {
+	if initialNsPerUnit <= 0 || math.IsNaN(initialNsPerUnit) || math.IsInf(initialNsPerUnit, 0) {
+		initialNsPerUnit = 1
+	}
+	return &Estimator{nsPerUnit: initialNsPerUnit}
+}
+
+// Observe feeds one completed request (its unit weight and measured wall
+// time) into the calibration. Non-positive inputs are ignored.
+func (e *Estimator) Observe(units float64, elapsed time.Duration) {
+	if units <= 0 || elapsed <= 0 {
+		return
+	}
+	sample := float64(elapsed.Nanoseconds()) / units
+	e.mu.Lock()
+	if e.samples == 0 {
+		e.nsPerUnit = sample // first real measurement replaces the seed
+	} else {
+		e.nsPerUnit = ewmaAlpha*sample + (1-ewmaAlpha)*e.nsPerUnit
+	}
+	e.samples++
+	e.mu.Unlock()
+}
+
+// NsPerUnit returns the current calibration.
+func (e *Estimator) NsPerUnit() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.nsPerUnit
+}
+
+// ServiceNS estimates the wall-clock nanoseconds one op of the given unit
+// weight will occupy a worker for.
+func (e *Estimator) ServiceNS(units float64) float64 {
+	if units <= 0 {
+		return 0
+	}
+	return units * e.NsPerUnit()
+}
+
+// WaitNS estimates the queue wait seen by a new arrival: the queued work
+// divided evenly across the worker pool. It deliberately ignores the
+// residual service time of in-flight tasks (unknowable without progress
+// introspection), so the estimate is optimistic by at most one mean service
+// time per worker — acceptable for shedding, which only needs the right
+// order of magnitude.
+func (e *Estimator) WaitNS(queuedUnits float64, workers int) float64 {
+	if queuedUnits <= 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return queuedUnits * e.NsPerUnit() / float64(workers)
+}

@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fastfhe/fast/internal/ckks"
+	"github.com/fastfhe/fast/internal/obs"
+)
+
+// block returns a task body that blocks until release is closed.
+func block(release <-chan struct{}) func(context.Context) error {
+	return func(ctx context.Context) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func TestDoRunsTasks(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 4})
+	defer s.Drain(context.Background())
+	var ran atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := s.Do(context.Background(), Op{Name: "t", Units: 10}, func(context.Context) error {
+				ran.Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("ran %d of 8 tasks", got)
+	}
+}
+
+func TestQueueFullRejectsImmediately(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Drain(context.Background())
+
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	go s.Do(context.Background(), Op{Name: "hog"}, func(ctx context.Context) error {
+		close(started)
+		return block(release)(ctx)
+	})
+	<-started
+	// Fill the queue slot.
+	go s.Do(context.Background(), Op{Name: "queued"}, block(release))
+	deadline := time.Now().Add(time.Second)
+	for s.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued task never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	err := s.Do(context.Background(), Op{Name: "overflow"}, func(context.Context) error { return nil })
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("queue-full rejection took %v, want <10ms", d)
+	}
+}
+
+func TestDeadlineShedding(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8, NsPerUnit: 1e6}) // 1ms per unit
+	defer s.Drain(context.Background())
+
+	// 100 units * 1ms = 100ms estimated service; a 5ms deadline is hopeless.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Do(ctx, Op{Name: "doomed", Units: 100}, func(context.Context) error {
+		t.Error("shed task must not run")
+		return nil
+	})
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("want ErrShed, got %v", err)
+	}
+	if !errors.Is(err, ckks.ErrDeadline) {
+		t.Fatalf("shed error must match ckks.ErrDeadline, got %v", err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("shed took %v, want <10ms", d)
+	}
+
+	// A comfortable deadline is admitted.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	if err := s.Do(ctx2, Op{Name: "fine", Units: 1}, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("admissible request rejected: %v", err)
+	}
+}
+
+func TestCanceledWhileQueued(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	defer s.Drain(context.Background())
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go s.Do(context.Background(), Op{Name: "hog"}, func(ctx context.Context) error {
+		close(started)
+		return block(release)(ctx)
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- s.Do(ctx, Op{Name: "waiter"}, func(context.Context) error {
+			t.Error("abandoned task must not run")
+			return nil
+		})
+	}()
+	deadline := time.Now().Add(time.Second)
+	for s.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ckks.ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("want ErrCanceled/context.Canceled, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("canceled Do did not return promptly")
+	}
+	close(release)
+}
+
+func TestPanicIsolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Workers: 1, QueueDepth: 2, Reg: reg})
+	defer s.Drain(context.Background())
+
+	err := s.Do(context.Background(), Op{Name: "bomb"}, func(context.Context) error {
+		panic("boom")
+	})
+	if !errors.Is(err, ErrPanicked) {
+		t.Fatalf("want ErrPanicked, got %v", err)
+	}
+	// The worker must survive: the next task runs on the same single worker.
+	if err := s.Do(context.Background(), Op{Name: "after"}, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("worker died after panic: %v", err)
+	}
+	if got := reg.Counter("serve.panics").Value(); got != 1 {
+		t.Fatalf("panic counter = %d, want 1", got)
+	}
+}
+
+func TestDrainRejectsNewFinishesQueued(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var finished atomic.Int32
+	go s.Do(context.Background(), Op{Name: "hog"}, func(ctx context.Context) error {
+		close(started)
+		<-release
+		finished.Add(1)
+		return nil
+	})
+	<-started
+	// Queue one more; it must complete during drain.
+	queuedErr := make(chan error, 1)
+	go func() {
+		queuedErr <- s.Do(context.Background(), Op{Name: "queued"}, func(context.Context) error {
+			finished.Add(1)
+			return nil
+		})
+	}()
+	deadline := time.Now().Add(time.Second)
+	for s.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued task never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	deadline = time.Now().Add(time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// New arrivals are rejected while draining.
+	if err := s.Do(context.Background(), Op{Name: "late"}, func(context.Context) error { return nil }); !errors.Is(err, ErrDraining) {
+		t.Fatalf("want ErrDraining, got %v", err)
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued task failed during drain: %v", err)
+	}
+	if got := finished.Load(); got != 2 {
+		t.Fatalf("finished %d tasks, want 2 (hog + queued)", got)
+	}
+}
+
+func TestDrainTimeout(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go s.Do(context.Background(), Op{Name: "stuck"}, func(ctx context.Context) error {
+		close(started)
+		<-release // ignores ctx: a worst-case handler
+		return nil
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, ckks.ErrDeadline) {
+		t.Fatalf("want ErrDeadline from bounded drain, got %v", err)
+	}
+	close(release)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestBreakerFaultTripAndRecover is part of the chaos gate (`make chaos`
+// matches Fault): consecutive downstream faults open the breaker, requests
+// fail fast while open, and the half-open probe re-closes it.
+func TestBreakerFaultTripAndRecover(t *testing.T) {
+	br := NewBreaker(3, time.Hour)
+	now := time.Now()
+	clock := &now
+	var mu sync.Mutex
+	br.setClock(func() time.Time { mu.Lock(); defer mu.Unlock(); return *clock })
+
+	failing := errors.New("downstream exploded")
+	s := New(Config{
+		Workers: 1, QueueDepth: 4,
+		Breaker:           br,
+		FailureIsBreaking: func(err error) bool { return errors.Is(err, failing) },
+	})
+	defer s.Drain(context.Background())
+
+	fail := func(context.Context) error { return fmt.Errorf("op: %w", failing) }
+	for i := 0; i < 3; i++ {
+		if err := s.Do(context.Background(), Op{Name: "f"}, fail); !errors.Is(err, failing) {
+			t.Fatalf("task %d: %v", i, err)
+		}
+	}
+	if st := br.State(); st != BreakerOpen {
+		t.Fatalf("breaker state after 3 failures = %v, want open", st)
+	}
+
+	// Open: fail fast without executing.
+	err := s.Do(context.Background(), Op{Name: "rejected"}, func(context.Context) error {
+		t.Error("must not run while breaker open")
+		return nil
+	})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("want ErrBreakerOpen, got %v", err)
+	}
+
+	// Cooldown elapses; the half-open probe succeeds; breaker closes.
+	mu.Lock()
+	now = now.Add(2 * time.Hour)
+	clock = &now
+	mu.Unlock()
+	if err := s.Do(context.Background(), Op{Name: "probe"}, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if st := br.State(); st != BreakerClosed {
+		t.Fatalf("breaker state after successful probe = %v, want closed", st)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	br := NewBreaker(1, time.Hour)
+	now := time.Now()
+	var mu sync.Mutex
+	br.setClock(func() time.Time { mu.Lock(); defer mu.Unlock(); return now })
+
+	br.RecordFailure()
+	if br.State() != BreakerOpen {
+		t.Fatal("breaker should open after threshold=1 failure")
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Hour)
+	mu.Unlock()
+	if !br.Allow() {
+		t.Fatal("cooldown elapsed: probe must be allowed")
+	}
+	if br.Allow() {
+		t.Fatal("only one half-open probe may pass")
+	}
+	br.RecordFailure()
+	if br.State() != BreakerOpen {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+}
+
+func TestCancellationNotBreaking(t *testing.T) {
+	br := NewBreaker(1, time.Hour)
+	s := New(Config{
+		Workers: 1, QueueDepth: 2,
+		Breaker:           br,
+		FailureIsBreaking: func(error) bool { return true },
+	})
+	defer s.Drain(context.Background())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	err := s.Do(ctx, Op{Name: "c"}, func(ctx context.Context) error {
+		cancel()
+		<-ctx.Done()
+		return fmt.Errorf("op: %w: %w", ckks.ErrCanceled, ctx.Err())
+	})
+	if !errors.Is(err, ckks.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if st := br.State(); st != BreakerClosed {
+		t.Fatalf("cancellation tripped the breaker (state %v)", st)
+	}
+}
+
+func TestEstimatorCalibration(t *testing.T) {
+	e := NewEstimator(1)
+	for i := 0; i < 20; i++ {
+		e.Observe(1000, time.Millisecond) // 1000 ns/unit
+	}
+	got := e.NsPerUnit()
+	if got < 900 || got > 1100 {
+		t.Fatalf("ns/unit = %v, want ~1000", got)
+	}
+	if w := e.WaitNS(4000, 2); w < 1.8e6 || w > 2.2e6 {
+		t.Fatalf("WaitNS(4000 units, 2 workers) = %v, want ~2e6", w)
+	}
+	if s := e.ServiceNS(500); s < 4.5e5 || s > 5.5e5 {
+		t.Fatalf("ServiceNS(500) = %v, want ~5e5", s)
+	}
+}
+
+func TestDoMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Workers: 1, QueueDepth: 1, Reg: reg})
+	defer s.Drain(context.Background())
+	if err := s.Do(context.Background(), Op{Name: "ok", Units: 5}, func(context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("serve.admitted").Value(); got != 1 {
+		t.Fatalf("admitted = %d, want 1", got)
+	}
+	if got := reg.Counter("serve.completed").Value(); got != 1 {
+		t.Fatalf("completed = %d, want 1", got)
+	}
+	if got := reg.Histogram("serve.admission_wait_ns").Count(); got != 1 {
+		t.Fatalf("wait histogram count = %d, want 1", got)
+	}
+}

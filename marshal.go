@@ -1,0 +1,29 @@
+package fast
+
+import (
+	"io"
+
+	"github.com/fastfhe/fast/internal/ckks"
+)
+
+// Serialize writes the ciphertext to w in the package's versioned binary wire
+// format (tagged header, level, scale, then the RNS coefficient rows of both
+// components). The format is what the fastd serving daemon moves over HTTP;
+// ReadCiphertext is the inverse.
+func (c *Ciphertext) Serialize(w io.Writer) error {
+	return c.ct.Serialize(w)
+}
+
+// ReadCiphertext reads a ciphertext in the Serialize wire format and
+// validates it against the context's parameters: level within the chain, limb
+// counts consistent with the level, coefficient rows inside their moduli, and
+// a finite positive scale. Malformed or truncated input returns an error
+// wrapping fast.ErrInvalidCiphertext — never a panic and never a structurally
+// broken handle.
+func (c *Context) ReadCiphertext(r io.Reader) (*Ciphertext, error) {
+	ct, err := ckks.ReadCiphertext(r, c.params)
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{ct}, nil
+}

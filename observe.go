@@ -39,6 +39,19 @@ func (ob *Observer) internal() *obs.Observer {
 	return ob.o
 }
 
+// Registry exposes the observer's metrics registry so sibling subsystems in
+// this module (the serving layer's admission instruments, cmd/fastd's request
+// counters) register their counters, gauges and histograms alongside the
+// evaluator's and everything lands in one /metrics exposition. Nil-safe: a
+// nil observer returns a nil registry; callers should then skip
+// instrumentation, exactly as the internal layers do.
+func (ob *Observer) Registry() *obs.Registry {
+	if ob == nil {
+		return nil
+	}
+	return ob.o.Reg()
+}
+
 // MetricsSnapshot is a point-in-time copy of every registered instrument.
 type MetricsSnapshot = obs.Snapshot
 

@@ -1,5 +1,7 @@
 package fast
 
+import "context"
+
 // This file defines the functional-options surface of the package:
 //
 //   - Option configures NewContext (context-wide settings such as the
@@ -100,6 +102,7 @@ type OpOption func(*opSettings)
 type opSettings struct {
 	method    Method
 	noRescale bool
+	ctx       context.Context // nil = not cancellable
 }
 
 // WithMethod routes this one operation through the given key-switching
@@ -118,4 +121,20 @@ func WithMethod(m Method) OpOption {
 // products at the same scale, paying one rescale instead of many.
 func NoRescale() OpOption {
 	return func(s *opSettings) { s.noRescale = true }
+}
+
+// WithContext makes this one operation cancellable: the kernels underneath
+// poll ctx at cheap checkpoints (per limb chunk in the key-switch
+// ModUp/KeyMult/ModDown passes, per level in linear transforms and
+// bootstrapping) and abandon the operation with a typed error as soon as the
+// context is done. The returned error matches both fast.ErrCanceled /
+// fast.ErrDeadline and the underlying context.Canceled /
+// context.DeadlineExceeded under errors.Is. Abandoned operations release all
+// pooled scratch and leave their inputs untouched.
+//
+// A nil or never-cancelled context (context.Background()) adds no overhead
+// beyond a single pointer check per checkpoint. The *Ctx convenience methods
+// (MulCtx, RotateCtx, ...) are shorthand for passing this option.
+func WithContext(ctx context.Context) OpOption {
+	return func(s *opSettings) { s.ctx = ctx }
 }
