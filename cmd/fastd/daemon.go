@@ -88,6 +88,7 @@ type daemon struct {
 
 	mu       sync.RWMutex
 	sessions map[string]*session
+	reserved int // slots held by in-flight session creates (keygen running)
 	nextID   uint64
 
 	mRequests     *obs.Counter
@@ -216,13 +217,20 @@ func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, fast.WithFaultPlan(plan))
 	}
 
+	// Reserve the session slot under the lock BEFORE the expensive keygen:
+	// checking the limit, unlocking for seconds of key generation and only
+	// then inserting would let N concurrent creates all pass the check and
+	// grow the registry past MaxSessions — the memory bound the limit exists
+	// to enforce. The reservation is released on any failure path and
+	// converted into the real entry on success.
 	d.mu.Lock()
-	if len(d.sessions) >= d.cfg.MaxSessions {
+	if len(d.sessions)+d.reserved >= d.cfg.MaxSessions {
 		d.mu.Unlock()
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Errorf("session limit %d reached", d.cfg.MaxSessions))
 		return
 	}
+	d.reserved++
 	d.nextID++
 	id := "s" + strconv.FormatUint(d.nextID, 10)
 	d.mu.Unlock()
@@ -237,6 +245,9 @@ func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return err
 	})
 	if err != nil {
+		d.mu.Lock()
+		d.reserved--
+		d.mu.Unlock()
 		d.writeAdmissionError(w, err)
 		return
 	}
@@ -250,6 +261,7 @@ func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	sess := &session{id: id, ctx: fctx, cm: cm}
 
 	d.mu.Lock()
+	d.reserved--
 	d.sessions[id] = sess
 	n := len(d.sessions)
 	d.mu.Unlock()
@@ -448,9 +460,16 @@ func (d *daemon) handleEval(w http.ResponseWriter, r *http.Request) {
 // (retries, timeouts, refetches) counts as a downstream failure even though
 // the computation itself succeeded bit-exactly — the breaker's job is to
 // detect the transfer fault storm, not corrupt data.
+//
+// Sessions without an active fault plan record NOTHING here: the breaker is
+// daemon-global and consecutive-failure based, so a RecordSuccess per healthy
+// eval would reset the streak and let any interleaved healthy-session traffic
+// mask a sustained fault storm on another session. Half-open recovery does
+// not depend on this call — the admission layer resolves the probe task's
+// outcome itself (serve.Server.settle), so a clean eval still re-closes an
+// open breaker after faults stop.
 func (d *daemon) recordFaultHealth(sess *session) {
 	if !sess.ctx.FaultPlanActive() {
-		d.breaker.RecordSuccess()
 		return
 	}
 	if delta := sess.faultRecoveryDelta(); delta > 0 {

@@ -70,19 +70,45 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 // admits exactly one probe; further calls return false until the probe's
 // outcome is recorded.
 func (b *Breaker) Allow() bool {
+	ok, _ := b.AllowProbe()
+	return ok
+}
+
+// AllowProbe is Allow plus the information the caller needs to not leak the
+// half-open probe slot: probe is true exactly when this admission performed
+// the Open→HalfOpen transition and is therefore the single probe. A caller
+// that obtains probe=true and then does NOT run the request to a recordable
+// outcome (RecordSuccess/RecordFailure) must call CancelProbe, or the breaker
+// wedges in half-open — where every Allow returns false — forever.
+func (b *Breaker) AllowProbe() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return true
+		return true, false
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) >= b.cooldown {
 			b.state = BreakerHalfOpen
-			return true // the probe
+			return true, true // the probe
 		}
-		return false
+		return false, false
 	default: // BreakerHalfOpen: probe in flight
-		return false
+		return false, false
+	}
+}
+
+// CancelProbe returns an unused or inconclusive half-open probe slot:
+// HalfOpen reverts to Open with the original openedAt preserved, so the
+// already-elapsed cooldown lets the very next Allow become the new probe.
+// Unlike RecordFailure it does not re-arm the cooldown (the downstream was
+// never consulted) and unlike RecordSuccess it does not close the breaker.
+// No-op in any other state, so it is safe to call after the probe's outcome
+// was already recorded by other means.
+func (b *Breaker) CancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
 	}
 }
 

@@ -1,0 +1,328 @@
+package serve
+
+// Regression tests for the REVIEW.md findings: the half-open probe slot must
+// never be leaked by an admission that consumes it but is then rejected or
+// abandoned before reaching a recordable outcome, and the queued-units
+// counter must never under-report admitted work.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fastfhe/fast/internal/ckks"
+)
+
+// tripped returns an open breaker (threshold 1) whose cooldown has already
+// elapsed on the injected clock, so the next admission is the half-open probe.
+func tripped(t *testing.T) *Breaker {
+	t.Helper()
+	br := NewBreaker(1, time.Hour)
+	now := time.Now()
+	var mu sync.Mutex
+	br.setClock(func() time.Time { mu.Lock(); defer mu.Unlock(); return now })
+	br.RecordFailure()
+	if br.State() != BreakerOpen {
+		t.Fatal("breaker should open after threshold=1 failure")
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Hour)
+	mu.Unlock()
+	return br
+}
+
+func TestBreakerCancelProbe(t *testing.T) {
+	br := tripped(t)
+	ok, probe := br.AllowProbe()
+	if !ok || !probe {
+		t.Fatalf("AllowProbe after cooldown = (%v, %v), want (true, true)", ok, probe)
+	}
+	if br.Allow() {
+		t.Fatal("second admission while probe in flight must be refused")
+	}
+	// Returning the slot must make the very next admission the new probe
+	// (the original cooldown already elapsed) — not restart the cooldown.
+	br.CancelProbe()
+	if st := br.State(); st != BreakerOpen {
+		t.Fatalf("state after CancelProbe = %v, want open", st)
+	}
+	ok, probe = br.AllowProbe()
+	if !ok || !probe {
+		t.Fatalf("AllowProbe after CancelProbe = (%v, %v), want (true, true)", ok, probe)
+	}
+	// CancelProbe after the probe's outcome was recorded is a no-op.
+	br.RecordSuccess()
+	br.CancelProbe()
+	if st := br.State(); st != BreakerClosed {
+		t.Fatalf("CancelProbe after RecordSuccess changed state to %v", st)
+	}
+}
+
+// TestProbeReturnedOnPreCanceledContext: Allow consumes the probe slot, then
+// the ctx-already-done check rejects the request. The slot must come back, or
+// the breaker is wedged half-open and every later request gets ErrBreakerOpen
+// forever.
+func TestProbeReturnedOnPreCanceledContext(t *testing.T) {
+	br := tripped(t)
+	s := New(Config{Workers: 1, QueueDepth: 2, Breaker: br})
+	defer s.Drain(context.Background())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Do(ctx, Op{Name: "dead-on-arrival"}, func(context.Context) error {
+		t.Error("task with pre-canceled ctx must not run")
+		return nil
+	})
+	if !errors.Is(err, ckks.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if st := br.State(); st == BreakerHalfOpen {
+		t.Fatal("probe slot leaked: breaker wedged half-open after rejected admission")
+	}
+	// Service must be recoverable: the next clean request is the new probe
+	// and closes the breaker.
+	if err := s.Do(context.Background(), Op{Name: "probe"}, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("post-leak probe rejected: %v", err)
+	}
+	if st := br.State(); st != BreakerClosed {
+		t.Fatalf("breaker state after successful probe = %v, want closed", st)
+	}
+}
+
+// TestProbeReturnedOnQueueFull: the review's wedge interleaving — open
+// breaker plus full queue at cooldown expiry. The probe admission finds the
+// queue full and is rejected; the slot must be returned.
+func TestProbeReturnedOnQueueFull(t *testing.T) {
+	br := NewBreaker(1, time.Hour)
+	now := time.Now()
+	var mu sync.Mutex
+	br.setClock(func() time.Time { mu.Lock(); defer mu.Unlock(); return now })
+	s := New(Config{Workers: 1, QueueDepth: 1, Breaker: br})
+	defer s.Drain(context.Background())
+
+	// Occupy the worker and fill the queue while the breaker is still closed.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var bg sync.WaitGroup
+	bg.Add(2)
+	go func() {
+		defer bg.Done()
+		_ = s.Do(context.Background(), Op{Name: "hog"}, func(ctx context.Context) error {
+			close(started)
+			return block(release)(ctx)
+		})
+	}()
+	<-started
+	go func() {
+		defer bg.Done()
+		_ = s.Do(context.Background(), Op{Name: "queued"}, block(release))
+	}()
+	deadline := time.Now().Add(time.Second)
+	for s.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued task never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Breaker opens (external fault report) and the cooldown elapses while
+	// the queue is still full.
+	br.RecordFailure()
+	mu.Lock()
+	now = now.Add(2 * time.Hour)
+	mu.Unlock()
+
+	err := s.Do(context.Background(), Op{Name: "overflow"}, func(context.Context) error {
+		t.Error("queue-full task must not run")
+		return nil
+	})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if st := br.State(); st == BreakerHalfOpen {
+		t.Fatal("probe slot leaked on queue-full rejection: breaker wedged half-open")
+	}
+
+	// Drain the backlog; the next clean request re-probes and closes.
+	close(release)
+	bg.Wait()
+	if err := s.Do(context.Background(), Op{Name: "probe"}, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("recovery probe rejected: %v", err)
+	}
+	if st := br.State(); st != BreakerClosed {
+		t.Fatalf("breaker state after recovery = %v, want closed", st)
+	}
+}
+
+// TestProbeReturnedOnUnmeetableDeadline: shed-on-arrival after Allow consumed
+// the probe slot.
+func TestProbeReturnedOnShed(t *testing.T) {
+	br := tripped(t)
+	s := New(Config{Workers: 1, QueueDepth: 2, Breaker: br, NsPerUnit: 1e6})
+	defer s.Drain(context.Background())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := s.Do(ctx, Op{Name: "doomed", Units: 1000}, func(context.Context) error {
+		t.Error("shed task must not run")
+		return nil
+	})
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("want ErrShed, got %v", err)
+	}
+	if st := br.State(); st == BreakerHalfOpen {
+		t.Fatal("probe slot leaked on shed: breaker wedged half-open")
+	}
+	if err := s.Do(context.Background(), Op{Name: "probe"}, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("recovery probe rejected: %v", err)
+	}
+	if st := br.State(); st != BreakerClosed {
+		t.Fatalf("breaker state after recovery = %v, want closed", st)
+	}
+}
+
+// TestProbeCanceledMidFlightResolves: a probe task whose ctx is canceled
+// while executing is cancellation-class — the classifier never records, so
+// settle itself must decide the probe outcome (inconclusive → slot returned,
+// breaker back to plain open, next arrival re-probes). This is the fastd
+// shape: no FailureIsBreaking classifier, breaker externally owned.
+func TestProbeCanceledMidFlightResolves(t *testing.T) {
+	br := tripped(t)
+	s := New(Config{Workers: 1, QueueDepth: 2, Breaker: br})
+	defer s.Drain(context.Background())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	err := s.Do(ctx, Op{Name: "probe"}, func(ctx context.Context) error {
+		cancel()
+		<-ctx.Done()
+		return fmt.Errorf("op: %w: %w", ckks.ErrCanceled, ctx.Err())
+	})
+	if !errors.Is(err, ckks.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if st := br.State(); st != BreakerOpen {
+		t.Fatalf("state after canceled probe = %v, want open (slot returned, cooldown not re-armed)", st)
+	}
+	// With no classifier, a clean probe run still closes the breaker via
+	// settle's probe resolution (this is how fastd recovers after a storm).
+	if err := s.Do(context.Background(), Op{Name: "probe2"}, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("second probe: %v", err)
+	}
+	if st := br.State(); st != BreakerClosed {
+		t.Fatalf("breaker state after clean probe = %v, want closed", st)
+	}
+}
+
+// TestProbeReturnedOnAbandonWhileQueued: the submitter wins the claim() race
+// against the workers and abandons a queued probe task; the abandon path in
+// Do must return the slot (settle never runs for tombstones).
+func TestProbeReturnedOnAbandonWhileQueued(t *testing.T) {
+	br := tripped(t)
+	s := New(Config{Workers: 1, QueueDepth: 2, Breaker: br})
+	defer s.Drain(context.Background())
+
+	// Admit a hog first: it consumes the probe slot and blocks in the worker.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var bg sync.WaitGroup
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		_ = s.Do(context.Background(), Op{Name: "hog"}, func(ctx context.Context) error {
+			close(started)
+			<-release
+			return nil
+		})
+	}()
+	<-started
+	// Return the hog's slot manually so the next admission (our victim)
+	// becomes the new probe while the worker is still busy executing the hog.
+	br.CancelProbe()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	victim := make(chan error, 1)
+	go func() {
+		victim <- s.Do(ctx, Op{Name: "victim"}, func(context.Context) error {
+			t.Error("abandoned task must not run")
+			return nil
+		})
+	}()
+	// Wait until the victim is queued (worker busy), then abandon it.
+	deadline := time.Now().Add(time.Second)
+	for s.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-victim; !errors.Is(err, ckks.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if st := br.State(); st == BreakerHalfOpen {
+		t.Fatal("probe slot leaked on abandon-while-queued: breaker wedged half-open")
+	}
+
+	close(release)
+	bg.Wait()
+	if err := s.Do(context.Background(), Op{Name: "probe"}, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("recovery probe rejected: %v", err)
+	}
+	if st := br.State(); st != BreakerClosed {
+		t.Fatalf("breaker state after recovery = %v, want closed", st)
+	}
+}
+
+// TestQueuedUnitsNeverNegative: units are accounted before the channel send,
+// so a worker popping the task can never drive the counter below zero —
+// which WaitNS would clamp to 0, transiently telling concurrent arrivals the
+// queue is empty and over-admitting past their deadlines.
+func TestQueuedUnitsNeverNegative(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 64})
+	defer s.Drain(context.Background())
+
+	stop := make(chan struct{})
+	var sawNegative atomic.Bool
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s.queuedUnits.Load() < 0 {
+				sawNegative.Store(true)
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_ = s.Do(context.Background(), Op{Name: "w", Units: 7}, func(context.Context) error { return nil })
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+	if sawNegative.Load() {
+		t.Fatal("queuedUnits went negative: units accounted after the channel send")
+	}
+	if got := s.queuedUnits.Load(); got != 0 {
+		t.Fatalf("queuedUnits after quiescence = %d, want 0", got)
+	}
+}

@@ -130,6 +130,7 @@ type task struct {
 	ctx     context.Context
 	fn      func(context.Context) error
 	units   int64
+	probe   bool // this admission consumed the breaker's half-open probe slot
 	claimed atomic.Bool
 	done    chan error // buffered(1): worker never blocks on delivery
 	arrived time.Time
@@ -201,11 +202,21 @@ func (s *Server) Do(ctx context.Context, op Op, fn func(context.Context) error) 
 		s.mDrainReject.Inc()
 		return fmt.Errorf("serve: %s rejected: %w", op.Name, ErrDraining)
 	}
-	if b := s.breaker; b != nil && !b.Allow() {
-		s.mBreakerReject.Inc()
-		return fmt.Errorf("serve: %s rejected: %w", op.Name, ErrBreakerOpen)
+	// probe is true when this admission consumed the breaker's single
+	// half-open probe slot. From here on, every path that does not run fn to
+	// a recorded outcome MUST return the slot via cancelProbe, or the breaker
+	// wedges half-open (Allow false forever → permanent ErrBreakerOpen).
+	var probe bool
+	if b := s.breaker; b != nil {
+		ok, p := b.AllowProbe()
+		if !ok {
+			s.mBreakerReject.Inc()
+			return fmt.Errorf("serve: %s rejected: %w", op.Name, ErrBreakerOpen)
+		}
+		probe = p
 	}
 	if err := ctx.Err(); err != nil {
+		s.cancelProbe(probe)
 		s.mCanceled.Inc()
 		return wrapCtxErr(op.Name, err)
 	}
@@ -217,6 +228,7 @@ func (s *Server) Do(ctx context.Context, op Op, fn func(context.Context) error) 
 		wait := s.est.WaitNS(float64(s.queuedUnits.Load()), s.workers)
 		service := s.est.ServiceNS(op.Units)
 		if need := time.Duration(wait + service); time.Until(dl) < need {
+			s.cancelProbe(probe)
 			s.mShed.Inc()
 			return fmt.Errorf("serve: %s shed (estimated %v exceeds deadline): %w: %w",
 				op.Name, need.Round(time.Microsecond), ErrShed, ckks.ErrDeadline)
@@ -227,6 +239,7 @@ func (s *Server) Do(ctx context.Context, op Op, fn func(context.Context) error) 
 		ctx:     ctx,
 		fn:      fn,
 		units:   int64(op.Units),
+		probe:   probe,
 		done:    make(chan error, 1),
 		arrived: time.Now(),
 	}
@@ -234,17 +247,25 @@ func (s *Server) Do(ctx context.Context, op Op, fn func(context.Context) error) 
 	s.mu.RLock()
 	if s.draining.Load() {
 		s.mu.RUnlock()
+		s.cancelProbe(probe)
 		s.mDrainReject.Inc()
 		return fmt.Errorf("serve: %s rejected: %w", op.Name, ErrDraining)
 	}
+	// Account the units before the send so a concurrent arrival never sees
+	// the queue under-reported: the worker decrements only after it pops the
+	// task, so incrementing after the send would let the counter go
+	// transiently negative (clamped to 0 by WaitNS) and over-admit past
+	// deadlines.
+	s.queuedUnits.Add(t.units)
 	select {
 	case s.queue <- t:
 		s.mu.RUnlock()
-		s.queuedUnits.Add(t.units)
 		s.mAdmitted.Inc()
 		s.mQueueDepth.Set(int64(len(s.queue)))
 	default:
 		s.mu.RUnlock()
+		s.queuedUnits.Add(-t.units)
+		s.cancelProbe(probe)
 		s.mQueueFull.Inc()
 		return fmt.Errorf("serve: %s rejected (queue depth %d): %w", op.Name, cap(s.queue), ErrQueueFull)
 	}
@@ -256,14 +277,24 @@ func (s *Server) Do(ctx context.Context, op Op, fn func(context.Context) error) 
 		if t.claim() {
 			// Won the race against the workers: the task is still queued and
 			// will be skipped. Settle the queue accounting here (the worker
-			// that eventually pops the tombstone does not know the units).
+			// that eventually pops the tombstone does not know the units),
+			// and return the probe slot the abandoned task was carrying.
 			s.queuedUnits.Add(-t.units)
+			s.cancelProbe(probe)
 			s.mCanceled.Inc()
 			return wrapCtxErr(op.Name, ctx.Err())
 		}
 		// A worker is executing fn with the same ctx: the kernels underneath
 		// poll it, so the verdict arrives within one checkpoint interval.
 		return <-t.done
+	}
+}
+
+// cancelProbe returns a half-open probe slot consumed by an admission that
+// never reached a recordable outcome. No-op unless probe is true.
+func (s *Server) cancelProbe(probe bool) {
+	if probe && s.breaker != nil {
+		s.breaker.CancelProbe()
 	}
 }
 
@@ -305,14 +336,29 @@ func (s *Server) settle(t *task, err error, elapsed time.Duration) {
 	// Breaker recording is classifier-driven: with no classifier the breaker
 	// is externally owned (fastd records Hemera transfer-fault deltas from
 	// inside the task body) and settle must not fight those reports.
-	if b := s.breaker; b != nil && s.isFailure != nil {
-		switch {
-		case err == nil:
-			b.RecordSuccess()
-		case isCancellation(err):
-			// The caller gave up; the downstream is not to blame.
-		case s.isFailure(err):
-			b.RecordFailure()
+	if b := s.breaker; b != nil {
+		if s.isFailure != nil {
+			switch {
+			case err == nil:
+				b.RecordSuccess()
+			case isCancellation(err):
+				// The caller gave up; the downstream is not to blame.
+			case s.isFailure(err):
+				b.RecordFailure()
+			}
+		}
+		// A probe task must always resolve the half-open state, even when the
+		// classifier block above declined to record (cancellation-class or
+		// unclassified errors, or no classifier at all): a clean run closes
+		// the breaker, anything inconclusive returns the probe slot so the
+		// next arrival re-probes. Both calls are no-ops if the outcome was
+		// already recorded (by the classifier or from inside the task body).
+		if t.probe {
+			if err == nil {
+				b.RecordSuccess()
+			} else {
+				b.CancelProbe()
+			}
 		}
 	}
 	t.done <- err
