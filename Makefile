@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short race chaos fuzz bench bench-json benchdiff tables cover fmt vet clean
+.PHONY: all check build test test-short race chaos fuzz bench bench-json benchdiff bench-serve-json benchdiff-serve tables cover fmt vet clean
 
 all: build test
 
@@ -52,7 +52,7 @@ bench:
 # BConv/Convert, Mul, Rotate) plus the paper's Fig./Table benchmarks and write
 # the results as JSON so kernel performance is tracked in-repo. Compare two
 # recordings with `go run ./scripts/benchdiff OLD.json NEW.json`.
-BENCH_PATTERN ?= NTT|Convert|Mul|Rotate|ModDown|Rescale|Fig|Table
+BENCH_PATTERN ?= NTT|Convert|Mul|Rotate|ModDown|Rescale|Fig|Table|Serve
 BENCH_TIME ?= 0.5s
 BENCH_JSON ?= BENCH_kernels.json
 
@@ -67,6 +67,32 @@ benchdiff:
 	$(MAKE) bench-json BENCH_JSON=.bench_new.json
 	$(GO) run ./scripts/benchdiff BENCH_kernels.json .bench_new.json
 	@rm -f .bench_new.json
+
+# Serve-throughput recording: end-to-end daemon eval under concurrent load.
+# FASTD_SEQUENTIAL=1 records the straight-line (no micro-batching) mode; the
+# checked-in BENCH_serve_pre.json baseline was recorded that way:
+#
+#	FASTD_SEQUENTIAL=1 make bench-serve-json BENCH_SERVE_JSON=BENCH_serve_pre.json
+BENCH_SERVE_TIME ?= 3s
+BENCH_SERVE_JSON ?= BENCH_serve.json
+
+bench-serve-json:
+	$(GO) test -run '^$$' -bench ServeThroughput -benchtime $(BENCH_SERVE_TIME) ./cmd/fastd > .bench_serve.out || (cat .bench_serve.out; rm -f .bench_serve.out; exit 1)
+	$(GO) run ./scripts/benchjson < .bench_serve.out > $(BENCH_SERVE_JSON)
+	@rm -f .bench_serve.out
+	@echo "wrote $(BENCH_SERVE_JSON)"
+
+# Serve-throughput gate: record the straight-line baseline and the batched
+# mode back to back on the same machine and require cross-request
+# micro-batching to be at least 5% faster (locally it measures ~1.3x; the
+# margin absorbs runner noise). Machine-independent by construction — both
+# recordings are fresh, the checked-in BENCH_serve_pre.json is the reference
+# trajectory, not the gate input.
+benchdiff-serve:
+	FASTD_SEQUENTIAL=1 $(MAKE) bench-serve-json BENCH_SERVE_JSON=.bench_serve_seq.json
+	$(MAKE) bench-serve-json BENCH_SERVE_JSON=.bench_serve_new.json
+	$(GO) run ./scripts/benchdiff -fail-below 1.05 .bench_serve_seq.json .bench_serve_new.json
+	@rm -f .bench_serve_seq.json .bench_serve_new.json
 
 # Regenerate every table and figure of the paper's evaluation.
 tables:

@@ -45,7 +45,10 @@ func chaosProgram(cx, cy string) evalRequest {
 // from the same config and seed. Key generation and encryption are the only
 // randomness consumers, so a context replicating the server session's call
 // sequence produces bit-identical ciphertexts; the homomorphic ops themselves
-// are deterministic.
+// are deterministic. Rotations go through RotateHoisted because the daemon's
+// planner routes every rotation through the hoisted path (singletons
+// included) — plain Rotate uses a different kernel sequence and is NOT
+// bit-identical to the hoisted form.
 func chaosReference(t *testing.T, ref *fast.Context, x, y *fast.Ciphertext) *fast.Ciphertext {
 	t.Helper()
 	step := func(ct *fast.Ciphertext, err error) *fast.Ciphertext {
@@ -55,13 +58,21 @@ func chaosReference(t *testing.T, ref *fast.Context, x, y *fast.Ciphertext) *fas
 		}
 		return ct
 	}
-	r1 := step(ref.Rotate(x, 1))
-	r2 := step(ref.Rotate(r1, -1, fast.WithMethod(fast.KLSS)))
-	r3 := step(ref.Rotate(r2, 4))
+	rot := func(ct *fast.Ciphertext, r int, opts ...fast.OpOption) *fast.Ciphertext {
+		t.Helper()
+		out, err := ref.RotateHoisted(ct, []int{r}, opts...)
+		if err != nil {
+			t.Fatalf("reference evaluation: %v", err)
+		}
+		return out[r]
+	}
+	r1 := rot(x, 1)
+	r2 := rot(r1, -1, fast.WithMethod(fast.KLSS))
+	r3 := rot(r2, 4)
 	c := step(ref.Conjugate(r3))
 	m := step(ref.Mul(c, y))
-	r4 := step(ref.Rotate(m, 1, fast.WithMethod(fast.KLSS)))
-	r5 := step(ref.Rotate(r4, -1))
+	r4 := rot(m, 1, fast.WithMethod(fast.KLSS))
+	r5 := rot(r4, -1)
 	return step(ref.AddConst(r5, 0.25))
 }
 

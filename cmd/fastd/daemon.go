@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -30,7 +31,11 @@ type daemonConfig struct {
 	// MaxSessions bounds the session registry (each session owns a full key
 	// set — memory, not descriptors, is the scarce resource).
 	MaxSessions int
-	Observer    *fast.Observer
+	// Sequential disables cross-request micro-batching: each eval executes
+	// straight-line on its own worker (the pre-planner behavior). Used as the
+	// benchmark baseline and as an operational escape hatch.
+	Sequential bool
+	Observer   *fast.Observer
 }
 
 func (c daemonConfig) withDefaults() daemonConfig {
@@ -83,6 +88,7 @@ func (s *session) faultRecoveryDelta() int {
 type daemon struct {
 	cfg      daemonConfig
 	srv      *serve.Server
+	batcher  *serve.Batcher
 	breaker  *serve.Breaker
 	observer *fast.Observer
 
@@ -112,12 +118,48 @@ func newDaemon(cfg daemonConfig) *daemon {
 			Reg:        reg,
 		}),
 	}
+	// Eval requests batch by session: concurrently admitted programs on one
+	// keyspace execute as a micro-batch, sharing hoisted decompositions when
+	// their rotation groups read identical input ciphertexts.
+	d.batcher = serve.NewBatcher(d.srv, d.runEvalBatch, reg)
 	if reg != nil {
 		d.mRequests = reg.Counter("fastd.requests")
 		d.mFaultTrips = reg.Counter("fastd.breaker_fault_reports")
 		d.mSessionCount = reg.Gauge("fastd.sessions")
 	}
 	return d
+}
+
+// runEvalBatch executes one micro-batch of compiled eval requests. All items
+// share a batch key (the session ID), so one session context executes them;
+// each run keeps its own request context for per-request cancellation.
+func (d *daemon) runEvalBatch(items []*serve.BatchItem) {
+	runs := make([]*fast.Run, len(items))
+	var sess *session
+	for i, it := range items {
+		ce := it.Payload.(*compiledEval)
+		sess = ce.sess
+		runs[i] = &fast.Run{
+			Plan:     ce.plan,
+			Inputs:   ce.inputs,
+			InputIDs: ce.inputIDs,
+			Ctx:      it.Ctx,
+		}
+	}
+	sess.ctx.ExecuteBatch(runs)
+	d.recordFaultHealth(sess)
+	for i, it := range items {
+		if runs[i].Err != nil {
+			it.Finish(nil, runs[i].Err)
+			continue
+		}
+		resp, err := encodeCiphertext(runs[i].Out)
+		if err != nil {
+			it.Finish(nil, err)
+			continue
+		}
+		it.Finish(resp, nil)
+	}
 }
 
 // drain gracefully stops the admission layer (bounded by ctx).
@@ -252,13 +294,7 @@ func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	cm := costmodel.SetI()
-	cm.LogN = cfg.LogN
-	if cm.LogN == 0 {
-		cm.LogN = 11
-	}
-	cm.L = fctx.MaxLevel()
-	sess := &session{id: id, ctx: fctx, cm: cm}
+	sess := &session{id: id, ctx: fctx, cm: costmodel.ForContext(cfg.LogN, fctx.MaxLevel())}
 
 	d.mu.Lock()
 	d.reserved--
@@ -359,7 +395,7 @@ func (d *daemon) handleEncrypt(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	var resp ciphertextResponse
-	err := d.srv.Do(ctx, serve.Op{Name: "encrypt", Units: cheapUnits(sess.cm)}, func(ctx context.Context) error {
+	err := d.srv.Do(ctx, serve.Op{Name: "encrypt", Units: sess.cm.PassUnits()}, func(ctx context.Context) error {
 		ct, err := sess.ctx.Encrypt(toComplex(req.Values))
 		if err != nil {
 			return err
@@ -403,7 +439,7 @@ func (d *daemon) handleDecrypt(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	var resp decryptResponse
-	err = d.srv.Do(ctx, serve.Op{Name: "decrypt", Units: cheapUnits(sess.cm)}, func(ctx context.Context) error {
+	err = d.srv.Do(ctx, serve.Op{Name: "decrypt", Units: sess.cm.PassUnits()}, func(ctx context.Context) error {
 		vals := sess.ctx.Decrypt(ct)
 		if vals == nil {
 			return fmt.Errorf("decrypt: %w", fast.ErrInvalidCiphertext)
@@ -425,12 +461,12 @@ func (d *daemon) handleEval(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
 		return
 	}
-	var req evalRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	prog, err := compileProgram(sess, req)
+	ce, err := compileEval(sess, body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -438,21 +474,33 @@ func (d *daemon) handleEval(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := requestContext(r)
 	defer cancel()
 
-	var resp ciphertextResponse
-	err = d.srv.Do(ctx, serve.Op{Name: "eval", Units: prog.units}, func(ctx context.Context) error {
-		out, err := prog.run(ctx)
-		d.recordFaultHealth(sess)
-		if err != nil {
+	op := serve.Op{Name: "eval", Units: ce.units()}
+	if d.cfg.Sequential {
+		// Baseline/escape-hatch mode: straight-line interpretation on this
+		// request's own worker, no cross-request coalescing.
+		var resp ciphertextResponse
+		err = d.srv.Do(ctx, op, func(ctx context.Context) error {
+			out, err := sess.ctx.ExecuteSequential(ctx, ce.plan, ce.inputs)
+			d.recordFaultHealth(sess)
+			if err != nil {
+				return err
+			}
+			resp, err = encodeCiphertext(out)
 			return err
+		})
+		if err != nil {
+			d.writeAdmissionError(w, err)
+			return
 		}
-		resp, err = encodeCiphertext(out)
-		return err
-	})
+		writeJSON(w, resp)
+		return
+	}
+	res, err := d.batcher.Do(ctx, op, sess.id, ce)
 	if err != nil {
 		d.writeAdmissionError(w, err)
 		return
 	}
-	writeJSON(w, resp)
+	writeJSON(w, res.(ciphertextResponse))
 }
 
 // recordFaultHealth feeds the circuit breaker the session's modeled Hemera

@@ -63,6 +63,7 @@ func run(args []string, stdout io.Writer) error {
 	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "open interval before the half-open probe")
 	maxSessions := fs.Int("max-sessions", 16, "maximum live sessions")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
+	sequential := fs.Bool("sequential", false, "disable cross-request micro-batching (baseline/debug mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +74,7 @@ func run(args []string, stdout io.Writer) error {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		MaxSessions:      *maxSessions,
+		Sequential:       *sequential,
 		Observer:         fast.NewTracingObserver(0),
 	})
 

@@ -1,24 +1,39 @@
 package main
 
 import (
-	"context"
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"sort"
 
 	fast "github.com/fastfhe/fast"
 	"github.com/fastfhe/fast/internal/costmodel"
 )
 
-// evalRequest is a straight-line homomorphic program over named registers:
-// inputs seed the registers with wire-format ciphertexts, each instruction
-// reads registers (and literals) and writes a register, and the named output
-// register is returned as a ciphertext.
+// The eval endpoint accepts two program shapes, distinguished by the type of
+// the "program" field:
+//
+//   - v1 (legacy): "program" is an ARRAY of straight-line instructions and
+//     "output" names the result register. Methods default to the session's
+//     default backend — exactly the pre-planner behavior, lowered onto a
+//     fast.Program with PlanWithDefaultMethod.
+//   - v2: "program" is an OBJECT — the fast.Program JSON format, carrying an
+//     explicit `version: 2` field, a declared input list, per-op optional
+//     methods ("" = planner decides) and its own output register.
+//
+// Either way the program compiles through the public planner (Context.Plan):
+// rotation fan-out is hoisted, methods are chosen per site from the cost
+// model, and the plan's unit weight prices admission.
+
+// evalRequest is the v1 straight-line shape, kept as a concrete struct for
+// clients and tests; on the wire it is parsed through evalWire.
 type evalRequest struct {
 	Inputs  map[string]string `json:"inputs"` // register -> base64 ciphertext
 	Program []progOp          `json:"program"`
 	Output  string            `json:"output"`
 }
 
-// progOp is one instruction. Fields are op-dependent:
+// progOp is one v1 instruction. Fields are op-dependent:
 //
 //	op          a     b/values/value/r   out
 //	add,sub,mul a,b                      out
@@ -45,160 +60,136 @@ type progOp struct {
 	NoRescale bool    `json:"no_rescale,omitempty"`
 }
 
-// program is a compiled evalRequest: inputs decoded and validated, per-op
-// option closures resolved, total unit cost estimated for admission.
-type program struct {
-	sess  *session
-	regs  map[string]*fast.Ciphertext
-	ops   []progOp
-	out   string
-	units float64
+// evalWire is the version-agnostic decode shape of an eval request body.
+type evalWire struct {
+	Inputs  map[string]string `json:"inputs"`
+	Program json.RawMessage   `json:"program"`
+	Output  string            `json:"output"`
 }
 
-// compileProgram validates the request shape and decodes the input
-// ciphertexts. Validation failures are client errors (HTTP 400) and never
-// reach the worker pool.
-func compileProgram(sess *session, req evalRequest) (*program, error) {
-	if len(req.Program) == 0 {
-		return nil, fmt.Errorf("empty program")
+// compiledEval is a fully planned request, ready for (batched) execution.
+type compiledEval struct {
+	sess     *session
+	prog     *fast.Program
+	plan     *fast.Plan
+	inputs   map[string]*fast.Ciphertext
+	inputIDs map[string]string
+}
+
+// units returns the plan-derived admission weight.
+func (ce *compiledEval) units() float64 { return ce.plan.Units() }
+
+// compileEval parses, validates and plans an eval request body. Every error
+// is a client error (HTTP 400) and never reaches the worker pool.
+func compileEval(sess *session, body []byte) (*compiledEval, error) {
+	var wire evalWire
+	if err := json.Unmarshal(body, &wire); err != nil {
+		return nil, fmt.Errorf("decode eval request: %w", err)
 	}
-	if req.Output == "" {
-		return nil, fmt.Errorf("missing output register")
+
+	prog, v1, err := parseProgram(wire)
+	if err != nil {
+		return nil, err
 	}
-	p := &program{sess: sess, regs: map[string]*fast.Ciphertext{}, ops: req.Program, out: req.Output}
-	for name, b64 := range req.Inputs {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Ciphertext coverage must match the declared inputs exactly: the planner
+	// compiled level propagation and method choices from these levels, so a
+	// silent extra or missing input would be a plan for a different program.
+	declared := make(map[string]bool, len(prog.Inputs()))
+	ce := &compiledEval{
+		sess:     sess,
+		prog:     prog,
+		inputs:   make(map[string]*fast.Ciphertext, len(wire.Inputs)),
+		inputIDs: make(map[string]string, len(wire.Inputs)),
+	}
+	levels := make(map[string]int, len(wire.Inputs))
+	for _, name := range prog.Inputs() {
+		declared[name] = true
+		b64, ok := wire.Inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("missing ciphertext for input %q", name)
+		}
 		ct, err := decodeCiphertext(sess.ctx, b64)
 		if err != nil {
 			return nil, fmt.Errorf("input %q: %w", name, err)
 		}
-		p.regs[name] = ct
+		ce.inputs[name] = ct
+		ce.inputIDs[name] = b64
+		levels[name] = ct.Level()
 	}
-	defined := map[string]bool{}
-	for name := range p.regs {
-		defined[name] = true
+	for name := range wire.Inputs {
+		if !declared[name] {
+			return nil, fmt.Errorf("ciphertext %q does not match a declared input", name)
+		}
 	}
-	for i, op := range p.ops {
-		if op.Out == "" {
-			return nil, fmt.Errorf("op %d (%s): missing out register", i, op.Op)
-		}
-		if op.A == "" || !defined[op.A] {
-			return nil, fmt.Errorf("op %d (%s): undefined register %q", i, op.Op, op.A)
-		}
-		switch op.Op {
-		case "add", "sub", "mul":
-			if op.B == "" || !defined[op.B] {
-				return nil, fmt.Errorf("op %d (%s): undefined register %q", i, op.Op, op.B)
-			}
-		case "mulplain", "addplain":
-			if len(op.Values) == 0 {
-				return nil, fmt.Errorf("op %d (%s): missing values", i, op.Op)
-			}
-		case "mulconst", "addconst", "rotate", "conjugate", "rescale":
-		default:
-			return nil, fmt.Errorf("op %d: unknown op %q", i, op.Op)
-		}
-		if op.Method != "" && op.Method != "hybrid" && op.Method != "klss" {
-			return nil, fmt.Errorf("op %d (%s): unknown method %q", i, op.Op, op.Method)
-		}
-		defined[op.Out] = true
-		p.units += opUnits(sess.cm, op)
+
+	var planOpts []fast.PlanOption
+	if v1 {
+		// v1 semantics: no per-op method means the session default, not a
+		// planner choice.
+		planOpts = append(planOpts, fast.PlanWithDefaultMethod(sess.ctx.Method()))
 	}
-	if !defined[p.out] {
-		return nil, fmt.Errorf("output register %q never written", p.out)
+	ce.plan, err = sess.ctx.Plan(prog, levels, planOpts...)
+	if err != nil {
+		return nil, err
 	}
-	return p, nil
+	return ce, nil
 }
 
-// run executes the program. ctx rides into every operation through the
-// WithContext option, so a canceled request abandons mid-kernel with a typed
-// error instead of finishing a doomed computation.
-func (p *program) run(ctx context.Context) (*fast.Ciphertext, error) {
-	fc := p.sess.ctx
-	for i, op := range p.ops {
-		opts := []fast.OpOption{fast.WithContext(ctx)}
-		switch op.Method {
-		case "hybrid":
-			opts = append(opts, fast.WithMethod(fast.Hybrid))
-		case "klss":
-			opts = append(opts, fast.WithMethod(fast.KLSS))
+// parseProgram dispatches on the program field's JSON shape: array = v1
+// straight-line, object = fast.Program v2 (explicit version field).
+func parseProgram(wire evalWire) (prog *fast.Program, v1 bool, err error) {
+	raw := bytes.TrimSpace(wire.Program)
+	if len(raw) > 0 && raw[0] == '{' {
+		prog = &fast.Program{}
+		if err := json.Unmarshal(raw, prog); err != nil {
+			return nil, false, fmt.Errorf("decode program: %w", err)
 		}
-		if op.NoRescale {
-			opts = append(opts, fast.NoRescale())
+		return prog, false, nil
+	}
+	var ops []progOp
+	if len(raw) > 0 && string(raw) != "null" {
+		if err := json.Unmarshal(raw, &ops); err != nil {
+			return nil, false, fmt.Errorf("decode program: %w", err)
 		}
-		a := p.regs[op.A]
-		var (
-			out *fast.Ciphertext
-			err error
-		)
-		switch op.Op {
-		case "add":
-			out, err = fc.Add(a, p.regs[op.B])
-		case "sub":
-			out, err = fc.Sub(a, p.regs[op.B])
-		case "mul":
-			out, err = fc.Mul(a, p.regs[op.B], opts...)
-		case "mulplain":
-			out, err = fc.MulPlain(a, toComplex(op.Values), opts...)
-		case "addplain":
-			out, err = fc.AddPlain(a, toComplex(op.Values))
-		case "mulconst":
-			out, err = fc.MulConst(a, op.Value, opts...)
-		case "addconst":
-			out, err = fc.AddConst(a, op.Value)
-		case "rotate":
-			out, err = fc.Rotate(a, op.R, opts...)
-		case "conjugate":
-			out, err = fc.Conjugate(a, opts...)
-		case "rescale":
-			out, err = fc.Rescale(a, opts...)
-		}
+	}
+	prog, err = adaptV1(wire.Inputs, ops, wire.Output)
+	return prog, true, err
+}
+
+// adaptV1 lowers a v1 straight-line request onto a fast.Program: the
+// ciphertext map's keys become the declared inputs (sorted for determinism)
+// and each instruction is appended verbatim, with wire method names parsed
+// into (Method, pinned).
+func adaptV1(inputs map[string]string, ops []progOp, output string) (*fast.Program, error) {
+	names := make([]string, 0, len(inputs))
+	for name := range inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	p := fast.NewProgram().In(names...)
+	for i, op := range ops {
+		m, pinned, err := fast.ParseMethod(op.Method)
 		if err != nil {
-			return nil, fmt.Errorf("op %d (%s -> %s): %w", i, op.Op, op.Out, err)
+			return nil, fmt.Errorf("op %d (%s): %w", i, op.Op, err)
 		}
-		p.regs[op.Out] = out
+		p.Append(fast.ProgramOp{
+			Op: op.Op, Out: op.Out, A: op.A, B: op.B, R: op.R,
+			Value: op.Value, Values: toComplex(op.Values),
+			Method: m, MethodPinned: pinned, NoRescale: op.NoRescale,
+		})
 	}
-	return p.regs[p.out], nil
-}
-
-// ---- cost estimation -------------------------------------------------------
-
-// opUnits estimates one instruction's work in the costmodel's 36-bit
-// modular-operation equivalents. Key-switch-bearing ops use the full model at
-// the session's top level (a conservative upper bound: real programs run at
-// descending levels); element-wise ops count one pass over the ciphertext
-// limbs.
-func opUnits(cm costmodel.Params, op progOp) float64 {
-	switch op.Op {
-	case "mul", "rotate", "conjugate":
-		m := costmodel.Hybrid
-		if op.Method == "klss" {
-			m = costmodel.KLSS
-		}
-		return cm.KeySwitch(m, cm.L, 1).Total()
-	default:
-		return cheapUnits(cm)
-	}
-}
-
-// cheapUnits is the unit weight of an element-wise pass (add, rescale,
-// plaintext ops, encode/encrypt/decrypt): one touch per coefficient per limb.
-func cheapUnits(cm costmodel.Params) float64 {
-	return float64(cm.N()) * float64(cm.L+1)
+	return p.Return(output), nil
 }
 
 // keygenUnits weighs session creation for admission: key generation touches
 // every rotation key across the full chain, modeled as one key-switch per
 // generated key plus a constant floor.
 func keygenUnits(cfg fast.ContextConfig) float64 {
-	cm := costmodel.SetI()
-	cm.LogN = cfg.LogN
-	if cm.LogN == 0 {
-		cm.LogN = 11
-	}
-	cm.L = cfg.Levels
-	if cm.L == 0 {
-		cm.L = 5
-	}
-	keys := float64(len(cfg.Rotations) + 2) // + relin + conjugation
-	return keys * cm.KeySwitch(costmodel.Hybrid, cm.L, 1).Total()
+	cm := costmodel.ForContext(cfg.LogN, cfg.Levels)
+	keys := len(cfg.Rotations) + 2 // + relin + conjugation
+	return cm.KeySwitchUnits(costmodel.SiteCost{Method: costmodel.Hybrid, Level: cm.L, Hoist: 1}) * float64(keys)
 }

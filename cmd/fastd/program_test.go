@@ -1,0 +1,256 @@
+package main
+
+// Wire-level tests for the two eval program formats: the v1 straight-line
+// array (legacy, adapter-lowered) and the v2 fast.Program object with an
+// explicit version field. Validation failures must map to distinct 400
+// messages so clients can tell a duplicate write from a shadowed input from
+// dead code without parsing Go error chains.
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	fast "github.com/fastfhe/fast"
+)
+
+// evalBody builds a raw eval request whose program field is arbitrary JSON,
+// bypassing the typed evalRequest used elsewhere in the tests.
+func evalBody(inputs map[string]string, program any, output string) map[string]any {
+	return map[string]any{"inputs": inputs, "program": program, "output": output}
+}
+
+// TestEvalValidationMessages drives the satellite-1 validation classes over
+// HTTP and asserts each yields a 400 with its own distinguishing message.
+func TestEvalValidationMessages(t *testing.T) {
+	_, ts := newTestDaemon(t, daemonConfig{Workers: 1})
+	base := ts.URL
+	sr := createSession(t, base, testSessionRequest())
+	slots := sr.Slots
+	vals := make([]complex128, slots)
+	for i := range vals {
+		vals[i] = complex(0.1, 0)
+	}
+	cx := encryptValues(t, base, sr.ID, vals).Ciphertext
+	cy := encryptValues(t, base, sr.ID, vals).Ciphertext
+
+	cases := []struct {
+		name    string
+		body    map[string]any
+		message string // must appear in the 400 error body
+	}{
+		{
+			name: "duplicate register write",
+			body: evalBody(map[string]string{"x": cx}, []progOp{
+				{Op: "addconst", A: "x", Value: 1, Out: "t"},
+				{Op: "addconst", A: "x", Value: 2, Out: "t"},
+				{Op: "add", A: "t", B: "t", Out: "out"},
+			}, "out"),
+			message: "already written (duplicate write)",
+		},
+		{
+			name: "write shadows an input",
+			body: evalBody(map[string]string{"x": cx, "y": cy}, []progOp{
+				{Op: "addconst", A: "x", Value: 1, Out: "y"},
+				{Op: "add", A: "y", B: "x", Out: "out"},
+			}, "out"),
+			message: "shadows a program input",
+		},
+		{
+			name: "unused input",
+			body: evalBody(map[string]string{"x": cx, "y": cy}, []progOp{
+				{Op: "addconst", A: "x", Value: 1, Out: "out"},
+			}, "out"),
+			message: "is never used",
+		},
+		{
+			name:    "output never written",
+			body:    evalBody(map[string]string{"x": cx}, []progOp{{Op: "addconst", A: "x", Value: 1, Out: "t"}}, "out"),
+			message: "never written",
+		},
+		{
+			name: "undefined register",
+			body: evalBody(map[string]string{"x": cx}, []progOp{
+				{Op: "add", A: "x", B: "ghost", Out: "out"},
+			}, "out"),
+			message: "undefined register",
+		},
+		{
+			name:    "unknown op",
+			body:    evalBody(map[string]string{"x": cx}, []progOp{{Op: "teleport", A: "x", Out: "out"}}, "out"),
+			message: "unknown op",
+		},
+		{
+			name: "missing ciphertext for declared input",
+			body: map[string]any{
+				"inputs": map[string]string{"x": cx},
+				"program": json.RawMessage(`{"version":2,"inputs":["x","y"],` +
+					`"ops":[{"op":"add","a":"x","b":"y","out":"out"}],"output":"out"}`),
+			},
+			message: "missing ciphertext for input",
+		},
+		{
+			name: "undeclared ciphertext",
+			body: map[string]any{
+				"inputs": map[string]string{"x": cx, "stray": cy},
+				"program": json.RawMessage(`{"version":2,"inputs":["x"],` +
+					`"ops":[{"op":"addconst","a":"x","value":1,"out":"out"}],"output":"out"}`),
+			},
+			message: "does not match a declared input",
+		},
+		{
+			name: "unsupported program version",
+			body: map[string]any{
+				"inputs": map[string]string{"x": cx},
+				"program": json.RawMessage(`{"version":7,"inputs":["x"],` +
+					`"ops":[{"op":"addconst","a":"x","value":1,"out":"out"}],"output":"out"}`),
+			},
+			message: "version 7 unsupported",
+		},
+		{
+			name: "level exhaustion caught at plan time",
+			body: evalBody(map[string]string{"x": cx}, []progOp{
+				// Four rescaling multiplies on a 3-level chain: the fourth
+				// would rescale below the bottom, rejected before admission.
+				{Op: "mul", A: "x", B: "x", Out: "m1"},
+				{Op: "mul", A: "m1", B: "m1", Out: "m2"},
+				{Op: "mul", A: "m2", B: "m2", Out: "m3"},
+				{Op: "mul", A: "m3", B: "m3", Out: "out"},
+			}, "out"),
+			message: "rescale below the chain bottom",
+		},
+	}
+
+	seen := make(map[string]bool)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, raw := doJSON(t, http.MethodPost, base+"/v1/sessions/"+sr.ID+"/eval", nil, tc.body, nil)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (%s)", status, raw)
+			}
+			var errResp struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(raw, &errResp); err != nil {
+				t.Fatalf("decode error body %q: %v", raw, err)
+			}
+			if !strings.Contains(errResp.Error, tc.message) {
+				t.Fatalf("error %q does not contain %q", errResp.Error, tc.message)
+			}
+			if seen[errResp.Error] {
+				t.Fatalf("error message %q is not distinct across validation classes", errResp.Error)
+			}
+			seen[errResp.Error] = true
+		})
+	}
+}
+
+// TestEvalV2ProgramEndToEnd serves a v2 object program (explicit version
+// field, unpinned methods left to the planner) and checks the decrypted
+// result numerically; the bit-exactness of the planner path is covered by
+// the chaos suite.
+func TestEvalV2ProgramEndToEnd(t *testing.T) {
+	_, ts := newTestDaemon(t, daemonConfig{Workers: 2})
+	base := ts.URL
+	sr := createSession(t, base, testSessionRequest())
+
+	xs := make([]complex128, sr.Slots)
+	for i := range xs {
+		xs[i] = complex(0.05*float64(i%7), 0.01)
+	}
+	cx := encryptValues(t, base, sr.ID, xs)
+
+	prog := fast.NewProgram().In("x").
+		Rotate("r1", "x", 1).
+		Rotate("r2", "x", 4).
+		Add("s", "r1", "r2").
+		MulConst("out", "s", 0.5).
+		Return("out")
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	raw, err := json.Marshal(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"version":2`) {
+		t.Fatalf("marshaled program lacks version field: %s", raw)
+	}
+
+	var cr ciphertextResponse
+	status, body := doJSON(t, http.MethodPost, base+"/v1/sessions/"+sr.ID+"/eval", nil,
+		map[string]any{"inputs": map[string]string{"x": cx.Ciphertext}, "program": json.RawMessage(raw)}, &cr)
+	if status != http.StatusOK {
+		t.Fatalf("v2 eval status %d: %s", status, body)
+	}
+
+	got := decryptValues(t, base, sr.ID, cr.Ciphertext)
+	for i := range xs {
+		want := 0.5 * (xs[(i+1)%len(xs)] + xs[(i+4)%len(xs)])
+		if math.Abs(real(got[i])-real(want)) > 1e-3 || math.Abs(imag(got[i])-imag(want)) > 1e-3 {
+			t.Fatalf("slot %d: got %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+// TestEvalV1ProgramStillAccepted exercises the legacy array shape end to end
+// (the adapter path), including a per-op pinned method.
+func TestEvalV1ProgramStillAccepted(t *testing.T) {
+	_, ts := newTestDaemon(t, daemonConfig{Workers: 1})
+	base := ts.URL
+	sr := createSession(t, base, testSessionRequest())
+
+	xs := make([]complex128, sr.Slots)
+	for i := range xs {
+		xs[i] = complex(0.2, -0.1)
+	}
+	cx := encryptValues(t, base, sr.ID, xs)
+
+	var cr ciphertextResponse
+	status, body := doJSON(t, http.MethodPost, base+"/v1/sessions/"+sr.ID+"/eval", nil,
+		evalRequest{
+			Inputs: map[string]string{"x": cx.Ciphertext},
+			Program: []progOp{
+				{Op: "rotate", A: "x", R: 1, Out: "r", Method: "klss"},
+				{Op: "addconst", A: "r", Value: 0.25, Out: "out"},
+			},
+			Output: "out",
+		}, &cr)
+	if status != http.StatusOK {
+		t.Fatalf("v1 eval status %d: %s", status, body)
+	}
+	got := decryptValues(t, base, sr.ID, cr.Ciphertext)
+	for i := range got {
+		want := xs[(i+1)%len(xs)] + 0.25
+		if math.Abs(real(got[i])-real(want)) > 1e-3 || math.Abs(imag(got[i])-imag(want)) > 1e-3 {
+			t.Fatalf("slot %d: got %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+// TestEvalSequentialModeMatchesBatched runs the same request through the
+// batched daemon and a -sequential daemon and requires byte-identical
+// ciphertexts: the operational escape hatch must not change results.
+func TestEvalSequentialModeMatchesBatched(t *testing.T) {
+	run := func(sequential bool) string {
+		_, ts := newTestDaemon(t, daemonConfig{Workers: 1, Sequential: sequential})
+		defer ts.Close()
+		base := ts.URL
+		sr := createSession(t, base, testSessionRequest())
+		xs, ys := chaosInputs(sr.Slots)
+		cx := encryptValues(t, base, sr.ID, xs)
+		cy := encryptValues(t, base, sr.ID, ys)
+		var cr ciphertextResponse
+		status, raw := doJSON(t, http.MethodPost, base+"/v1/sessions/"+sr.ID+"/eval", nil,
+			chaosProgram(cx.Ciphertext, cy.Ciphertext), &cr)
+		if status != http.StatusOK {
+			t.Fatalf("sequential=%v: status %d: %s", sequential, status, raw)
+		}
+		return cr.Ciphertext
+	}
+	if run(false) != run(true) {
+		t.Fatal("batched and sequential daemons disagree on the same request")
+	}
+}

@@ -113,47 +113,58 @@ func TestConcurrentEvaluation(t *testing.T) {
 	}
 }
 
-// TestWithMethodMatchesSetMethod pins the acceptance criterion that the
-// per-call option path is bit-identical to the deprecated SetMethod path.
-func TestWithMethodMatchesSetMethod(t *testing.T) {
-	ctx := testCtx(t)
-	n := ctx.Slots()
+// TestWithMethodMatchesDefaultMethod pins the acceptance criterion that the
+// per-call option path is bit-identical to the construction-time default
+// path: a context defaulting to method m (via WithDefaultMethod) and a
+// context defaulting to the other method but passing WithMethod(m) per call
+// produce byte-identical ciphertexts. The two contexts share a seed, so the
+// key material and encryption randomness agree.
+func TestWithMethodMatchesDefaultMethod(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LogN = 10
+	cfg.Levels = 3
+	cfg.Seed = 42
+	n := 1 << (cfg.LogN - 1)
 	v := make([]complex128, n)
 	for i := range v {
 		v[i] = complex(float64(i%11)/22, -float64(i%5)/10)
 	}
-	ct, err := ctx.Encrypt(v)
-	if err != nil {
-		t.Fatal(err)
-	}
 
 	for _, method := range []Method{Hybrid, KLSS} {
-		// Old path: mutate the context default, call without options.
-		if err := ctx.SetMethod(method); err != nil {
-			t.Fatal(err)
-		}
-		oldMul, err := ctx.Mul(ct, ct)
-		if err != nil {
-			t.Fatal(err)
-		}
-		oldRot, err := ctx.Rotate(ct, 2)
-		if err != nil {
-			t.Fatal(err)
-		}
-		// Reset the default to the *other* method so the per-call option is
-		// what decides, then compare bit-for-bit.
 		other := Hybrid
 		if method == Hybrid {
 			other = KLSS
 		}
-		if err := ctx.SetMethod(other); err != nil {
-			t.Fatal(err)
-		}
-		newMul, err := ctx.Mul(ct, ct, WithMethod(method))
+		ctxDefault, err := NewContext(cfg, WithDefaultMethod(method))
 		if err != nil {
 			t.Fatal(err)
 		}
-		newRot, err := ctx.Rotate(ct, 2, WithMethod(method))
+		ctxOption, err := NewContext(cfg, WithDefaultMethod(other))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctDefault, err := ctxDefault.Encrypt(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctOption, err := ctxOption.Encrypt(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		oldMul, err := ctxDefault.Mul(ctDefault, ctDefault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldRot, err := ctxDefault.Rotate(ctDefault, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newMul, err := ctxOption.Mul(ctOption, ctOption, WithMethod(method))
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRot, err := ctxOption.Rotate(ctOption, 2, WithMethod(method))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,12 +178,9 @@ func TestWithMethodMatchesSetMethod(t *testing.T) {
 					name, method, a.Level, a.Scale, b.Level, b.Scale)
 			}
 			if !a.C0.Equal(b.C0) || !a.C1.Equal(b.C1) {
-				t.Fatalf("%s %v: per-call WithMethod result differs from SetMethod path", name, method)
+				t.Fatalf("%s %v: per-call WithMethod result differs from WithDefaultMethod path", name, method)
 			}
 		}
-	}
-	if err := ctx.SetMethod(Hybrid); err != nil {
-		t.Fatal(err)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"strconv"
-	"sync/atomic"
 
 	"github.com/fastfhe/fast/internal/ckks"
 )
@@ -80,20 +79,20 @@ func DefaultConfig() ContextConfig {
 //
 // A Context is safe for concurrent use by multiple goroutines: every
 // operation draws scratch from pooled buffers, per-call options carry the
-// key-switching method instead of shared state, and the deprecated SetMethod
-// default is stored atomically. See README.md ("Concurrency model") for what
-// is shared and what is pooled.
+// key-switching method instead of shared state, and the default method is
+// fixed at construction (WithDefaultMethod). See README.md ("Concurrency
+// model") for what is shared and what is pooled.
 type Context struct {
-	params   *ckks.Parameters
-	encoder  *ckks.Encoder
-	sk       *ckks.SecretKey
-	enc      *ckks.Encryptor
-	dec      *ckks.Decryptor
-	keys     *ckks.EvaluationKeySet
-	eval     *ckks.Evaluator
-	method   atomic.Int32 // default Method for calls without WithMethod
-	observer *Observer    // nil unless WithObserver was passed
-	faults   *faultState  // nil unless WithFaultPlan was passed
+	params        *ckks.Parameters
+	encoder       *ckks.Encoder
+	sk            *ckks.SecretKey
+	enc           *ckks.Encryptor
+	dec           *ckks.Decryptor
+	keys          *ckks.EvaluationKeySet
+	eval          *ckks.Evaluator
+	defaultMethod Method      // for calls without WithMethod; immutable
+	observer      *Observer   // nil unless WithObserver was passed
+	faults        *faultState // nil unless WithFaultPlan was passed
 }
 
 // Ciphertext is an encrypted vector of complex values.
@@ -202,7 +201,7 @@ func NewContext(cfg ContextConfig, opts ...Option) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx.method.Store(int32(settings.defaultMethod))
+	ctx.defaultMethod = settings.defaultMethod
 	if err := ctx.eval.SetMethod(settings.defaultMethod.internal()); err != nil {
 		return nil, err
 	}
@@ -231,7 +230,7 @@ func (c *Context) validate(cts ...*Ciphertext) error {
 
 // settings resolves per-call options against the context default.
 func (c *Context) settings(opts []OpOption) opSettings {
-	s := opSettings{method: Method(c.method.Load())}
+	s := opSettings{method: c.defaultMethod}
 	for _, o := range opts {
 		o(&s)
 	}
@@ -266,25 +265,11 @@ func (c *Context) SecurityEstimate() float64 { return c.params.SecurityEstimate(
 // IsSecure reports whether the estimate clears 128 bits.
 func (c *Context) IsSecure() bool { return c.params.IsSecure() }
 
-// SetMethod changes the default key-switching backend for operations that do
-// not pass WithMethod. The update is atomic (safe to call concurrently), but
-// it is a process-wide mode change: operations already in flight keep the
-// method they resolved at entry.
-//
-// Deprecated: pass the per-call option instead — ctx.Mul(a, b,
-// fast.WithMethod(fast.KLSS)) — or set a default at construction with
-// fast.WithDefaultMethod. Per-call options mutate no shared state, so they
-// compose under concurrency; SetMethod survives only as a shim for old code.
-func (c *Context) SetMethod(m Method) error {
-	if err := c.eval.SetMethod(m.internal()); err != nil {
-		return err
-	}
-	c.method.Store(int32(m))
-	return nil
-}
-
-// Method returns the current default key-switching backend.
-func (c *Context) Method() Method { return Method(c.method.Load()) }
+// Method returns the default key-switching backend, fixed at construction
+// with WithDefaultMethod. Per-call overrides use WithMethod; there is no
+// runtime mutator (the former SetMethod shim is gone — a mutable process-wide
+// mode cannot coexist with concurrent planned execution).
+func (c *Context) Method() Method { return c.defaultMethod }
 
 // Encrypt encodes and encrypts a vector (padded to the slot count). Safe for
 // concurrent use (the sampler behind the encryptor is serialised).

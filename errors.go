@@ -1,6 +1,18 @@
 package fast
 
-import "github.com/fastfhe/fast/internal/ckks"
+import (
+	"errors"
+
+	"github.com/fastfhe/fast/internal/ckks"
+)
+
+// ErrInvalidProgram reports a Program that fails static validation: an empty
+// op list, a missing output, a read of an undefined register, a duplicate
+// register write, a write shadowing a program input, an input that is never
+// used, or an unknown op/method name. It is the only sentinel owned by this
+// package rather than shared with the CKKS layer — programs exist only at the
+// public API boundary.
+var ErrInvalidProgram = errors.New("fast: invalid program")
 
 // Typed error taxonomy. Every error returned by a Context method wraps one of
 // these sentinels, so callers can branch on the failure class with errors.Is

@@ -142,10 +142,7 @@ func TestContextRotationsBothBackends(t *testing.T) {
 	}
 	ca, _ := ctx.Encrypt(a)
 	for _, m := range []Method{Hybrid, KLSS} {
-		if err := ctx.SetMethod(m); err != nil {
-			t.Fatal(err)
-		}
-		rot, err := ctx.Rotate(ca, 2)
+		rot, err := ctx.Rotate(ca, 2, WithMethod(m))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +152,6 @@ func TestContextRotationsBothBackends(t *testing.T) {
 		}
 		almostEqual(t, ctx.Decrypt(rot), want, 1e-4, m.String()+" Rotate")
 	}
-	ctx.SetMethod(Hybrid)
 }
 
 func TestContextHoistedRotations(t *testing.T) {
@@ -211,8 +207,13 @@ func TestContextValidation(t *testing.T) {
 	if ctx.SupportsKLSS() {
 		t.Error("KLSS should be disabled")
 	}
-	if err := ctx.SetMethod(KLSS); err == nil {
-		t.Error("expected error selecting disabled backend")
+	if _, err := NewContext(cfg, WithDefaultMethod(KLSS)); err == nil {
+		t.Error("expected error selecting disabled backend as default")
+	}
+	x := make([]complex128, ctx.Slots())
+	cx, _ := ctx.Encrypt(x)
+	if _, err := ctx.Rotate(cx, 1, WithMethod(KLSS)); err == nil {
+		t.Error("expected error selecting disabled backend per call")
 	}
 }
 

@@ -1,0 +1,58 @@
+package aether
+
+import "github.com/fastfhe/fast/internal/costmodel"
+
+// Site describes one key-switching site of a program DAG for the online
+// whole-program planner: a DAG node (or hoist group of rotations sharing one
+// decomposition) that needs a hybrid-vs-KLSS verdict.
+type Site struct {
+	// Op is the caller's node identifier, echoed into Decision.OpIndex.
+	Op int
+	// Level is the operand level entering the site.
+	Level int
+	// Hoist is the number of rotations sharing the site's decomposition
+	// (1 for multiplications, conjugations and lone rotations).
+	Hoist int
+	// KLSS reports whether the 60-bit key chain is available at this site;
+	// when false the site is pinned to hybrid regardless of cost.
+	KLSS bool
+}
+
+// PlanSites is the online counterpart of Analyzer.Analyze for functional
+// serving: given the whole program's key-switch sites at their propagated
+// levels and hoist widths, it picks the method minimizing modeled modular
+// operations per site. Ties within 5% break toward hybrid — the same
+// minimal-key-size tie-break as the offline three-step selection (hybrid
+// evaluation keys are ~3.7x smaller than KLSS keys, §3.1), which matters
+// because the functional runtime keeps every resident key in the modeled
+// Hemera pool.
+//
+// The decision is deterministic in (params, sites): two identical programs
+// planned against the same context always agree, which the differential
+// equivalence suite relies on to replay planned executions step by step.
+func PlanSites(p costmodel.Params, sites []Site) []Decision {
+	out := make([]Decision, len(sites))
+	for i, s := range sites {
+		level := s.Level
+		if level < 0 {
+			level = 0
+		}
+		if level > p.L {
+			level = p.L
+		}
+		hoist := s.Hoist
+		if hoist < 1 {
+			hoist = 1
+		}
+		d := Decision{OpIndex: s.Op, Level: level, Method: costmodel.Hybrid, Hoist: hoist}
+		if s.KLSS {
+			hy := p.KeySwitch(costmodel.Hybrid, level, hoist).Total()
+			kl := p.KeySwitch(costmodel.KLSS, level, hoist).Total()
+			if kl < hy*0.95 {
+				d.Method = costmodel.KLSS
+			}
+		}
+		out[i] = d
+	}
+	return out
+}

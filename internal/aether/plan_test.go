@@ -1,0 +1,59 @@
+package aether
+
+import (
+	"testing"
+
+	"github.com/fastfhe/fast/internal/costmodel"
+)
+
+func TestPlanSitesPinsHybridWithoutKLSS(t *testing.T) {
+	p := costmodel.SetI()
+	out := PlanSites(p, []Site{{Op: 7, Level: p.L, Hoist: 1, KLSS: false}})
+	if len(out) != 1 || out[0].OpIndex != 7 || out[0].Method != costmodel.Hybrid {
+		t.Fatalf("got %+v, want hybrid at op 7", out)
+	}
+}
+
+func TestPlanSitesPicksCheaperMethod(t *testing.T) {
+	p := costmodel.SetI()
+	for _, s := range []Site{
+		{Op: 0, Level: p.L, Hoist: 1, KLSS: true},
+		{Op: 1, Level: 1, Hoist: 1, KLSS: true},
+		{Op: 2, Level: p.L, Hoist: 8, KLSS: true},
+	} {
+		d := PlanSites(p, []Site{s})[0]
+		hy := p.KeySwitch(costmodel.Hybrid, s.Level, s.Hoist).Total()
+		kl := p.KeySwitch(costmodel.KLSS, s.Level, s.Hoist).Total()
+		wantKLSS := kl < hy*0.95
+		if (d.Method == costmodel.KLSS) != wantKLSS {
+			t.Fatalf("site %+v: got %v (hy=%g kl=%g)", s, d.Method, hy, kl)
+		}
+		if d.Hoist != s.Hoist || d.Level != s.Level {
+			t.Fatalf("site %+v: echo mismatch %+v", s, d)
+		}
+	}
+}
+
+func TestPlanSitesDeterministic(t *testing.T) {
+	p := costmodel.SetI()
+	sites := []Site{
+		{Op: 0, Level: p.L, Hoist: 1, KLSS: true},
+		{Op: 1, Level: p.L / 2, Hoist: 3, KLSS: true},
+		{Op: 2, Level: 0, Hoist: 1, KLSS: false},
+	}
+	a := PlanSites(p, sites)
+	b := PlanSites(p, sites)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic verdict at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPlanSitesClampsInputs(t *testing.T) {
+	p := costmodel.SetI()
+	out := PlanSites(p, []Site{{Op: 0, Level: -3, Hoist: 0, KLSS: true}})
+	if out[0].Level != 0 || out[0].Hoist != 1 {
+		t.Fatalf("clamping: got %+v", out[0])
+	}
+}

@@ -1,0 +1,53 @@
+package costmodel
+
+import "testing"
+
+func TestForContextResizes(t *testing.T) {
+	p := ForContext(11, 5)
+	if p.LogN != 11 || p.L != 5 {
+		t.Fatalf("got LogN=%d L=%d, want 11/5", p.LogN, p.L)
+	}
+	// Zero values fall back to the daemon's historical laptop defaults.
+	p = ForContext(0, 0)
+	if p.LogN != 11 || p.L != 5 {
+		t.Fatalf("fallback: got LogN=%d L=%d, want 11/5", p.LogN, p.L)
+	}
+}
+
+func TestPassUnits(t *testing.T) {
+	p := ForContext(11, 5)
+	if got, want := p.PassUnits(), float64(1<<11)*6; got != want {
+		t.Fatalf("PassUnits = %g, want %g", got, want)
+	}
+}
+
+func TestKeySwitchUnitsClamps(t *testing.T) {
+	p := ForContext(11, 5)
+	atTop := p.KeySwitchUnits(SiteCost{Method: Hybrid, Level: 5, Hoist: 1})
+	clamped := p.KeySwitchUnits(SiteCost{Method: Hybrid, Level: 99, Hoist: 0})
+	if atTop != clamped {
+		t.Fatalf("clamping: %g != %g", atTop, clamped)
+	}
+	if atTop <= 0 {
+		t.Fatal("key-switch units must be positive")
+	}
+	// Hoisting amortizes the decomposition: per-site total for a hoist-4
+	// group must be below 4 independent switches.
+	solo := p.KeySwitchUnits(SiteCost{Method: Hybrid, Level: 5, Hoist: 1})
+	hoisted := p.KeySwitchUnits(SiteCost{Method: Hybrid, Level: 5, Hoist: 4})
+	if hoisted >= 4*solo {
+		t.Fatalf("hoist-4 group (%g) not cheaper than 4 solo switches (%g)", hoisted, 4*solo)
+	}
+}
+
+func TestPlanUnitsSums(t *testing.T) {
+	p := ForContext(11, 5)
+	sites := []SiteCost{
+		{Method: Hybrid, Level: 5, Hoist: 1},
+		{Method: KLSS, Level: 4, Hoist: 2},
+	}
+	want := p.KeySwitchUnits(sites[0]) + p.KeySwitchUnits(sites[1]) + 3*p.PassUnits()
+	if got := p.PlanUnits(sites, 3); got != want {
+		t.Fatalf("PlanUnits = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gateExec returns an exec that blocks until release is closed, then finishes
+// every item with its payload echoed back, recording batch sizes.
+func gateExec(release <-chan struct{}, sizes *[]int, mu *sync.Mutex) func([]*BatchItem) {
+	return func(batch []*BatchItem) {
+		<-release
+		mu.Lock()
+		*sizes = append(*sizes, len(batch))
+		mu.Unlock()
+		for _, it := range batch {
+			if it.Ctx.Err() != nil {
+				it.Finish(nil, it.Ctx.Err())
+				continue
+			}
+			it.Finish(fmt.Sprintf("done:%v", it.Payload), nil)
+		}
+	}
+}
+
+func TestBatcherCoalescesQueuedRequests(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 8})
+	defer srv.Drain(context.Background())
+	release := make(chan struct{})
+	var sizes []int
+	var mu sync.Mutex
+	b := NewBatcher(srv, gateExec(release, &sizes, &mu), nil)
+
+	const n = 4
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	errs := make([]error, n)
+	start := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = b.Do(context.Background(), Op{Name: "t", Units: 1}, "k", i)
+		}()
+	}
+	// The first request reaches the single worker and blocks in exec on the
+	// gate; the rest enroll while it holds the worker, so the next leader
+	// must coalesce all of them.
+	start(0)
+	waitFor(t, func() bool { return inflight(srv) == 1 })
+	for i := 1; i < n; i++ {
+		start(i)
+	}
+	waitFor(t, func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.boards["k"]) == n-1
+	})
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if want := fmt.Sprintf("done:%d", i); results[i] != want {
+			t.Fatalf("request %d: got %v want %v", i, results[i], want)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	coalesced := false
+	for _, s := range sizes {
+		total += s
+		if s > 1 {
+			coalesced = true
+		}
+	}
+	if total != n {
+		t.Fatalf("executed %d items across batches %v, want %d", total, sizes, n)
+	}
+	if !coalesced {
+		t.Fatalf("expected at least one multi-item batch, got sizes %v", sizes)
+	}
+}
+
+func TestBatcherKeysDoNotMix(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 8})
+	defer srv.Drain(context.Background())
+	release := make(chan struct{})
+	close(release)
+	var mu sync.Mutex
+	exec := func(batch []*BatchItem) {
+		mu.Lock()
+		defer mu.Unlock()
+		key := batch[0].key
+		for _, it := range batch {
+			if it.key != key {
+				t.Errorf("batch mixes keys %q and %q", key, it.key)
+			}
+			it.Finish(it.Payload, nil)
+		}
+	}
+	b := NewBatcher(srv, exec, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%2)
+			if _, err := b.Do(context.Background(), Op{Name: "t", Units: 1}, key, i); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestBatcherWithdrawOnQueueFull(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1})
+	defer srv.Drain(context.Background())
+	release := make(chan struct{})
+	var sizes []int
+	var mu sync.Mutex
+	b := NewBatcher(srv, gateExec(release, &sizes, &mu), nil)
+
+	// Occupy the worker...
+	first := make(chan error, 1)
+	go func() {
+		_, err := b.Do(context.Background(), Op{Name: "t", Units: 1}, "other", "lead")
+		first <- err
+	}()
+	waitFor(t, func() bool { return srv.QueueLen() == 0 && inflight(srv) == 1 })
+	// ...fill the queue...
+	second := make(chan error, 1)
+	go func() {
+		_, err := b.Do(context.Background(), Op{Name: "t", Units: 1}, "other", "queued")
+		second <- err
+	}()
+	waitFor(t, func() bool { return srv.QueueLen() == 1 })
+	// ...and overflow it with a request on a DIFFERENT key, so no leader can
+	// ever scoop it: the rejection must withdraw the enrollment.
+	_, err := b.Do(context.Background(), Op{Name: "t", Units: 1}, "lonely", "rejected")
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	b.mu.Lock()
+	if len(b.boards["lonely"]) != 0 {
+		t.Fatalf("rejected item left on board: %v", b.boards["lonely"])
+	}
+	b.mu.Unlock()
+
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if err := <-second; err != nil {
+		t.Fatalf("second: %v", err)
+	}
+}
+
+func TestBatcherCancelWhileQueued(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 2})
+	defer srv.Drain(context.Background())
+	release := make(chan struct{})
+	var sizes []int
+	var mu sync.Mutex
+	b := NewBatcher(srv, gateExec(release, &sizes, &mu), nil)
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := b.Do(context.Background(), Op{Name: "t", Units: 1}, "a", "lead")
+		first <- err
+	}()
+	waitFor(t, func() bool { return inflight(srv) == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	second := make(chan error, 1)
+	go func() {
+		_, err := b.Do(ctx, Op{Name: "t", Units: 1}, "b", "canceled")
+		second <- err
+	}()
+	waitFor(t, func() bool { return srv.QueueLen() == 1 })
+	cancel()
+	err := <-second
+	if !isCancellation(err) {
+		t.Fatalf("got %v, want cancellation-class", err)
+	}
+	b.mu.Lock()
+	if len(b.boards["b"]) != 0 {
+		t.Fatal("canceled item left on board")
+	}
+	b.mu.Unlock()
+
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatalf("first: %v", err)
+	}
+}
+
+func TestBatcherPanicGuardFinishesItems(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	defer srv.Drain(context.Background())
+	b := NewBatcher(srv, func(batch []*BatchItem) {
+		panic("executor bug")
+	}, nil)
+	_, err := b.Do(context.Background(), Op{Name: "t", Units: 1}, "k", nil)
+	if !errors.Is(err, ErrPanicked) {
+		t.Fatalf("got %v, want ErrPanicked", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for !cond() {
+		select {
+		case <-deadline:
+			t.Fatal("condition not reached in time")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func inflight(s *Server) int64 { return s.inflight.Load() }

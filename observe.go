@@ -4,6 +4,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sync"
 
 	"github.com/fastfhe/fast/internal/obs"
 )
@@ -18,6 +19,88 @@ import (
 // instrumentation at a single-pointer-check cost.
 type Observer struct {
 	o *obs.Observer
+
+	planMu   sync.Mutex
+	planSeq  uint64
+	planRing []PlanRecord // bounded ring, newest-last once full
+	planNext int          // ring write cursor
+	planFull bool
+}
+
+// planRingCap bounds the plan-record ring: enough history to correlate a
+// metrics scrape interval's worth of aether.decision.* movement with the
+// programs that caused it, small enough to never matter for memory.
+const planRingCap = 256
+
+// PlanRecord correlates one planned program execution with the observer's
+// aether.decision.* counters: which program (by plan fingerprint), in which
+// micro-batch, with which per-site verdicts. Records land in a bounded ring
+// (capacity 256, oldest evicted first).
+type PlanRecord struct {
+	// Fingerprint identifies the (program, input levels, options) tuple —
+	// Plan.Fingerprint of the executed plan.
+	Fingerprint string `json:"fingerprint"`
+	// Batch is the observer-wide micro-batch sequence number; runs coalesced
+	// into one ExecuteBatch share it.
+	Batch uint64 `json:"batch"`
+	// Runs is the number of runs executed in the batch.
+	Runs int `json:"runs"`
+	// MergedRotations counts rotations in the batch served from a
+	// decomposition shared across runs (0 when nothing merged).
+	MergedRotations int `json:"merged_rotations"`
+	// Units is the plan's admission weight.
+	Units float64 `json:"units"`
+	// Decisions are the planner's per-site verdicts (Plan.Decisions).
+	Decisions []PlanDecision `json:"decisions"`
+	// Err reports that this run failed (cancellation included).
+	Err bool `json:"err,omitempty"`
+}
+
+// nextBatchSeq issues a batch sequence number (nil-safe; 0 on nil).
+func (ob *Observer) nextBatchSeq() uint64 {
+	if ob == nil {
+		return 0
+	}
+	ob.planMu.Lock()
+	defer ob.planMu.Unlock()
+	ob.planSeq++
+	return ob.planSeq
+}
+
+// recordPlan appends a record to the ring (nil-safe).
+func (ob *Observer) recordPlan(rec PlanRecord) {
+	if ob == nil {
+		return
+	}
+	ob.planMu.Lock()
+	defer ob.planMu.Unlock()
+	if len(ob.planRing) < planRingCap && !ob.planFull {
+		ob.planRing = append(ob.planRing, rec)
+		if len(ob.planRing) == planRingCap {
+			ob.planFull = true
+		}
+		return
+	}
+	ob.planRing[ob.planNext] = rec
+	ob.planNext = (ob.planNext + 1) % planRingCap
+}
+
+// PlanRecords returns the retained plan-execution records, oldest first
+// (empty on a nil observer). Use it to attribute aether.decision.{hybrid,
+// klss,hoisted} movement to specific program runs.
+func (ob *Observer) PlanRecords() []PlanRecord {
+	if ob == nil {
+		return nil
+	}
+	ob.planMu.Lock()
+	defer ob.planMu.Unlock()
+	if !ob.planFull {
+		return append([]PlanRecord(nil), ob.planRing...)
+	}
+	out := make([]PlanRecord, 0, planRingCap)
+	out = append(out, ob.planRing[ob.planNext:]...)
+	out = append(out, ob.planRing[:ob.planNext]...)
+	return out
 }
 
 // NewObserver returns an observer with a metrics registry and no tracer

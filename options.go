@@ -106,11 +106,10 @@ type opSettings struct {
 }
 
 // WithMethod routes this one operation through the given key-switching
-// backend, overriding the context default. Unlike the deprecated SetMethod,
-// WithMethod mutates no shared state: two goroutines can evaluate with
-// different methods on the same Context at the same time, which is exactly
-// what the Aether planner's per-operation method assignment (paper §4.1)
-// needs.
+// backend, overriding the context default. WithMethod mutates no shared
+// state: two goroutines can evaluate with different methods on the same
+// Context at the same time, which is exactly what the Aether planner's
+// per-operation method assignment (paper §4.1) needs.
 func WithMethod(m Method) OpOption {
 	return func(s *opSettings) { s.method = m }
 }
