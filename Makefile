@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short race chaos fuzz bench bench-json benchdiff bench-serve-json benchdiff-serve tables cover fmt vet clean
+.PHONY: all check build test test-short race chaos fuzz obs-smoke bench bench-json benchdiff bench-serve-json benchdiff-serve tables cover fmt vet clean
 
 all: build test
 
@@ -44,6 +44,14 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadCiphertext -fuzztime 10s ./internal/ckks
 	$(GO) test -run '^$$' -fuzz FuzzCiphertextMarshal -fuzztime 10s ./internal/ckks
 	$(GO) test -run '^$$' -fuzz FuzzContextConfig -fuzztime 10s .
+
+# Observability smoke gate: boot the real fastd through run(), drive one
+# evaluation with a pinned request ID, and assert every surface's contract —
+# access-log JSON schema, /debug/requests shape, /metrics Prometheus-text
+# validity (incl. the serve.latency.p* quantile gauges), /readyz quantiles,
+# and request-ID attribution on both HTTP and evaluator trace spans.
+obs-smoke:
+	$(GO) test -race -run TestObsSmoke -v ./cmd/fastd
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -36,6 +37,12 @@ type daemonConfig struct {
 	// benchmark baseline and as an operational escape hatch.
 	Sequential bool
 	Observer   *fast.Observer
+	// Logger receives the JSON access log (one record per request) plus
+	// slow-request warnings. Nil discards all logging.
+	Logger *slog.Logger
+	// SlowRequest is the duration above which a completed request additionally
+	// emits a warn-level "slow request" record (0 disables).
+	SlowRequest time.Duration
 }
 
 func (c daemonConfig) withDefaults() daemonConfig {
@@ -56,6 +63,9 @@ func (c daemonConfig) withDefaults() daemonConfig {
 	}
 	if c.Observer == nil {
 		c.Observer = fast.NewObserver()
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NewLogger(io.Discard, slog.LevelInfo)
 	}
 	return c
 }
@@ -91,6 +101,8 @@ type daemon struct {
 	batcher  *serve.Batcher
 	breaker  *serve.Breaker
 	observer *fast.Observer
+	requests *obs.RequestTable
+	logger   *slog.Logger
 
 	mu       sync.RWMutex
 	sessions map[string]*session
@@ -110,6 +122,8 @@ func newDaemon(cfg daemonConfig) *daemon {
 		cfg:      cfg,
 		breaker:  br,
 		observer: cfg.Observer,
+		requests: obs.NewRequestTable(reg),
+		logger:   cfg.Logger,
 		sessions: map[string]*session{},
 		srv: serve.New(serve.Config{
 			Workers:    cfg.Workers,
@@ -149,6 +163,9 @@ func (d *daemon) runEvalBatch(items []*serve.BatchItem) {
 	sess.ctx.ExecuteBatch(runs)
 	d.recordFaultHealth(sess)
 	for i, it := range items {
+		// Stamp the batch sequence onto the in-flight record so the access
+		// log and /debug/requests can join against /debug/plans.
+		obs.RequestFrom(it.Ctx).SetBatch(runs[i].Batch)
 		if runs[i].Err != nil {
 			it.Finish(nil, runs[i].Err)
 			continue
@@ -168,7 +185,9 @@ func (d *daemon) drain(ctx context.Context) error { return d.srv.Drain(ctx) }
 // ---- HTTP surface ----------------------------------------------------------
 
 // handler mounts the daemon's endpoints plus the observer's observability
-// surface (/metrics, /debug/..., /snapshot.json, /trace.json).
+// surface (/metrics, /debug/..., /snapshot.json, /trace.json), all wrapped in
+// the request-correlation middleware so every response carries X-Request-Id
+// and every request is tabled and access-logged.
 func (d *daemon) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
@@ -183,7 +202,24 @@ func (d *daemon) handler() http.Handler {
 	for _, p := range []string{"/metrics", "/debug/", "/snapshot.json", "/trace.json", "/trace.txt"} {
 		mux.Handle(p, ob)
 	}
-	return mux
+	// Most-specific-pattern-wins: these shadow the observer's /debug/ catch-all.
+	mux.Handle("GET /debug/requests", d.requests.Handler())
+	mux.HandleFunc("GET /debug/plans", d.handlePlans)
+	return d.withObservability(mux)
+}
+
+// handlePlans serves the observer's retained plan-execution records (the ring
+// recordBatch fills), oldest first — the join surface between request IDs,
+// batch sequence numbers and planner decisions.
+func (d *daemon) handlePlans(w http.ResponseWriter, _ *http.Request) {
+	recs := d.observer.PlanRecords()
+	if recs == nil {
+		recs = []fast.PlanRecord{}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{"count": len(recs), "plans": recs})
 }
 
 func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -193,15 +229,27 @@ func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (d *daemon) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	type readiness struct {
-		Ready    bool   `json:"ready"`
-		Draining bool   `json:"draining"`
-		Breaker  string `json:"breaker"`
-		Queue    int    `json:"queue_depth"`
+		Ready    bool               `json:"ready"`
+		Draining bool               `json:"draining"`
+		Breaker  string             `json:"breaker"`
+		Queue    int                `json:"queue_depth"`
+		Inflight int                `json:"inflight_requests"`
+		Latency  map[string]float64 `json:"latency"`
 	}
+	// Quantiles are estimated from the end-to-end log2-bucket latency
+	// histogram (rank interpolation, within 2x of exact) — the same numbers
+	// the serve.latency.p*_ns gauges export on /metrics.
+	lat := d.observer.Registry().Histogram("serve.latency_ns").Snapshot()
 	r := readiness{
 		Draining: d.srv.Draining(),
 		Breaker:  d.breaker.State().String(),
 		Queue:    d.srv.QueueLen(),
+		Inflight: d.requests.Len(),
+		Latency: map[string]float64{
+			"serve.latency.p50_ns": lat.Quantile(0.50),
+			"serve.latency.p90_ns": lat.Quantile(0.90),
+			"serve.latency.p99_ns": lat.Quantile(0.99),
+		},
 	}
 	r.Ready = !r.Draining && d.breaker.State() != serve.BreakerOpen
 	if !r.Ready {
@@ -281,6 +329,9 @@ func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	// burst of session creates cannot starve evaluation workers unnoticed.
 	var fctx *fast.Context
 	units := keygenUnits(cfg)
+	obsReq := obs.RequestFrom(r.Context())
+	obsReq.SetSession(id)
+	obsReq.SetUnits(units)
 	err := d.srv.Do(r.Context(), serve.Op{Name: "keygen", Units: units}, func(ctx context.Context) error {
 		var err error
 		fctx, err = fast.NewContext(cfg, opts...)
@@ -290,7 +341,7 @@ func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		d.mu.Lock()
 		d.reserved--
 		d.mu.Unlock()
-		d.writeAdmissionError(w, err)
+		d.writeAdmissionError(w, r, err)
 		return
 	}
 
@@ -391,6 +442,9 @@ func (d *daemon) handleEncrypt(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	obsReq := obs.RequestFrom(r.Context())
+	obsReq.SetSession(sess.id)
+	obsReq.SetUnits(sess.cm.PassUnits())
 	ctx, cancel := requestContext(r)
 	defer cancel()
 
@@ -404,7 +458,7 @@ func (d *daemon) handleEncrypt(w http.ResponseWriter, r *http.Request) {
 		return err
 	})
 	if err != nil {
-		d.writeAdmissionError(w, err)
+		d.writeAdmissionError(w, r, err)
 		return
 	}
 	writeJSON(w, resp)
@@ -435,6 +489,9 @@ func (d *daemon) handleDecrypt(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	obsReq := obs.RequestFrom(r.Context())
+	obsReq.SetSession(sess.id)
+	obsReq.SetUnits(sess.cm.PassUnits())
 	ctx, cancel := requestContext(r)
 	defer cancel()
 
@@ -448,7 +505,7 @@ func (d *daemon) handleDecrypt(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		d.writeAdmissionError(w, err)
+		d.writeAdmissionError(w, r, err)
 		return
 	}
 	writeJSON(w, resp)
@@ -466,11 +523,16 @@ func (d *daemon) handleEval(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	obsReq := obs.RequestFrom(r.Context())
+	obsReq.SetSession(sess.id)
+	obsReq.SetPhase(obs.PhasePlanning)
 	ce, err := compileEval(sess, body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	obsReq.SetUnits(ce.units())
+	obsReq.SetFingerprint(ce.plan.Fingerprint())
 	ctx, cancel := requestContext(r)
 	defer cancel()
 
@@ -489,7 +551,7 @@ func (d *daemon) handleEval(w http.ResponseWriter, r *http.Request) {
 			return err
 		})
 		if err != nil {
-			d.writeAdmissionError(w, err)
+			d.writeAdmissionError(w, r, err)
 			return
 		}
 		writeJSON(w, resp)
@@ -497,7 +559,7 @@ func (d *daemon) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := d.batcher.Do(ctx, op, sess.id, ce)
 	if err != nil {
-		d.writeAdmissionError(w, err)
+		d.writeAdmissionError(w, r, err)
 		return
 	}
 	writeJSON(w, res.(ciphertextResponse))
@@ -530,11 +592,13 @@ func (d *daemon) recordFaultHealth(sess *session) {
 
 // requestContext derives the task context from the request: the client
 // disconnect propagates via r.Context(), and an optional X-Deadline-Ms header
-// adds a deadline the admission layer can shed against.
+// adds a deadline the admission layer can shed against. The deadline is also
+// stamped onto the in-flight record for /debug/requests' remaining column.
 func requestContext(r *http.Request) (context.Context, context.CancelFunc) {
 	ctx := r.Context()
 	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
 		if ms, err := strconv.Atoi(h); err == nil && ms > 0 {
+			obs.RequestFrom(ctx).SetDeadline(time.Now().Add(time.Duration(ms) * time.Millisecond))
 			return context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
 		}
 	}
@@ -549,26 +613,36 @@ func requestContext(r *http.Request) (context.Context, context.CancelFunc) {
 //	504 Gateway Timeout     shed: deadline provably unmeetable
 //	408 Request Timeout     canceled/deadline mid-flight
 //	500 Internal            panic (isolated) or evaluation failure
-func (d *daemon) writeAdmissionError(w http.ResponseWriter, err error) {
+//
+// The rung is also recorded as the request's outcome, so the access log names
+// the exact ladder step even where the status code is ambiguous (503 covers
+// both breaker_open and draining; 504 covers both shed and deadline).
+func (d *daemon) writeAdmissionError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusInternalServerError
+	outcome := "error"
 	switch {
 	case errors.Is(err, serve.ErrQueueFull):
-		status = http.StatusTooManyRequests
+		status, outcome = http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, serve.ErrShed):
-		status = http.StatusGatewayTimeout
-	case errors.Is(err, serve.ErrBreakerOpen), errors.Is(err, serve.ErrDraining):
-		status = http.StatusServiceUnavailable
+		status, outcome = http.StatusGatewayTimeout, "shed"
+	case errors.Is(err, serve.ErrBreakerOpen):
+		status, outcome = http.StatusServiceUnavailable, "breaker_open"
+	case errors.Is(err, serve.ErrDraining):
+		status, outcome = http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, fast.ErrDeadline):
-		status = http.StatusGatewayTimeout
+		status, outcome = http.StatusGatewayTimeout, "deadline"
 	case errors.Is(err, fast.ErrCanceled):
-		status = http.StatusRequestTimeout
+		status, outcome = http.StatusRequestTimeout, "canceled"
+	case errors.Is(err, serve.ErrPanicked):
+		outcome = "panic"
 	case errors.Is(err, fast.ErrKeyMissing), errors.Is(err, fast.ErrInvalidCiphertext),
 		errors.Is(err, fast.ErrLevelMismatch), errors.Is(err, fast.ErrLevelExhausted),
 		errors.Is(err, fast.ErrScaleMismatch), errors.Is(err, fast.ErrSlotCountMismatch),
 		errors.Is(err, fast.ErrInvalidValue), errors.Is(err, fast.ErrMethodUnavailable),
 		errors.Is(err, fast.ErrInvalidParameters):
-		status = http.StatusBadRequest
+		status, outcome = http.StatusBadRequest, "bad_request"
 	}
+	obs.RequestFrom(r.Context()).SetOutcome(outcome)
 	httpError(w, status, err)
 }
 

@@ -8,6 +8,7 @@
 //
 //	fastd [-addr 127.0.0.1:8080] [-workers 2] [-queue 8]
 //	      [-breaker-threshold 5] [-breaker-cooldown 2s] [-max-sessions 16]
+//	      [-access-log stderr] [-log-level info] [-slow-request-ms 0]
 //
 // Endpoints:
 //
@@ -18,12 +19,20 @@
 //	POST /v1/sessions/{id}/encrypt    {values:[{re,im},...]} -> {ciphertext}
 //	POST /v1/sessions/{id}/decrypt    {ciphertext} -> {values}
 //	POST /v1/sessions/{id}/eval      {inputs, program, output} -> {ciphertext}
+//	GET  /debug/requests              in-flight request table (id, phase, age, deadline)
+//	GET  /debug/plans                 retained plan-execution records (batch, request IDs)
 //	GET  /metrics, /debug/...         observability surface (Prometheus, pprof, traces)
 //
 // Requests may carry an X-Deadline-Ms header; the admission layer sheds
 // requests whose deadline is provably unmeetable (HTTP 504) instead of
 // queuing them to time out. A full queue returns 429, an open breaker or a
 // draining server 503.
+//
+// Every request is correlated end to end: a client-provided X-Request-Id (or
+// the trace-id of a W3C traceparent header) is honored, otherwise an ID is
+// assigned; the ID is echoed on the response, logged in the JSON access log,
+// listed on /debug/requests while in flight, and attached to every Chrome-
+// trace span the request causes, down to the key-switch phases.
 package main
 
 import (
@@ -64,9 +73,18 @@ func run(args []string, stdout io.Writer) error {
 	maxSessions := fs.Int("max-sessions", 16, "maximum live sessions")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
 	sequential := fs.Bool("sequential", false, "disable cross-request micro-batching (baseline/debug mode)")
+	logLevel := fs.String("log-level", "info", "access-log level: debug, info, warn or error")
+	accessLog := fs.String("access-log", "stderr", "access-log destination: stderr, stdout, none, or a file path (appended)")
+	slowRequestMs := fs.Int("slow-request-ms", 0, "warn-level slow-request record above this many milliseconds (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	logW, closeLog, err := openAccessLog(*accessLog)
+	if err != nil {
+		return err
+	}
+	defer closeLog()
 
 	d := newDaemon(daemonConfig{
 		Workers:          *workers,
@@ -76,6 +94,8 @@ func run(args []string, stdout io.Writer) error {
 		MaxSessions:      *maxSessions,
 		Sequential:       *sequential,
 		Observer:         fast.NewTracingObserver(0),
+		Logger:           obs.NewLogger(logW, obs.ParseLogLevel(*logLevel)),
+		SlowRequest:      time.Duration(*slowRequestMs) * time.Millisecond,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -103,6 +123,23 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintln(stdout, "fastd stopped")
 	return nil
+}
+
+// openAccessLog resolves the -access-log flag to a writer plus its closer.
+func openAccessLog(dest string) (io.Writer, func(), error) {
+	switch dest {
+	case "", "none":
+		return io.Discard, func() {}, nil
+	case "stderr":
+		return os.Stderr, func() {}, nil
+	case "stdout":
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fastd: open access log: %w", err)
+	}
+	return f, func() { _ = f.Close() }, nil
 }
 
 func main() {

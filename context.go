@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"github.com/fastfhe/fast/internal/ckks"
+	"github.com/fastfhe/fast/internal/obs"
 )
 
 // Method selects a key-switching backend.
@@ -228,11 +229,20 @@ func (c *Context) validate(cts ...*Ciphertext) error {
 	return nil
 }
 
-// settings resolves per-call options against the context default.
+// settings resolves per-call options against the context default. A
+// WithRequestID tag is folded into the call context here, so option order
+// never matters.
 func (c *Context) settings(opts []OpOption) opSettings {
 	s := opSettings{method: c.defaultMethod}
 	for _, o := range opts {
 		o(&s)
+	}
+	if s.requestID != "" {
+		base := s.ctx
+		if base == nil {
+			base = context.Background()
+		}
+		s.ctx = obs.WithRequestID(base, s.requestID)
 	}
 	return s
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+
+	"github.com/fastfhe/fast/internal/obs"
 )
 
 // This file executes Plans: single runs, micro-batches of concurrently
@@ -38,11 +40,17 @@ type Run struct {
 	// *Ciphertext is used.
 	InputIDs map[string]string
 	// Ctx cancels this run independently of its batchmates (nil = Background).
+	// A request ID carried by Ctx (see ContextWithRequestID) is propagated to
+	// the run's trace spans and recorded on the batch's PlanRecords.
 	Ctx context.Context
 	// Out is the output ciphertext (set on success).
 	Out *Ciphertext
 	// Err is the run's failure, wrapping the package taxonomy (set on error).
 	Err error
+	// Batch is the observer-wide micro-batch sequence number this run executed
+	// under (set by ExecuteBatch on an observed context; 0 otherwise). Equal
+	// Batch values identify runs coalesced into one batch.
+	Batch uint64
 
 	regs    map[string]*Ciphertext // register file
 	pending map[string]int         // registers holding an unrescaled value -> producing node
@@ -458,11 +466,16 @@ func (c *Context) recordBatch(runs []*Run, mergedRotations int) {
 	reg := c.observer.Registry()
 	seq := c.observer.nextBatchSeq()
 	executed := 0
+	var requestIDs []string
 	for _, run := range runs {
 		if run == nil || run.Plan == nil || run.regs == nil {
 			continue
 		}
 		executed++
+		run.Batch = seq
+		if rid := obs.RequestIDFrom(run.Ctx); rid != "" {
+			requestIDs = append(requestIDs, rid)
+		}
 	}
 	for _, run := range runs {
 		if run == nil || run.Plan == nil || run.regs == nil {
@@ -491,6 +504,7 @@ func (c *Context) recordBatch(runs []*Run, mergedRotations int) {
 			MergedRotations: mergedRotations,
 			Units:           plan.units,
 			Decisions:       plan.Decisions(),
+			RequestIDs:      requestIDs,
 			Err:             run.Err != nil,
 		})
 	}

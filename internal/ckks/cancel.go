@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"github.com/fastfhe/fast/internal/obs"
 )
 
 // Cancellation support for the heavyweight kernels.
@@ -24,19 +26,36 @@ import (
 // invariant gets == puts holds after a canceled operation).
 
 // cancelCheck latches a context's cancellation so kernel loops can poll it
-// with one atomic load instead of a context-tree walk per checkpoint.
+// with one atomic load instead of a context-tree walk per checkpoint. It also
+// carries the context's request ID (resolved once at construction), so the
+// instrumented kernels can attribute their spans to the serving request
+// without a context-value walk per span.
 type cancelCheck struct {
-	ctx  context.Context
-	done atomic.Bool
+	ctx       context.Context
+	requestID string
+	done      atomic.Bool
 }
 
 // newCancelCheck returns the checkpoint handle for ctx, or nil when ctx can
-// never be canceled (nil, Background, TODO) — the zero-overhead path.
+// never be canceled (nil, Background, TODO) and carries no request identity
+// — the zero-overhead path.
 func newCancelCheck(ctx context.Context) *cancelCheck {
-	if ctx == nil || ctx.Done() == nil {
+	if ctx == nil {
 		return nil
 	}
-	return &cancelCheck{ctx: ctx}
+	rid := obs.RequestIDFrom(ctx)
+	if ctx.Done() == nil && rid == "" {
+		return nil
+	}
+	return &cancelCheck{ctx: ctx, requestID: rid}
+}
+
+// rid returns the request ID resolved at construction ("" on nil).
+func (cc *cancelCheck) rid() string {
+	if cc == nil {
+		return ""
+	}
+	return cc.requestID
 }
 
 // stopped reports whether the operation should abandon its work. Safe to call

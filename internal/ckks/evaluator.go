@@ -189,7 +189,7 @@ func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	rq.Add(a.C0, b.C0, out.C0)
 	rq.Add(a.C1, b.C1, out.C1)
 	if ev.om != nil {
-		ev.om.finishNoMethod(ev.om.hadd, "HAdd", a.Level, t0)
+		ev.om.finishNoMethod(ev.om.hadd, "HAdd", a.Level, t0, nil)
 	}
 	return out, nil
 }
@@ -209,7 +209,7 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
 	rq.Sub(a.C0, b.C0, out.C0)
 	rq.Sub(a.C1, b.C1, out.C1)
 	if ev.om != nil {
-		ev.om.finishNoMethod(ev.om.hadd, "HAdd", a.Level, t0)
+		ev.om.finishNoMethod(ev.om.hadd, "HAdd", a.Level, t0, nil)
 	}
 	return out, nil
 }
@@ -228,7 +228,7 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 	out := &Ciphertext{C0: rq.NewPoly(), C1: ct.C1.Truncated(level + 1).Clone(), Level: level, Scale: ct.Scale}
 	rq.Add(ct.C0.Truncated(level+1), pt.Value.Truncated(level+1), out.C0)
 	if ev.om != nil {
-		ev.om.finishNoMethod(ev.om.padd, "PAdd", level, t0)
+		ev.om.finishNoMethod(ev.om.padd, "PAdd", level, t0, nil)
 	}
 	return out, nil
 }
@@ -246,7 +246,7 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 	rq.MulCoeffs(ct.C0.Truncated(level+1), pt.Value.Truncated(level+1), out.C0)
 	rq.MulCoeffs(ct.C1.Truncated(level+1), pt.Value.Truncated(level+1), out.C1)
 	if ev.om != nil {
-		ev.om.finishNoMethod(ev.om.pmult, "PMult", level, t0)
+		ev.om.finishNoMethod(ev.om.pmult, "PMult", level, t0, nil)
 	}
 	return out, nil
 }
@@ -269,7 +269,7 @@ func (ev *Evaluator) MulConst(ct *Ciphertext, c float64) (*Ciphertext, error) {
 	rq.MulScalarBigint(ct.C0, k, out.C0)
 	rq.MulScalarBigint(ct.C1, k, out.C1)
 	if ev.om != nil {
-		ev.om.finishNoMethod(ev.om.cmult, "CMult", ct.Level, t0)
+		ev.om.finishNoMethod(ev.om.cmult, "CMult", ct.Level, t0, nil)
 	}
 	return out, nil
 }
@@ -356,7 +356,7 @@ func (ev *Evaluator) mulRelin(cc *cancelCheck, a, b *Ciphertext, m KeySwitchMeth
 	rq.Add(out.C0, e0, out.C0)
 	rq.Add(out.C1, e1, out.C1)
 	if ev.om != nil {
-		ev.om.finish(ev.om.hmult[methodIdx(m)], "HMult", m, level, t0)
+		ev.om.finish(ev.om.hmult[methodIdx(m)], "HMult", m, level, t0, cc)
 	}
 	return out, nil
 }
@@ -402,7 +402,7 @@ func (ev *Evaluator) rescaleCC(cc *cancelCheck, ct *Ciphertext) (*Ciphertext, er
 		rqOut.NTTWorkers(pair.out, ev.parallelism)
 	}
 	if ev.om != nil {
-		ev.om.finishNoMethod(ev.om.rescale, "Rescale", level, t0)
+		ev.om.finishNoMethod(ev.om.rescale, "Rescale", level, t0, cc)
 	}
 	return out, nil
 }
@@ -432,7 +432,7 @@ func (ev *Evaluator) rotate(cc *cancelCheck, ct *Ciphertext, r int, m KeySwitchM
 	galEl := ring.GaloisElementForRotation(ev.params.LogN(), r)
 	out, err := ev.automorphism(cc, ct, galEl, m)
 	if err == nil && ev.om != nil {
-		ev.om.finish(ev.om.hrot[methodIdx(m)], "HRot", m, ct.Level, t0)
+		ev.om.finish(ev.om.hrot[methodIdx(m)], "HRot", m, ct.Level, t0, cc)
 	}
 	return out, err
 }
@@ -460,7 +460,7 @@ func (ev *Evaluator) conjugate(cc *cancelCheck, ct *Ciphertext, m KeySwitchMetho
 	galEl := ring.GaloisElementForConjugation(ev.params.LogN())
 	out, err := ev.automorphism(cc, ct, galEl, m)
 	if err == nil && ev.om != nil {
-		ev.om.finish(ev.om.conj[methodIdx(m)], "Conjugate", m, ct.Level, t0)
+		ev.om.finish(ev.om.conj[methodIdx(m)], "Conjugate", m, ct.Level, t0, cc)
 	}
 	return out, err
 }
@@ -562,7 +562,7 @@ func (ev *Evaluator) rotateHoisted(cc *cancelCheck, ct *Ciphertext, rotations []
 	if ev.om != nil {
 		// One span covers the whole hoisted group (single ModUp amortised
 		// across len(rotations) key-mults).
-		ev.om.finish(ev.om.hoisted[methodIdx(m)], "HRotHoisted", m, level, t0)
+		ev.om.finish(ev.om.hoisted[methodIdx(m)], "HRotHoisted", m, level, t0, cc)
 	}
 	return out, nil
 }

@@ -43,10 +43,13 @@ type KeySwitcher struct {
 
 	// Phase-timing instruments (nil when unobserved; see SetObserver). The
 	// guard is a single pointer check, so the uninstrumented path pays no
-	// clock reads.
+	// clock reads. The tracer (nil unless the observer traces) additionally
+	// emits one Chrome-trace span per ModUp/KeyMult/ModDown phase, tagged
+	// with the request ID when the operation ran under a request context.
 	modUpNS   *obs.Histogram
 	keyMultNS *obs.Histogram
 	modDownNS *obs.Histogram
+	tracer    *obs.Tracer
 
 	mu        sync.Mutex
 	extenders map[extKey]*rns.Extender
@@ -90,7 +93,7 @@ func (ks *KeySwitcher) Method() KeySwitchMethod { return ks.method }
 // across goroutines. A nil observer detaches.
 func (ks *KeySwitcher) SetObserver(o *obs.Observer) {
 	if o == nil {
-		ks.modUpNS, ks.keyMultNS, ks.modDownNS = nil, nil, nil
+		ks.modUpNS, ks.keyMultNS, ks.modDownNS, ks.tracer = nil, nil, nil, nil
 		ks.pool.Instrument(nil, nil, nil, nil)
 		return
 	}
@@ -99,6 +102,10 @@ func (ks *KeySwitcher) SetObserver(o *obs.Observer) {
 	ks.modUpNS = reg.Histogram(prefix + ".modup_ns")
 	ks.keyMultNS = reg.Histogram(prefix + ".keymult_ns")
 	ks.modDownNS = reg.Histogram(prefix + ".moddown_ns")
+	ks.tracer = o.Tr()
+	if ks.tracer != nil {
+		ks.tracer.SetThreadName(TracePIDEvaluator, ksTraceTID, "keyswitch phases")
+	}
 	poolPrefix := "ring.pool.keyswitch." + ks.method.String()
 	ks.pool.Instrument(
 		reg.Counter(poolPrefix+".gets"),
@@ -106,6 +113,24 @@ func (ks *KeySwitcher) SetObserver(o *obs.Observer) {
 		reg.Counter(poolPrefix+".misses"),
 		reg.Gauge(poolPrefix+".alloc_bytes"),
 	)
+}
+
+// ksTraceTID is the Chrome-trace thread id of the key-switch phase track
+// (evaluator op spans sit on tid 0 of the same process).
+const ksTraceTID = 1
+
+// traceSpan emits one key-switch phase span (ModUp/KeyMult/ModDown) tagged
+// with the backend, level and — when the operation ran under a
+// request-scoped context — the serving request ID. No-op without a tracer.
+func (ks *KeySwitcher) traceSpan(name string, level int, t0 time.Time, cc *cancelCheck) {
+	if ks.tracer == nil {
+		return
+	}
+	args := map[string]any{"method": ks.method.String(), "level": level}
+	if rid := cc.rid(); rid != "" {
+		args["request_id"] = rid
+	}
+	ks.tracer.CompleteSince(name, "keyswitch", TracePIDEvaluator, ksTraceTID, t0, args)
 }
 
 // beta returns the group count at a level.
@@ -234,7 +259,7 @@ func (ks *KeySwitcher) decompose(cc *cancelCheck, c ring.Poly, level int) (*Deco
 		return nil, err
 	}
 	var t0 time.Time
-	if ks.modUpNS != nil {
+	if ks.modUpNS != nil || ks.tracer != nil {
 		t0 = time.Now()
 	}
 	// One INTT per input limb to reach coefficient form for BConv. The lazy
@@ -309,6 +334,7 @@ func (ks *KeySwitcher) decompose(cc *cancelCheck, c ring.Poly, level int) (*Deco
 	if ks.modUpNS != nil {
 		ks.modUpNS.ObserveSince(t0)
 	}
+	ks.traceSpan("ModUp", level, t0, cc)
 	return d, nil
 }
 
@@ -369,7 +395,7 @@ func (ks *KeySwitcher) keyMult(cc *cancelCheck, d *Decomposition, key *Switching
 		return d0, d1, err
 	}
 	var t0 time.Time
-	if ks.keyMultNS != nil {
+	if ks.keyMultNS != nil || ks.tracer != nil {
 		t0 = time.Now()
 	}
 	n := ks.params.N()
@@ -447,8 +473,11 @@ func (ks *KeySwitcher) keyMult(cc *cancelCheck, d *Decomposition, key *Switching
 		return ring.Poly{}, ring.Poly{}, err
 	}
 
-	if ks.keyMultNS != nil {
-		ks.keyMultNS.ObserveSince(t0)
+	if ks.keyMultNS != nil || ks.tracer != nil {
+		if ks.keyMultNS != nil {
+			ks.keyMultNS.ObserveSince(t0)
+		}
+		ks.traceSpan("KeyMult", level, t0, cc)
 		t0 = time.Now()
 	}
 	// ModDown: divide by the special chain, return to NTT form on the Q
@@ -480,6 +509,7 @@ func (ks *KeySwitcher) keyMult(cc *cancelCheck, d *Decomposition, key *Switching
 	if ks.modDownNS != nil {
 		ks.modDownNS.ObserveSince(t0)
 	}
+	ks.traceSpan("ModDown", level, t0, cc)
 	return d0, d1, nil
 }
 

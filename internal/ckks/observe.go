@@ -84,21 +84,30 @@ func methodIdx(m KeySwitchMethod) int {
 }
 
 // finish records one completed op: instrument update plus (when tracing) a
-// wall-clock span labelled with the op, method and level. Only called on a
-// non-nil receiver, from paths already guarded by `ev.om != nil`.
-func (eo *evalObs) finish(i opInstr, name string, m KeySwitchMethod, level int, t0 time.Time) {
+// wall-clock span labelled with the op, method, level and — when the
+// operation ran under a request-scoped context — the request ID, so every
+// span in the Chrome trace is attributable to the serving request that
+// caused it. Only called on a non-nil receiver, from paths already guarded
+// by `ev.om != nil`. cc may be nil (uncancellable, request-free call).
+func (eo *evalObs) finish(i opInstr, name string, m KeySwitchMethod, level int, t0 time.Time, cc *cancelCheck) {
 	i.observe(t0)
 	if eo.tracer != nil {
-		eo.tracer.CompleteSince(name, "eval", TracePIDEvaluator, 0, t0,
-			map[string]any{"method": m.String(), "level": level})
+		args := map[string]any{"method": m.String(), "level": level}
+		if rid := cc.rid(); rid != "" {
+			args["request_id"] = rid
+		}
+		eo.tracer.CompleteSince(name, "eval", TracePIDEvaluator, 0, t0, args)
 	}
 }
 
 // finishNoMethod is finish for ops without a key-switching backend.
-func (eo *evalObs) finishNoMethod(i opInstr, name string, level int, t0 time.Time) {
+func (eo *evalObs) finishNoMethod(i opInstr, name string, level int, t0 time.Time, cc *cancelCheck) {
 	i.observe(t0)
 	if eo.tracer != nil {
-		eo.tracer.CompleteSince(name, "eval", TracePIDEvaluator, 0, t0,
-			map[string]any{"level": level})
+		args := map[string]any{"level": level}
+		if rid := cc.rid(); rid != "" {
+			args["request_id"] = rid
+		}
+		eo.tracer.CompleteSince(name, "eval", TracePIDEvaluator, 0, t0, args)
 	}
 }

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"sync"
+)
+
+// The structured-logging spine: stdlib log/slog with a JSON handler, one
+// line per record, so the daemon's access log is greppable and machine-
+// joinable against /snapshot.json (by request ID and plan fingerprint)
+// without any logging dependency.
+
+// NewLogger returns a JSON-lines slog.Logger writing to w at the given
+// level. Writes are serialized through a mutex so concurrent request
+// handlers never interleave partial lines (slog guarantees one Write call
+// per record; the lock makes that atomic on any io.Writer, not just
+// O_APPEND files).
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(&syncWriter{w: w}, &slog.HandlerOptions{Level: level}))
+}
+
+// ParseLogLevel maps a flag string onto a slog.Level (default info).
+func ParseLogLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// syncWriter serializes writes to the underlying writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (sw *syncWriter) Write(p []byte) (int, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.w.Write(p)
+}

@@ -235,6 +235,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	fgauges  map[string]*FloatGauge
 	hists    map[string]*Histogram
+	onScrape []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -316,6 +317,22 @@ type Snapshot struct {
 	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
+// OnScrape registers a hook run at the start of every Snapshot (and thus
+// every /metrics and /snapshot.json scrape), before instrument values are
+// copied. Hooks derive gauges from other instruments — e.g. the serving
+// layer publishes latency quantile gauges computed from its log2-bucket
+// histogram. Hooks run outside the registry lock and must not call Snapshot
+// themselves; updating pre-resolved instruments (atomic sets) is the
+// intended use. Safe on nil (no-op).
+func (r *Registry) OnScrape(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.onScrape = append(r.onScrape, fn)
+	r.mu.Unlock()
+}
+
 // Snapshot copies the current instrument values. Safe on a nil registry
 // (returns an empty snapshot).
 func (r *Registry) Snapshot() *Snapshot {
@@ -328,6 +345,12 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	if r == nil {
 		return s
+	}
+	r.mu.Lock()
+	hooks := r.onScrape
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -22,8 +22,13 @@ func New() *Observer {
 
 // NewTracing returns an observer with a fresh registry and a tracer
 // buffering up to traceCapacity events (<= 0 selects the default capacity).
+// Buffer overflow surfaces live as the registry's obs.trace.dropped counter,
+// not only in the trace export's summary.
 func NewTracing(traceCapacity int) *Observer {
-	return &Observer{reg: NewRegistry(), tr: NewTracer(traceCapacity)}
+	reg := NewRegistry()
+	tr := NewTracer(traceCapacity)
+	tr.SetDropCounter(reg.Counter("obs.trace.dropped"))
+	return &Observer{reg: reg, tr: tr}
 }
 
 // Reg returns the metrics registry (nil on a nil observer).

@@ -1,0 +1,83 @@
+package obs
+
+import "math/bits"
+
+// Quantile estimation over the fixed log2-bucket histograms.
+//
+// The buckets are coarse by design (bucket i holds [2^(i-1), 2^i)), so an
+// estimate interpolates linearly inside the bucket containing the target
+// rank. The error bound follows directly: the estimate always lies in the
+// same bucket as the true quantile, i.e. within a factor of 2 — tight enough
+// to state and track a p99 SLO ("p99 < 50ms" vs a measured 80ms estimate is
+// a real signal), cheap enough to compute at every scrape from counters the
+// hot path already maintains.
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution from the snapshot's buckets. It returns 0 on an empty
+// histogram and clamps q into (0, 1]. The estimate interpolates linearly
+// within the target bucket's [lower, upper] value range.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation in sorted order.
+	rank := q * float64(s.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for _, b := range s.Buckets {
+		next := cum + float64(b.Count)
+		if rank <= next {
+			lower, upper := bucketRange(b.UpperBound)
+			if b.Count == 0 {
+				return upper
+			}
+			frac := (rank - cum) / float64(b.Count)
+			return lower + frac*(upper-lower)
+		}
+		cum = next
+	}
+	// Numerical edge: fall back to the top populated bucket's upper bound.
+	_, upper := bucketRange(s.Buckets[len(s.Buckets)-1].UpperBound)
+	return upper
+}
+
+// bucketRange returns the value range [lower, upper] of the bucket whose
+// inclusive upper bound is ub. Bucket 0 (ub == 0) holds only zeros; the
+// unbounded last bucket is treated as one octave wide, consistent with every
+// other bucket.
+func bucketRange(ub uint64) (lower, upper float64) {
+	if ub == 0 {
+		return 0, 0
+	}
+	// ub == 2^i - 1 for bucket i; the bucket spans [2^(i-1), 2^i).
+	i := bits.Len64(ub)
+	lower = float64(uint64(1) << uint(i-1))
+	upper = 2 * lower
+	return lower, upper
+}
+
+// Quantile estimates the q-quantile of the live histogram (0 when nil or
+// empty). It snapshots the buckets first, so the estimate is consistent even
+// under concurrent observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.snapshot().Quantile(q)
+}
+
+// Snapshot returns a point-in-time copy of the histogram (empty on nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return h.snapshot()
+}

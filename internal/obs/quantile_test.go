@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// exactQuantile returns the q-quantile of the sample as the value at the
+// 1-based rank ceil(q*n) in sorted order — the same rank convention the
+// bucket estimator targets, so the two are comparable.
+func exactQuantile(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return float64(sorted[rank-1])
+}
+
+// observeAll feeds every value into a fresh histogram and returns it with
+// the sorted sample for exact comparison.
+func observeAll(values []int64) (*Histogram, []int64) {
+	h := New().Reg().Histogram("test.q")
+	for _, v := range values {
+		h.Observe(v)
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return h, sorted
+}
+
+// assertWithinFactor2 pins the documented error bound: the estimate lies in
+// the same log2 bucket as the true quantile, hence within a factor of 2.
+func assertWithinFactor2(t *testing.T, q, est, exact float64) {
+	t.Helper()
+	if exact == 0 {
+		if est != 0 {
+			t.Fatalf("q=%.2f: estimate %g for exact 0", q, est)
+		}
+		return
+	}
+	if est < exact/2 || est > exact*2 {
+		t.Fatalf("q=%.2f: estimate %g not within factor 2 of exact %g", q, est, exact)
+	}
+}
+
+// TestQuantileEmptyHistogram pins the zero-value contract: no observations,
+// nil receiver and nil snapshot all estimate 0 for every q.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var s HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("empty snapshot Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	var h *Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("nil histogram Quantile = %g, want 0", got)
+	}
+	if snap := h.Snapshot(); snap.Count != 0 || len(snap.Buckets) != 0 {
+		t.Fatalf("nil histogram Snapshot = %+v, want empty", snap)
+	}
+}
+
+// TestQuantileSingleBucket covers the degenerate distribution: every
+// observation identical, so every quantile must land inside that one
+// bucket's [2^(i-1), 2^i] octave.
+func TestQuantileSingleBucket(t *testing.T) {
+	h, sorted := observeAll([]int64{100, 100, 100, 100, 100})
+	for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 1} {
+		est := h.Quantile(q)
+		if est < 64 || est > 128 {
+			t.Fatalf("q=%g: estimate %g outside the [64,128] bucket of 100", q, est)
+		}
+		assertWithinFactor2(t, q, est, exactQuantile(sorted, q))
+	}
+}
+
+// TestQuantileZeroBucket pins bucket 0: Observe(0) lands in the zero-width
+// [0,0] bucket, so an all-zero distribution estimates exactly 0.
+func TestQuantileZeroBucket(t *testing.T) {
+	h, _ := observeAll([]int64{0, 0, 0})
+	for _, q := range []float64{0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("all-zero Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	// Mixed zero/non-zero: the median is still 0, the max is not.
+	h2, sorted2 := observeAll([]int64{0, 0, 0, 1000})
+	if got := h2.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile(0.5) = %g, want 0", got)
+	}
+	assertWithinFactor2(t, 1, h2.Quantile(1), exactQuantile(sorted2, 1))
+}
+
+// TestQuantileUniform checks the estimator against exact order statistics of
+// a uniform 1..N sample across the quantiles the serving layer exports.
+func TestQuantileUniform(t *testing.T) {
+	values := make([]int64, 0, 10000)
+	for i := int64(1); i <= 10000; i++ {
+		values = append(values, i)
+	}
+	h, sorted := observeAll(values)
+	for _, q := range []float64{0.50, 0.90, 0.99, 1} {
+		assertWithinFactor2(t, q, h.Quantile(q), exactQuantile(sorted, q))
+	}
+}
+
+// TestQuantileBimodal checks a latency-shaped distribution: a fast mode with
+// a heavy-tailed slow mode two decades out. p50 must report the fast mode,
+// p99 the slow one.
+func TestQuantileBimodal(t *testing.T) {
+	var values []int64
+	for i := 0; i < 95; i++ {
+		values = append(values, 100) // fast mode: bucket [64,128]
+	}
+	for i := 0; i < 5; i++ {
+		values = append(values, 100000) // slow tail: bucket [65536,131072]
+	}
+	h, sorted := observeAll(values)
+	p50 := h.Quantile(0.50)
+	if p50 < 64 || p50 > 128 {
+		t.Fatalf("p50 = %g, want inside the fast mode's [64,128] bucket", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 65536 || p99 > 131072 {
+		t.Fatalf("p99 = %g, want inside the slow tail's [65536,131072] bucket", p99)
+	}
+	for _, q := range []float64{0.50, 0.90, 0.99} {
+		assertWithinFactor2(t, q, h.Quantile(q), exactQuantile(sorted, q))
+	}
+}
+
+// TestQuantileGeometric checks a geometric (log-uniform) sample — one
+// observation per octave — where every quantile falls in a different bucket.
+func TestQuantileGeometric(t *testing.T) {
+	var values []int64
+	for i := 0; i < 20; i++ {
+		values = append(values, int64(3)<<uint(i)) // 3, 6, 12, ... one per bucket
+	}
+	h, sorted := observeAll(values)
+	for _, q := range []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1} {
+		assertWithinFactor2(t, q, h.Quantile(q), exactQuantile(sorted, q))
+	}
+}
+
+// TestQuantileClamping pins the q-domain edges: q <= 0 clamps to the minimum
+// rank (first observation), q > 1 clamps to 1 (last observation).
+func TestQuantileClamping(t *testing.T) {
+	h, sorted := observeAll([]int64{10, 1000, 100000})
+	lo := h.Quantile(-1)
+	assertWithinFactor2(t, 0, lo, float64(sorted[0]))
+	hi := h.Quantile(2)
+	assertWithinFactor2(t, 1, hi, float64(sorted[len(sorted)-1]))
+	if lo > hi {
+		t.Fatalf("Quantile(-1) = %g > Quantile(2) = %g", lo, hi)
+	}
+}
+
+// TestQuantileMonotone: estimates must be non-decreasing in q for any
+// distribution, or an exported p99 could read below the p50.
+func TestQuantileMonotone(t *testing.T) {
+	h, _ := observeAll([]int64{1, 7, 7, 30, 500, 500, 500, 9000, 123456})
+	prev := -1.0
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		est := h.Quantile(q)
+		if est < prev {
+			t.Fatalf("Quantile(%g) = %g < previous %g", q, est, prev)
+		}
+		prev = est
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNewRequestIDShapeAndUniqueness: assigned IDs must look like W3C
+// trace-ids (32 lowercase hex) and never collide in practice.
+func TestNewRequestIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]struct{}, 1000)
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if len(id) != 32 || !isHex(id) || id != strings.ToLower(id) {
+			t.Fatalf("NewRequestID() = %q, want 32 lowercase hex chars", id)
+		}
+		if allZero(id) {
+			t.Fatalf("NewRequestID() returned the all-zero fallback")
+		}
+		if _, dup := seen[id]; dup {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = struct{}{}
+	}
+	if id := NewSpanID(); len(id) != 16 || !isHex(id) {
+		t.Fatalf("NewSpanID() = %q, want 16 hex chars", id)
+	}
+}
+
+// TestNewRequestIDConcurrent hammers the generator from many goroutines;
+// run under -race this also proves it carries no shared mutable state.
+func TestNewRequestIDConcurrent(t *testing.T) {
+	const goroutines, per = 16, 64
+	var mu sync.Mutex
+	seen := make(map[string]struct{}, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]string, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, NewRequestID())
+			}
+			mu.Lock()
+			for _, id := range local {
+				seen[id] = struct{}{}
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(seen) != goroutines*per {
+		t.Fatalf("got %d unique IDs from %d generations", len(seen), goroutines*per)
+	}
+}
+
+// TestRequestIDCarriers pins carrier resolution: bare WithRequestID works,
+// a *Request carrier wins over it, and absent/nil contexts yield "".
+func TestRequestIDCarriers(t *testing.T) {
+	if got := RequestIDFrom(nil); got != "" {
+		t.Fatalf("RequestIDFrom(nil) = %q, want empty", got)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Fatalf("RequestIDFrom(background) = %q, want empty", got)
+	}
+	ctx := WithRequestID(context.Background(), "bare-id")
+	if got := RequestIDFrom(ctx); got != "bare-id" {
+		t.Fatalf("bare carrier: got %q, want bare-id", got)
+	}
+	// A *Request carrier layered on top takes precedence.
+	ctx = WithRequest(ctx, &Request{ID: "req-id"})
+	if got := RequestIDFrom(ctx); got != "req-id" {
+		t.Fatalf("*Request carrier: got %q, want req-id", got)
+	}
+	if r := RequestFrom(ctx); r == nil || r.ID != "req-id" {
+		t.Fatalf("RequestFrom: got %+v, want ID req-id", r)
+	}
+	if r := RequestFrom(context.Background()); r != nil {
+		t.Fatalf("RequestFrom(background) = %+v, want nil", r)
+	}
+}
+
+// TestParseTraceparent is the accept/reject table for the W3C header,
+// including the spec's forward-compatibility rule for future versions.
+func TestParseTraceparent(t *testing.T) {
+	const (
+		trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+		span  = "00f067aa0ba902b7"
+	)
+	valid := "00-" + trace + "-" + span + "-01"
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"canonical", valid, true},
+		{"surrounding whitespace", "  " + valid + "  ", true},
+		{"uppercase hex normalised", "00-" + strings.ToUpper(trace) + "-" + strings.ToUpper(span) + "-01", true},
+		{"future version", "cc-" + trace + "-" + span + "-01", true},
+		{"future version extra fields", "cc-" + trace + "-" + span + "-01-extrastuff", true},
+		{"empty", "", false},
+		{"garbage", "not-a-traceparent", false},
+		{"version ff reserved", "ff-" + trace + "-" + span + "-01", false},
+		{"version 00 with extra fields", valid + "-extra", false},
+		{"version not hex", "zz-" + trace + "-" + span + "-01", false},
+		{"trace-id short", "00-" + trace[:31] + "-" + span + "-01", false},
+		{"trace-id long", "00-" + trace + "0-" + span + "-01", false},
+		{"trace-id not hex", "00-" + strings.Replace(trace, "4", "g", 1) + "-" + span + "-01", false},
+		{"trace-id all zero", "00-" + strings.Repeat("0", 32) + "-" + span + "-01", false},
+		{"span-id short", "00-" + trace + "-" + span[:15] + "-01", false},
+		{"span-id all zero", "00-" + trace + "-" + strings.Repeat("0", 16) + "-01", false},
+		{"flags short", "00-" + trace + "-" + span + "-1", false},
+		{"flags not hex", "00-" + trace + "-" + span + "-xy", false},
+		{"missing fields", "00-" + trace, false},
+	}
+	for _, tc := range cases {
+		tp, ok := ParseTraceparent(tc.in)
+		if ok != tc.ok {
+			t.Fatalf("%s: ParseTraceparent(%q) ok = %v, want %v", tc.name, tc.in, ok, tc.ok)
+		}
+		if !ok {
+			continue
+		}
+		if tp.TraceID != trace || tp.SpanID != span {
+			t.Fatalf("%s: parsed %+v, want trace %s span %s (lowercased)", tc.name, tp, trace, span)
+		}
+		if tp.Flags != "01" {
+			t.Fatalf("%s: flags = %q, want 01", tc.name, tp.Flags)
+		}
+	}
+}
+
+// TestTraceparentRoundTrip: String() of a parsed header reproduces the
+// canonical wire form, and re-parses to the same value.
+func TestTraceparentRoundTrip(t *testing.T) {
+	in := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tp, ok := ParseTraceparent(in)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected a canonical header", in)
+	}
+	if got := tp.String(); got != in {
+		t.Fatalf("String() = %q, want %q", got, in)
+	}
+	tp2, ok := ParseTraceparent(tp.String())
+	if !ok || tp2 != tp {
+		t.Fatalf("re-parse: got %+v ok=%v, want %+v", tp2, ok, tp)
+	}
+}

@@ -44,6 +44,7 @@ type Tracer struct {
 	events  []Event
 	cap     int
 	dropped uint64
+	dropC   *Counter // live overflow counter (nil = export-summary only)
 }
 
 // NewTracer returns a tracer buffering up to capacity events
@@ -57,6 +58,18 @@ func NewTracer(capacity int) *Tracer {
 
 // Enabled reports whether the tracer records events.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetDropCounter attaches a live counter incremented on every event lost to
+// the capacity bound, so buffer overflow is visible on /metrics without
+// pulling a trace export. Safe on nil; a nil counter detaches.
+func (t *Tracer) SetDropCounter(c *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.dropC = c
+	t.mu.Unlock()
+}
 
 // Now returns the current timestamp on the tracer's timebase in microseconds.
 func (t *Tracer) Now() float64 {
@@ -72,12 +85,15 @@ func (t *Tracer) Emit(ev Event) {
 		return
 	}
 	t.mu.Lock()
+	var dropC *Counter
 	if len(t.events) >= t.cap {
 		t.dropped++
+		dropC = t.dropC
 	} else {
 		t.events = append(t.events, ev)
 	}
 	t.mu.Unlock()
+	dropC.Inc() // nil-safe; incremented outside the event lock
 }
 
 // Complete records an "X" complete event with an explicit timebase — the

@@ -159,6 +159,12 @@ func (b *Batcher) lead(it *BatchItem) []*BatchItem {
 		if cand.st == itemPending {
 			cand.st = itemRunning
 			batch = append(batch, cand)
+			// Followers ride the leader's worker without ever reaching one
+			// themselves; stamp their in-flight phase here so /debug/requests
+			// shows them executing as part of a batch rather than stuck queued.
+			if cand != it {
+				obs.RequestFrom(cand.Ctx).SetPhase(obs.PhaseBatched)
+			}
 		}
 		cand.mu.Unlock()
 	}

@@ -118,6 +118,7 @@ type Server struct {
 	mPanics        *obs.Counter
 	mWaitNS        *obs.Histogram
 	mServiceNS     *obs.Histogram
+	mLatencyNS     *obs.Histogram
 }
 
 // task is one admitted request. claimed arbitrates between the worker
@@ -170,6 +171,22 @@ func New(cfg Config) *Server {
 		s.mPanics = reg.Counter("serve.panics")
 		s.mWaitNS = reg.Histogram("serve.admission_wait_ns")
 		s.mServiceNS = reg.Histogram("serve.service_ns")
+		s.mLatencyNS = reg.Histogram("serve.latency_ns")
+		// Derived SLO gauges, refreshed on every scrape from the end-to-end
+		// latency histogram (rank interpolation over the log2 buckets, so the
+		// estimate is within 2x of the exact quantile). Gauges are resolved
+		// here, outside the hook, because OnScrape hooks run during Snapshot
+		// and must not touch the registry.
+		p50 := reg.Gauge("serve.latency.p50_ns")
+		p90 := reg.Gauge("serve.latency.p90_ns")
+		p99 := reg.Gauge("serve.latency.p99_ns")
+		lat := s.mLatencyNS
+		reg.OnScrape(func() {
+			snap := lat.Snapshot()
+			p50.Set(int64(snap.Quantile(0.50)))
+			p90.Set(int64(snap.Quantile(0.90)))
+			p99.Set(int64(snap.Quantile(0.99)))
+		})
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -262,6 +279,7 @@ func (s *Server) Do(ctx context.Context, op Op, fn func(context.Context) error) 
 		s.mu.RUnlock()
 		s.mAdmitted.Inc()
 		s.mQueueDepth.Set(int64(len(s.queue)))
+		obs.RequestFrom(ctx).SetPhase(obs.PhaseQueued)
 	default:
 		s.mu.RUnlock()
 		s.queuedUnits.Add(-t.units)
@@ -308,6 +326,7 @@ func (s *Server) worker() {
 		}
 		s.queuedUnits.Add(-t.units)
 		s.mWaitNS.ObserveSince(t.arrived)
+		obs.RequestFrom(t.ctx).SetPhase(obs.PhaseExecuting)
 		s.inflight.Add(1)
 		s.mInflight.Set(s.inflight.Load())
 		start := time.Now()
@@ -322,6 +341,10 @@ func (s *Server) worker() {
 
 // settle records the outcome of an executed task and delivers the verdict.
 func (s *Server) settle(t *task, err error, elapsed time.Duration) {
+	// End-to-end latency (arrival through execution) feeds the SLO quantile
+	// gauges; rejected and abandoned arrivals never reach settle and are
+	// accounted by their own counters instead.
+	s.mLatencyNS.ObserveSince(t.arrived)
 	switch {
 	case err == nil:
 		s.mCompleted.Inc()

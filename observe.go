@@ -1,6 +1,7 @@
 package fast
 
 import (
+	"context"
 	"io"
 	"net"
 	"net/http"
@@ -52,6 +53,11 @@ type PlanRecord struct {
 	Units float64 `json:"units"`
 	// Decisions are the planner's per-site verdicts (Plan.Decisions).
 	Decisions []PlanDecision `json:"decisions"`
+	// RequestIDs lists the serving-request identifiers of every run coalesced
+	// into this record's batch (see ContextWithRequestID), in run order —
+	// the join key between the plan ring, the access log and the trace.
+	// Empty when no run carried an ID.
+	RequestIDs []string `json:"request_ids,omitempty"`
 	// Err reports that this run failed (cancellation included).
 	Err bool `json:"err,omitempty"`
 }
@@ -103,6 +109,21 @@ func (ob *Observer) PlanRecords() []PlanRecord {
 	return out
 }
 
+// ContextWithRequestID returns ctx tagged with a serving-request identifier.
+// Operations run under the tagged context (via WithContext, Execute or
+// ExecuteBatch) carry the ID on their trace spans and plan records, so one
+// request's work is attributable end to end across the access log, the plan
+// ring and the Chrome trace. Empty IDs are dropped at the consumers.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithRequestID(ctx, id)
+}
+
+// RequestIDFromContext returns the request ID carried by ctx ("" when
+// untagged).
+func RequestIDFromContext(ctx context.Context) string {
+	return obs.RequestIDFrom(ctx)
+}
+
 // NewObserver returns an observer with a metrics registry and no tracer
 // (per-op spans are skipped; counters and histograms still accumulate).
 func NewObserver() *Observer { return &Observer{o: obs.New()} }
@@ -133,6 +154,17 @@ func (ob *Observer) Registry() *obs.Registry {
 		return nil
 	}
 	return ob.o.Reg()
+}
+
+// Tracer exposes the observer's span tracer so sibling subsystems (cmd/fastd's
+// HTTP middleware) emit their spans onto the same Chrome-trace timeline as the
+// evaluator's. Nil on a nil observer or when the observer does not trace; a
+// nil tracer is itself a safe no-op.
+func (ob *Observer) Tracer() *obs.Tracer {
+	if ob == nil {
+		return nil
+	}
+	return ob.o.Tr()
 }
 
 // MetricsSnapshot is a point-in-time copy of every registered instrument.

@@ -103,6 +103,7 @@ type opSettings struct {
 	method    Method
 	noRescale bool
 	ctx       context.Context // nil = not cancellable
+	requestID string          // folded into ctx by Context.settings
 }
 
 // WithMethod routes this one operation through the given key-switching
@@ -136,4 +137,15 @@ func NoRescale() OpOption {
 // (MulCtx, RotateCtx, ...) are shorthand for passing this option.
 func WithContext(ctx context.Context) OpOption {
 	return func(s *opSettings) { s.ctx = ctx }
+}
+
+// WithRequestID tags this one operation with a serving-request identifier:
+// when the context traces (NewTracingObserver), the operation's span and the
+// key-switch phase spans underneath it carry a request_id argument, so a
+// Chrome trace can be filtered down to exactly the spans one request caused.
+// It composes with WithContext in either order; an ID already carried by the
+// WithContext context (see ContextWithRequestID) makes this option
+// redundant. The empty string is a no-op.
+func WithRequestID(id string) OpOption {
+	return func(s *opSettings) { s.requestID = id }
 }
