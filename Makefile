@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short race chaos fuzz obs-smoke bench bench-json benchdiff bench-serve-json benchdiff-serve tables cover fmt vet clean
+.PHONY: all check build test test-short test-purego race chaos fuzz obs-smoke bench bench-json benchdiff bench-serve-json benchdiff-serve tables cover fmt vet clean
 
 all: build test
 
@@ -19,6 +19,14 @@ test:
 # Skips the slow functional-bootstrapping tests (~40 s).
 test-short:
 	$(GO) test -short ./...
+
+# Pure-Go leg: compile out the GOARCH-gated assembly kernels (internal/ring's
+# AVX2 NTT/BConv routines) and run the suite against the reference loops —
+# the build every non-amd64/arm64 platform gets. The differential asm tests
+# skip themselves; everything else must pass identically.
+test-purego:
+	$(GO) build -tags purego ./...
+	$(GO) test -tags purego -short ./...
 
 # Race-detector pass over the whole module (the concurrency-model contract:
 # one Context serving many goroutines). Uses -short so the gate stays fast.
@@ -71,9 +79,15 @@ bench-json:
 	@echo "wrote $(BENCH_JSON)"
 
 # Re-run the kernel benchmarks and diff against the checked-in baseline.
+# Fails when any kernel falls below BENCHDIFF_FAIL_BELOW x the recorded
+# baseline (1.0 = no regression). Kernel benchmarks on shared runners are
+# noisy; treat this as a soft signal there (CI runs it non-blocking) and as a
+# hard gate only on quiet dedicated hardware.
+BENCHDIFF_FAIL_BELOW ?= 1.0
+
 benchdiff:
 	$(MAKE) bench-json BENCH_JSON=.bench_new.json
-	$(GO) run ./scripts/benchdiff BENCH_kernels.json .bench_new.json
+	$(GO) run ./scripts/benchdiff -fail-below $(BENCHDIFF_FAIL_BELOW) BENCH_kernels.json .bench_new.json
 	@rm -f .bench_new.json
 
 # Serve-throughput recording: end-to-end daemon eval under concurrent load.

@@ -73,9 +73,10 @@ func (c daemonConfig) withDefaults() daemonConfig {
 // session is one client keyspace: a fast.Context plus the bookkeeping the
 // admission layer needs (cost parameters, fault-recovery watermark).
 type session struct {
-	id  string
-	ctx *fast.Context
-	cm  costmodel.Params
+	id    string
+	ctx   *fast.Context
+	cm    costmodel.Params
+	plans *planCache // compiled-plan LRU keyed by Plan fingerprint
 
 	mu           sync.Mutex
 	lastRecovery int // Retries+Timeouts+Refetches watermark for breaker deltas
@@ -112,6 +113,8 @@ type daemon struct {
 	mRequests     *obs.Counter
 	mFaultTrips   *obs.Counter
 	mSessionCount *obs.Gauge
+	mPlanHits     *obs.Counter
+	mPlanMisses   *obs.Counter
 }
 
 func newDaemon(cfg daemonConfig) *daemon {
@@ -140,6 +143,8 @@ func newDaemon(cfg daemonConfig) *daemon {
 		d.mRequests = reg.Counter("fastd.requests")
 		d.mFaultTrips = reg.Counter("fastd.breaker_fault_reports")
 		d.mSessionCount = reg.Gauge("fastd.sessions")
+		d.mPlanHits = reg.Counter("serve.plan_cache.hits")
+		d.mPlanMisses = reg.Counter("serve.plan_cache.misses")
 	}
 	return d
 }
@@ -345,7 +350,12 @@ func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sess := &session{id: id, ctx: fctx, cm: costmodel.ForContext(cfg.LogN, fctx.MaxLevel())}
+	sess := &session{
+		id:    id,
+		ctx:   fctx,
+		cm:    costmodel.ForContext(cfg.LogN, fctx.MaxLevel()),
+		plans: newPlanCache(planCacheCap, d.mPlanHits, d.mPlanMisses),
+	}
 
 	d.mu.Lock()
 	d.reserved--

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"container/list"
+	"sync"
+
+	fast "github.com/fastfhe/fast"
+	"github.com/fastfhe/fast/internal/obs"
+)
+
+// planCache is a bounded per-session LRU of compiled plans keyed by
+// fast.Plan fingerprint. A fingerprint covers the program text, the resolved
+// input levels and the plan-wide default method — everything Context.Plan
+// compiles from except the context itself, which is fixed per session — so a
+// hit replays the exact plan a fresh compile would produce. Plans are
+// immutable and safe for concurrent executions, so one cached instance can
+// serve overlapping requests.
+//
+// Repeated serving workloads (the same program evaluated per request at the
+// same input levels) hit the cache on every request after the first,
+// skipping DAG construction, Aether method selection and unit pricing.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses *obs.Counter // shared daemon-wide counters; nil-safe
+}
+
+type planCacheEntry struct {
+	key  string
+	plan *fast.Plan
+}
+
+// planCacheCap bounds each session's cache. Serving deployments run a
+// handful of distinct programs per keyspace; 64 distinct (program, levels)
+// shapes is far past any expected working set while capping worst-case
+// retained plans.
+const planCacheCap = 64
+
+func newPlanCache(capacity int, hits, misses *obs.Counter) *planCache {
+	if capacity <= 0 {
+		capacity = planCacheCap
+	}
+	return &planCache{
+		cap:    capacity,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element, capacity),
+		hits:   hits,
+		misses: misses,
+	}
+}
+
+// get returns the cached plan for key, promoting it to most-recent, or nil
+// on a miss. Hit/miss counters are bumped here so every lookup is tallied.
+func (pc *planCache) get(key string) *fast.Plan {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.items[key]
+	if !ok {
+		pc.misses.Inc()
+		return nil
+	}
+	pc.ll.MoveToFront(el)
+	pc.hits.Inc()
+	return el.Value.(*planCacheEntry).plan
+}
+
+// put inserts a freshly compiled plan, evicting the least-recently-used
+// entry past capacity. Re-inserting an existing key (two requests racing the
+// same first compile) refreshes the entry rather than duplicating it.
+func (pc *planCache) put(key string, p *fast.Plan) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.items[key]; ok {
+		el.Value.(*planCacheEntry).plan = p
+		pc.ll.MoveToFront(el)
+		return
+	}
+	pc.items[key] = pc.ll.PushFront(&planCacheEntry{key: key, plan: p})
+	for pc.ll.Len() > pc.cap {
+		last := pc.ll.Back()
+		pc.ll.Remove(last)
+		delete(pc.items, last.Value.(*planCacheEntry).key)
+	}
+}
+
+// size returns the current entry count (test hook).
+func (pc *planCache) size() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.ll.Len()
+}

@@ -132,9 +132,25 @@ func compileEval(sess *session, body []byte) (*compiledEval, error) {
 		// planner choice.
 		planOpts = append(planOpts, fast.PlanWithDefaultMethod(sess.ctx.Method()))
 	}
+	// Plan lookup by fingerprint: the key covers the program text, the
+	// resolved input levels and the v1 method pin — everything compilation
+	// depends on besides the session context the cache is scoped to. Plans
+	// are immutable, so a cached instance serves concurrent requests; a miss
+	// compiles once and publishes for the next request. Two racing first
+	// requests may both compile — identical plans, either wins.
+	key := sess.ctx.PlanFingerprint(prog, levels, planOpts...)
+	if sess.plans != nil {
+		if cached := sess.plans.get(key); cached != nil {
+			ce.plan = cached
+			return ce, nil
+		}
+	}
 	ce.plan, err = sess.ctx.Plan(prog, levels, planOpts...)
 	if err != nil {
 		return nil, err
+	}
+	if sess.plans != nil {
+		sess.plans.put(key, ce.plan)
 	}
 	return ce, nil
 }

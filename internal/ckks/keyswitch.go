@@ -412,7 +412,9 @@ func (ks *KeySwitcher) keyMult(cc *cancelCheck, d *Decomposition, key *Switching
 		// accumulator pairs; acc0/acc1 rows hold the low words in place.
 		scratch := ks.pool.Get(2)
 		defer ks.pool.Put(scratch)
-		hi0, hi1 := scratch.Coeffs[0], scratch.Coeffs[1]
+		// Fixed-length [:n:n] windows on every row let the compiler prove the
+		// inner loops in-bounds once per row instead of per element.
+		hi0, hi1 := scratch.Coeffs[0][:n:n], scratch.Coeffs[1][:n:n]
 		for i := rlo; i < rhi; i++ {
 			if cc.stopped() {
 				return
@@ -422,12 +424,12 @@ func (ks *KeySwitcher) keyMult(cc *cancelCheck, d *Decomposition, key *Switching
 			if i > level {
 				keyRow = qLen + (i - level - 1)
 			}
-			a0, a1 := acc0.Coeffs[i], acc1.Coeffs[i]
+			a0, a1 := acc0.Coeffs[i][:n:n], acc1.Coeffs[i][:n:n]
 			capTerms := m.AccumCapacity() // >= 8 even at the 61-bit cap
 			terms := 0
 			for j := 0; j < beta; j++ {
-				b, a := key.B[j].Coeffs[keyRow], key.A[j].Coeffs[keyRow]
-				gi := d.Groups[j].Coeffs[i]
+				b, a := key.B[j].Coeffs[keyRow][:n:n], key.A[j].Coeffs[keyRow][:n:n]
+				gi := d.Groups[j].Coeffs[i][:n:n]
 				if j == 0 {
 					// First digit initializes the accumulators.
 					for k := 0; k < n; k++ {

@@ -52,6 +52,11 @@ func writePoly(w io.Writer, p ring.Poly) error {
 	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
 		return err
 	}
+	// Arena fast path: the contiguous backing is the limb rows concatenated in
+	// order, so one binary.Write emits bytes identical to the per-row loop.
+	if len(p.Backing) == p.Limbs()*p.N() {
+		return binary.Write(w, binary.LittleEndian, p.Backing)
+	}
 	for _, limb := range p.Coeffs {
 		if err := binary.Write(w, binary.LittleEndian, limb); err != nil {
 			return err
@@ -69,14 +74,13 @@ func readPoly(r io.Reader) (ring.Poly, error) {
 		return ring.Poly{}, err
 	}
 	limbs, n := int(hdr[0]), int(hdr[1])
-	if limbs < 0 || limbs > 128 || n < 0 || n > 1<<20 {
+	if limbs < 1 || limbs > 128 || n < 1 || n > 1<<20 {
 		return ring.Poly{}, fmt.Errorf("ckks: implausible poly shape %dx%d", limbs, n)
 	}
 	p := ring.NewPoly(n, limbs)
-	for i := range p.Coeffs {
-		if err := binary.Read(r, binary.LittleEndian, p.Coeffs[i]); err != nil {
-			return ring.Poly{}, err
-		}
+	// One pass over the arena backing (row-concatenation order on the wire).
+	if err := binary.Read(r, binary.LittleEndian, p.Backing); err != nil {
+		return ring.Poly{}, err
 	}
 	return p, nil
 }

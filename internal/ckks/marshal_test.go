@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"github.com/fastfhe/fast/internal/ring"
 )
 
 func TestCiphertextRoundTrip(t *testing.T) {
@@ -29,6 +31,45 @@ func TestCiphertextRoundTrip(t *testing.T) {
 	// And it still decrypts.
 	if e := maxErr(tc.enc.Decode(tc.decr.Decrypt(back)), v); e > tolerance {
 		t.Fatalf("deserialised ciphertext error %g", e)
+	}
+}
+
+// TestSerializeArenaAndForeignPolysMatch pins the single-pass arena encoding
+// against the row-wise fallback: a ciphertext whose polynomials carry a
+// contiguous Backing must serialize byte-identically to the same ciphertext
+// with hand-built rows (Backing == nil, the foreign-poly shape writePoly must
+// still accept).
+func TestSerializeArenaAndForeignPolysMatch(t *testing.T) {
+	tc := newTestContext(t)
+	v := randomValues(tc.params.Slots(), 51)
+	pt, _ := tc.enc.Encode(v)
+	ct, _ := tc.encr.Encrypt(pt)
+
+	strip := func(p ring.Poly) ring.Poly {
+		rows := make([][]uint64, p.Limbs())
+		for i := range rows {
+			rows[i] = append([]uint64(nil), p.Coeffs[i]...)
+		}
+		return ring.Poly{Coeffs: rows} // no Backing: forces the row-wise path
+	}
+	foreign := &Ciphertext{C0: strip(ct.C0), C1: strip(ct.C1), Level: ct.Level, Scale: ct.Scale}
+
+	var arenaBuf, rowBuf bytes.Buffer
+	if err := ct.Serialize(&arenaBuf); err != nil {
+		t.Fatalf("arena serialize: %v", err)
+	}
+	if err := foreign.Serialize(&rowBuf); err != nil {
+		t.Fatalf("foreign serialize: %v", err)
+	}
+	if !bytes.Equal(arenaBuf.Bytes(), rowBuf.Bytes()) {
+		t.Fatal("arena fast path and row-wise fallback produce different wire bytes")
+	}
+	back, err := ReadCiphertext(&arenaBuf, tc.params)
+	if err != nil {
+		t.Fatalf("ReadCiphertext: %v", err)
+	}
+	if len(back.C0.Backing) != back.C0.Limbs()*back.C0.N() {
+		t.Fatal("deserialized poly is not arena-backed")
 	}
 }
 

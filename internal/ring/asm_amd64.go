@@ -1,0 +1,120 @@
+//go:build amd64 && !purego
+
+package ring
+
+// AVX2 kernel entry points and CPU feature detection for amd64. The raw
+// assembly routines live in asm_amd64.s; this file holds the thin Go shims
+// the dispatch sites in ntt.go / bconv.go call. Build with `-tags purego` to
+// compile the pure-Go reference instead (asm_fallback.go).
+
+// hasAVX2 is resolved once at init: AVX2 in CPUID leaf 7 plus OS-enabled
+// XMM/YMM state (OSXSAVE + XGETBV), the standard safety check before issuing
+// VEX-256 instructions.
+var hasAVX2 = detectAVX2()
+
+func cpuSupportsKernels() bool { return hasAVX2 }
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	if eax, _ := xgetbv(); eax&6 != 6 {
+		return false // OS does not save XMM+YMM state
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// fwdStagesASM runs the Cooley–Tukey stages with butterfly stride >= 4 (the
+// first stage m=1 down to step=4) through the AVX2 stage kernel. Stage m
+// reads twiddles rootsFwd[m..2m); the kernel walks them in order.
+func fwdStagesASM(t *NTTTable, a []uint64, n int) {
+	q := t.Mod.Q
+	step := n >> 1
+	nttFwdStageAVX2(&a[0], 1, step, &t.rootsFwd[1], &t.rootsFwdSho[1], q)
+	for m := 2; m <= n>>3; m <<= 1 {
+		step >>= 1
+		nttFwdStageAVX2(&a[0], m, step, &t.rootsFwd[m], &t.rootsFwdSho[m], q)
+	}
+}
+
+// invStagesASM runs the Gentleman–Sande stages with butterfly stride >= 4
+// (m = n/8 down to 2, step = 4 up to n/4) through the AVX2 stage kernel.
+func invStagesASM(t *NTTTable, a []uint64, n int) {
+	q := t.Mod.Q
+	step := 4
+	for m := n >> 3; m >= 2; m >>= 1 {
+		nttInvStageAVX2(&a[0], m, step, &t.rootsInv[m], &t.rootsInvSho[m], q)
+		step <<= 1
+	}
+}
+
+// invLastASM runs the final Gentleman–Sande stage: one vector pass forming
+// the sum/difference legs (x+y, x+2q-y; both < 4q, which the Shoup multiply
+// tolerates), then one Shoup multiply pass per leg with the 1/N-folded
+// twiddles.
+func invLastASM(t *NTTTable, x, y []uint64, lazy bool) {
+	q := t.Mod.Q
+	half := len(x)
+	nttInvCombineAVX2(&x[0], &y[0], half, q)
+	full := uint64(1)
+	if lazy {
+		full = 0
+	}
+	shoupMulVecAVX2(&x[0], &x[0], half, t.nInv, t.nInvSho, q, full)
+	shoupMulVecAVX2(&y[0], &y[0], half, t.wLastInv, t.wLastInvSho, q, full)
+}
+
+func shoupMulVecASM(m Modulus, dst, src []uint64, w, ws uint64) {
+	shoupMulVecAVX2(&dst[0], &src[0], len(dst), w, ws, m.Q, 1)
+}
+
+func shoupMulSubVecASM(m Modulus, dst, x, sub []uint64, w, ws uint64) {
+	shoupMulSubVecAVX2(&dst[0], &x[0], &sub[0], len(dst), w, ws, m.Q)
+}
+
+func bconvAccumASM(m Modulus, dst, src []uint64, stride int, ws []uint64) {
+	bconvAccumAVX2(&dst[0], &src[0], len(dst), stride, len(ws), &ws[0], m.Q, m.brc[0], m.brc[1])
+}
+
+func bconvShoupASM(m Modulus, dst, src []uint64, stride int, ws, wsSho []uint64) {
+	bconvShoupAVX2(&dst[0], &src[0], len(dst), stride, len(ws), &ws[0], &wsSho[0], m.Q)
+}
+
+// Raw assembly routines (asm_amd64.s). All vector lengths must be multiples
+// of 4; the dispatch layer guarantees this (power-of-two ring degrees).
+
+//go:noescape
+func nttFwdStageAVX2(p *uint64, m, step int, roots, rootsSho *uint64, q uint64)
+
+//go:noescape
+func nttInvStageAVX2(p *uint64, m, step int, roots, rootsSho *uint64, q uint64)
+
+//go:noescape
+func nttInvCombineAVX2(x, y *uint64, n int, q uint64)
+
+//go:noescape
+func shoupMulVecAVX2(dst, src *uint64, n int, w, ws, q, full uint64)
+
+//go:noescape
+func shoupMulSubVecAVX2(dst, x, sub *uint64, n int, w, ws, q uint64)
+
+//go:noescape
+func bconvAccumAVX2(dst, src *uint64, n, stride, l int, ws *uint64, q, brc0, brc1 uint64)
+
+//go:noescape
+func bconvShoupAVX2(dst, src *uint64, n, stride, l int, ws, wsSho *uint64, q uint64)
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv() (eax, edx uint32)

@@ -1,0 +1,79 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// In-process A/B benchmarks for the vector primitives: each benchmark runs
+// the same workload with the assembly kernels toggled off (Go) and on (ASM)
+// via SetKernelASM, which is the only comparison that survives the noise of
+// shared hosts — cross-process runs of the same binary can drift several
+// percent. On builds without the kernels both variants measure the Go path.
+func benchVecAB(b *testing.B, asm bool, run func(m Modulus, n int, src []uint64)) {
+	primes, err := GenerateNTTPrimes(36, 12, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := NewModulus(primes[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 4096
+	src := make([]uint64, 16*n) // 16 lazy rows at stride n
+	rng := rand.New(rand.NewSource(1))
+	for i := range src {
+		src[i] = rng.Uint64() % (2 * mod.Q)
+	}
+	prev := SetKernelASM(asm)
+	defer SetKernelASM(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(mod, n, src)
+	}
+}
+
+func benchVecBoth(b *testing.B, run func(m Modulus, n int, src []uint64)) {
+	b.Run("Go", func(b *testing.B) { benchVecAB(b, false, run) })
+	b.Run("ASM", func(b *testing.B) { benchVecAB(b, true, run) })
+}
+
+func BenchmarkABShoupMulVec(b *testing.B) {
+	d := make([]uint64, 4096)
+	benchVecBoth(b, func(m Modulus, n int, src []uint64) {
+		w := uint64(12345678901) % m.Q
+		m.ShoupMulVec(d, src[:n], w, m.ShoupPrecomp(w))
+	})
+}
+
+func BenchmarkABShoupMulSubVec(b *testing.B) {
+	d := make([]uint64, 4096)
+	benchVecBoth(b, func(m Modulus, n int, src []uint64) {
+		m.ShoupMulSubVec(d, src[:n], src[n:2*n], 12345, m.ShoupPrecomp(12345))
+	})
+}
+
+func benchBConv(b *testing.B, l int, shoup bool) {
+	d := make([]uint64, 4096)
+	var mod Modulus
+	ws := make([]uint64, l)
+	wsSho := make([]uint64, l)
+	benchVecBoth(b, func(m Modulus, n int, src []uint64) {
+		if m.Q != mod.Q {
+			mod = m
+			for i := range ws {
+				ws[i] = uint64(111*(i+1)) % m.Q
+				wsSho[i] = m.ShoupPrecomp(ws[i])
+			}
+		}
+		if shoup {
+			m.BConvAccumShoup(d, src, n, ws, wsSho)
+			return
+		}
+		m.BConvAccum(d, src, n, ws)
+	})
+}
+
+func BenchmarkABBConvAccum3(b *testing.B)      { benchBConv(b, 3, false) }
+func BenchmarkABBConvAccum8(b *testing.B)      { benchBConv(b, 8, false) }
+func BenchmarkABBConvAccumShoup3(b *testing.B) { benchBConv(b, 3, true) }

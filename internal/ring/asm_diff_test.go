@@ -1,0 +1,238 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// This file is the differential suite for the vectorized kernels: every
+// assembly entry point is checked for bit-equality against its pure-Go
+// reference across both datapath widths (36- and 60-bit moduli), the full
+// size range the dispatcher routes to assembly, and the input domains the
+// kernel contracts allow (canonical, lazy [0, 2q), and full 64-bit where the
+// Shoup multiply is exact). On machines without the kernels (or under
+// -tags purego) the suite skips: there is nothing to differ against.
+
+// asmDiffModuli generates one modulus per tested bit width.
+func asmDiffModuli(t testing.TB, logN int) []Modulus {
+	t.Helper()
+	var out []Modulus
+	for _, bits := range []int{36, 60} {
+		primes, err := GenerateNTTPrimes(bits, logN, 1)
+		if err != nil {
+			t.Fatalf("GenerateNTTPrimes(%d, %d): %v", bits, logN, err)
+		}
+		m, err := NewModulus(primes[0])
+		if err != nil {
+			t.Fatalf("NewModulus: %v", err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// runBothKernels runs f twice — pure Go then assembly — and returns the two
+// destination slices for comparison. The toggle is restored on exit.
+func runBothKernels(t testing.TB, n int, f func(dst []uint64)) (goOut, asmOut []uint64) {
+	t.Helper()
+	goOut = make([]uint64, n)
+	asmOut = make([]uint64, n)
+	prev := SetKernelASM(false)
+	f(goOut)
+	SetKernelASM(true)
+	f(asmOut)
+	SetKernelASM(prev)
+	return goOut, asmOut
+}
+
+// TestNTTASMMatchesGo pins the AVX2 butterfly stage kernels against the Go
+// stages bit for bit: forward and inverse, strict and lazy variants, on lazy
+// inputs ([0, 2q) — the widest domain the Harvey butterflies accept), across
+// sizes from the asm floor up to a production degree.
+func TestNTTASMMatchesGo(t *testing.T) {
+	if !HasKernelASM() {
+		t.Skip("vectorized kernels not available on this build/CPU")
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, logN := range []int{5, 6, 7, 9, 12} {
+		n := 1 << logN
+		for _, mod := range asmDiffModuli(t, logN) {
+			tbl, err := NewNTTTable(mod, logN)
+			if err != nil {
+				t.Fatalf("NewNTTTable: %v", err)
+			}
+			in := make([]uint64, n)
+			for i := range in {
+				in[i] = rng.Uint64() % (2 * mod.Q)
+			}
+			type pass struct {
+				name string
+				run  func(a []uint64)
+			}
+			for _, p := range []pass{
+				{"Forward", tbl.Forward},
+				{"Inverse", tbl.Inverse},
+				{"InverseLazy", tbl.InverseLazy},
+			} {
+				g, a := runBothKernels(t, n, func(dst []uint64) {
+					copy(dst, in)
+					p.run(dst)
+				})
+				for i := range g {
+					if g[i] != a[i] {
+						t.Fatalf("q=%d logN=%d %s: asm diverges at %d: go=%d asm=%d",
+							mod.Q, logN, p.name, i, g[i], a[i])
+					}
+				}
+			}
+			// Forward∘Inverse on the asm path must return the canonical input:
+			// round-trip closure, not just Go-equality.
+			canon := make([]uint64, n)
+			for i := range canon {
+				canon[i] = in[i] % mod.Q
+			}
+			rt := append([]uint64(nil), canon...)
+			prev := SetKernelASM(true)
+			tbl.Forward(rt)
+			tbl.Inverse(rt)
+			SetKernelASM(prev)
+			for i := range rt {
+				if rt[i] != canon[i] {
+					t.Fatalf("q=%d logN=%d: asm round trip diverges at %d: %d != %d",
+						mod.Q, logN, i, rt[i], canon[i])
+				}
+			}
+		}
+	}
+}
+
+// TestVectorPrimitivesASMMatchGo pins ShoupMulVec (full 64-bit inputs — the
+// exactness domain of the Shoup multiply), ShoupMulSubVec (lazy operands, the
+// ModDown contract) and both BConvAccum flavors (strided lazy rows, every
+// width through the unrolled cases, the generic tail, and the lazy-Shoup
+// kernel's crossover at bconvShoupMaxTerms) against the Go loops.
+func TestVectorPrimitivesASMMatchGo(t *testing.T) {
+	if !HasKernelASM() {
+		t.Skip("vectorized kernels not available on this build/CPU")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{asmMinVec, 64, 100} { // 100: non-power-of-two multiple of 4
+		for _, mod := range asmDiffModuli(t, 5) {
+			q := mod.Q
+			w := rng.Uint64() % q
+			ws := mod.ShoupPrecomp(w)
+
+			src := make([]uint64, n)
+			for i := range src {
+				src[i] = rng.Uint64() // full 64-bit: Shoup reduction is exact here
+			}
+			g, a := runBothKernels(t, n, func(dst []uint64) { mod.ShoupMulVec(dst, src, w, ws) })
+			for i := range g {
+				if g[i] != a[i] {
+					t.Fatalf("q=%d n=%d ShoupMulVec: asm diverges at %d: go=%d asm=%d", q, n, i, g[i], a[i])
+				}
+			}
+
+			x := make([]uint64, n)
+			sub := make([]uint64, n)
+			for i := range x {
+				x[i] = rng.Uint64() % (2 * q)
+				sub[i] = rng.Uint64() % (2 * q)
+			}
+			g, a = runBothKernels(t, n, func(dst []uint64) { mod.ShoupMulSubVec(dst, x, sub, w, ws) })
+			for i := range g {
+				if g[i] != a[i] {
+					t.Fatalf("q=%d n=%d ShoupMulSubVec: asm diverges at %d: go=%d asm=%d", q, n, i, g[i], a[i])
+				}
+			}
+
+			for l := 1; l <= 13; l++ {
+				if l > mod.AccumCapacity() {
+					break
+				}
+				stride := n + 8 // rows deliberately not adjacent: exercise the stride walk
+				rows := make([]uint64, l*stride)
+				for i := range rows {
+					rows[i] = rng.Uint64() % (2 * q)
+				}
+				wsv := make([]uint64, l)
+				wsSho := make([]uint64, l)
+				for i := range wsv {
+					wsv[i] = rng.Uint64() % q
+					wsSho[i] = mod.ShoupPrecomp(wsv[i])
+				}
+				g, a = runBothKernels(t, n, func(dst []uint64) { mod.BConvAccum(dst, rows, stride, wsv) })
+				for i := range g {
+					if g[i] != a[i] {
+						t.Fatalf("q=%d n=%d l=%d BConvAccum: asm diverges at %d: go=%d asm=%d", q, n, l, i, g[i], a[i])
+					}
+				}
+				// BConvAccumShoup must produce the identical fully reduced sum
+				// through whichever kernel it picks (lazy-Shoup for l <= 6,
+				// the 128-bit accumulator beyond).
+				g, a = runBothKernels(t, n, func(dst []uint64) { mod.BConvAccumShoup(dst, rows, stride, wsv, wsSho) })
+				for i := range g {
+					if g[i] != a[i] {
+						t.Fatalf("q=%d n=%d l=%d BConvAccumShoup: asm diverges at %d: go=%d asm=%d", q, n, l, i, g[i], a[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzNTTRoundTrip fuzzes the NTT over random degrees, limb counts and limb
+// data: for each limb the asm and Go paths must agree bit for bit on Forward
+// and Inverse, and the composition must be the identity on canonical inputs.
+// Limb count and degree derive from the fuzz bytes, so the corpus explores
+// the dispatcher's size floor (n < asmMinN stays scalar) as well as the
+// vector path.
+func FuzzNTTRoundTrip(f *testing.F) {
+	f.Add(uint8(5), uint8(3), int64(1))
+	f.Add(uint8(4), uint8(1), int64(99))  // n=16 < asmMinN: scalar path
+	f.Add(uint8(8), uint8(6), int64(-17)) // production-ish limb count
+	f.Fuzz(func(t *testing.T, logNSel, limbSel uint8, seed int64) {
+		logN := 4 + int(logNSel)%6 // 16..512
+		limbs := 1 + int(limbSel)%8
+		n := 1 << logN
+		rng := rand.New(rand.NewSource(seed))
+		bits := 36
+		if seed%2 == 0 {
+			bits = 60
+		}
+		primes, err := GenerateNTTPrimes(bits, logN, limbs)
+		if err != nil {
+			t.Skip("not enough NTT primes at this size")
+		}
+		for _, qv := range primes {
+			mod, err := NewModulus(qv)
+			if err != nil {
+				t.Fatalf("NewModulus(%d): %v", qv, err)
+			}
+			tbl, err := NewNTTTable(mod, logN)
+			if err != nil {
+				t.Fatalf("NewNTTTable: %v", err)
+			}
+			in := make([]uint64, n)
+			for i := range in {
+				in[i] = rng.Uint64() % mod.Q
+			}
+			goF, asmF := runBothKernels(t, n, func(dst []uint64) {
+				copy(dst, in)
+				tbl.Forward(dst)
+			})
+			for i := range goF {
+				if goF[i] != asmF[i] {
+					t.Fatalf("q=%d n=%d: forward asm/Go mismatch at %d", qv, n, i)
+				}
+			}
+			back := append([]uint64(nil), goF...)
+			tbl.Inverse(back)
+			for i := range back {
+				if back[i] != in[i] {
+					t.Fatalf("q=%d n=%d: round trip diverges at %d: %d != %d", qv, n, i, back[i], in[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package ring
+
+import "math/bits"
+
+// Vectorizable per-limb primitives shared by the rns package's BConv /
+// ModDown / Rescale kernels. Each method dispatches to the GOARCH-gated
+// assembly (see kernels.go) when available, with the pure-Go loops below as
+// the differential reference. Dispatch requires 4-aligned lengths of at least
+// asmMinVec — always true for ring degrees, which are powers of two >= 32 on
+// every production parameter set.
+
+// asmMinVec is the minimum vector length routed to the assembly kernels.
+const asmMinVec = 16
+
+func vecUseASM(n int) bool { return kernelASMEnabled && n >= asmMinVec && n%4 == 0 }
+
+// ShoupMulVec sets dst[k] = src[k] * w mod q with a fully reduced result,
+// given w's Shoup companion ws. Like MulModShoup, it is exact for ANY 64-bit
+// src values (lazy inputs tolerated). dst and src must have equal length and
+// may alias exactly.
+func (m Modulus) ShoupMulVec(dst, src []uint64, w, ws uint64) {
+	if vecUseASM(len(dst)) {
+		shoupMulVecASM(m, dst, src, w, ws)
+		return
+	}
+	shoupMulVecGo(m, dst, src, w, ws)
+}
+
+func shoupMulVecGo(m Modulus, dst, src []uint64, w, ws uint64) {
+	n := len(dst)
+	src = src[:n]
+	var k int
+	for ; k+4 <= n; k += 4 {
+		d := dst[k : k+4 : k+4]
+		s := src[k : k+4 : k+4]
+		d[0] = m.MulModShoup(s[0], w, ws)
+		d[1] = m.MulModShoup(s[1], w, ws)
+		d[2] = m.MulModShoup(s[2], w, ws)
+		d[3] = m.MulModShoup(s[3], w, ws)
+	}
+	for ; k < n; k++ {
+		dst[k] = m.MulModShoup(src[k], w, ws)
+	}
+}
+
+// ShoupMulSubVec sets dst[k] = (x[k] + 2q - sub[k]) * w mod q, the fused lazy
+// subtract-multiply at the heart of ModDown and Rescale. Requires x[k] < 2q
+// and sub[k] < 2q so the lazy difference stays below 4q < 2^63; the result is
+// fully reduced. dst may alias x or sub exactly.
+func (m Modulus) ShoupMulSubVec(dst, x, sub []uint64, w, ws uint64) {
+	if vecUseASM(len(dst)) {
+		shoupMulSubVecASM(m, dst, x, sub, w, ws)
+		return
+	}
+	shoupMulSubVecGo(m, dst, x, sub, w, ws)
+}
+
+func shoupMulSubVecGo(m Modulus, dst, x, sub []uint64, w, ws uint64) {
+	n := len(dst)
+	x = x[:n]
+	sub = sub[:n]
+	twoQ := m.Q << 1
+	var k int
+	for ; k+4 <= n; k += 4 {
+		d := dst[k : k+4 : k+4]
+		xw := x[k : k+4 : k+4]
+		sw := sub[k : k+4 : k+4]
+		d[0] = m.MulModShoup(xw[0]+twoQ-sw[0], w, ws)
+		d[1] = m.MulModShoup(xw[1]+twoQ-sw[1], w, ws)
+		d[2] = m.MulModShoup(xw[2]+twoQ-sw[2], w, ws)
+		d[3] = m.MulModShoup(xw[3]+twoQ-sw[3], w, ws)
+	}
+	for ; k < n; k++ {
+		dst[k] = m.MulModShoup(x[k]+twoQ-sub[k], w, ws)
+	}
+}
+
+// BConvAccum computes the HPS base-conversion inner product over an
+// arena-backed source: dst[k] = (Σ_i src[i*stride + k] * ws[i]) mod q, with
+// 128-bit accumulation and ONE Barrett reduction per output coefficient. The
+// source rows live at stride offsets in one contiguous slice (row i is
+// src[i*stride : i*stride+len(dst)]). Callers must keep len(ws) within
+// m.AccumCapacity(); longer bases fold through an intermediate reduction at a
+// higher level (see rns.Convert). Source values may be lazily reduced.
+func (m Modulus) BConvAccum(dst, src []uint64, stride int, ws []uint64) {
+	if vecUseASM(len(dst)) {
+		bconvAccumASM(m, dst, src, stride, ws)
+		return
+	}
+	bconvAccumGo(m, dst, src, stride, ws)
+}
+
+// bconvShoupMaxTerms is the source-base width at which the per-term
+// lazy-Shoup kernel stops beating the 128-bit accumulator: each Shoup term
+// costs ~1.5x a schoolbook MAC term but skips the ~60-op vector Barrett tail,
+// so the crossover sits near six terms.
+const bconvShoupMaxTerms = 6
+
+// BConvAccumShoup is BConvAccum with precomputed Shoup companions for the
+// weights (wsSho[i] = m.ShoupPrecomp(ws[i])). The result is bit-identical to
+// BConvAccum — both produce the fully reduced mod-q inner product — but for
+// short bases (len(ws) <= 6) the vector path reduces each term to [0, 2q)
+// with an exact lazy Shoup multiply and folds the running sum by 2q, skipping
+// the 128-bit accumulator and its Barrett tail entirely. Longer bases and the
+// pure-Go path fall back to the accumulating kernel, so the same
+// AccumCapacity contract applies.
+func (m Modulus) BConvAccumShoup(dst, src []uint64, stride int, ws, wsSho []uint64) {
+	if vecUseASM(len(dst)) {
+		if len(ws) <= bconvShoupMaxTerms {
+			bconvShoupASM(m, dst, src, stride, ws, wsSho)
+			return
+		}
+		bconvAccumASM(m, dst, src, stride, ws)
+		return
+	}
+	bconvAccumGo(m, dst, src, stride, ws)
+}
+
+// bconvAccumGo unrolls the common small source-base widths (the α-limb ModUp
+// groups and the 2–4 limb special chains) with hoisted row windows so the
+// inner loop carries no slice-of-slice indirection or bounds checks.
+func bconvAccumGo(m Modulus, dst, src []uint64, stride int, ws []uint64) {
+	n := len(dst)
+	switch len(ws) {
+	case 1:
+		r0, w0 := src[:n], ws[0]
+		for k := range dst {
+			hi, lo := bits.Mul64(r0[k], w0)
+			dst[k] = m.Reduce(hi, lo)
+		}
+	case 2:
+		r0, r1 := src[:n], src[stride:stride+n]
+		w0, w1 := ws[0], ws[1]
+		for k := range dst {
+			h0, l0 := bits.Mul64(r0[k], w0)
+			h1, l1 := bits.Mul64(r1[k], w1)
+			lo, c := bits.Add64(l0, l1, 0)
+			dst[k] = m.Reduce(h0+h1+c, lo)
+		}
+	case 3:
+		r0, r1, r2 := src[:n], src[stride:stride+n], src[2*stride:2*stride+n]
+		w0, w1, w2 := ws[0], ws[1], ws[2]
+		_ = r2[n-1] // bounds hint: the prover tracks only the first two rows
+		for k := range dst {
+			h0, l0 := bits.Mul64(r0[k], w0)
+			h1, l1 := bits.Mul64(r1[k], w1)
+			h2, l2 := bits.Mul64(r2[k], w2)
+			lo, c := bits.Add64(l0, l1, 0)
+			hi := h0 + h1 + c
+			lo, c = bits.Add64(lo, l2, 0)
+			dst[k] = m.Reduce(hi+h2+c, lo)
+		}
+	case 4:
+		r0, r1 := src[:n], src[stride:stride+n]
+		r2, r3 := src[2*stride:2*stride+n], src[3*stride:3*stride+n]
+		w0, w1, w2, w3 := ws[0], ws[1], ws[2], ws[3]
+		_, _ = r2[n-1], r3[n-1] // bounds hint: the prover tracks only the first two rows
+		for k := range dst {
+			h0, l0 := bits.Mul64(r0[k], w0)
+			h1, l1 := bits.Mul64(r1[k], w1)
+			h2, l2 := bits.Mul64(r2[k], w2)
+			h3, l3 := bits.Mul64(r3[k], w3)
+			loA, cA := bits.Add64(l0, l1, 0)
+			hiA := h0 + h1 + cA
+			loB, cB := bits.Add64(l2, l3, 0)
+			hiB := h2 + h3 + cB
+			lo, c := bits.Add64(loA, loB, 0)
+			dst[k] = m.Reduce(hiA+hiB+c, lo)
+		}
+	default:
+		l := len(ws)
+		for k := range dst {
+			var accHi, accLo uint64
+			for i := 0; i < l; i++ {
+				ph, pl := bits.Mul64(src[i*stride+k], ws[i])
+				var c uint64
+				accLo, c = bits.Add64(accLo, pl, 0)
+				accHi += ph + c
+			}
+			dst[k] = m.Reduce(accHi, accLo)
+		}
+	}
+}

@@ -15,9 +15,9 @@ import (
 // made safe for many concurrent goroutines by sync.Pool.
 //
 // Get hands out a view truncated to the requested limb count; Put recovers the
-// full backing through the slice capacity, so a truncated view can be returned
-// directly. Polynomials not allocated by a pool of the same shape are silently
-// dropped by Put (never corrupted, never double-pooled).
+// full arena through the Poly's arena pointer, so a truncated view can be
+// returned directly. Polynomials not allocated by a pool of the same shape are
+// silently dropped by Put (never corrupted, never double-pooled).
 type PolyPool struct {
 	n, maxLimbs int
 	pool        sync.Pool
@@ -28,6 +28,17 @@ type PolyPool struct {
 	puts       *obs.Counter
 	misses     *obs.Counter
 	allocBytes *obs.Gauge
+}
+
+// poolArena is one recyclable (n, maxLimbs)-class allocation: a contiguous
+// coefficient backing plus its row view, built once by PolyFromBacking and
+// re-sliced (never re-built) on every Get. Pooling the pointer — and threading
+// it back through Poly.arena — keeps both Get and Put allocation-free, which
+// the ckks alloc guards (TestKeySwitchAllocs) depend on.
+type poolArena struct {
+	owner   *PolyPool
+	coeffs  [][]uint64
+	backing []uint64
 }
 
 // NewPolyPool creates a pool of polynomials with the given degree and maximal
@@ -43,7 +54,8 @@ func NewPolyPool(n, maxLimbs int) *PolyPool {
 	pp.pool.New = func() any {
 		pp.misses.Inc()
 		pp.allocBytes.Add(int64(n) * int64(maxLimbs) * 8)
-		return NewPoly(n, maxLimbs).Coeffs
+		p := NewPoly(n, maxLimbs)
+		return &poolArena{owner: pp, coeffs: p.Coeffs, backing: p.Backing}
 	}
 	return pp
 }
@@ -85,8 +97,12 @@ func (pp *PolyPool) Get(limbs int) Poly {
 		panic(fmt.Sprintf("ring: pool Get(%d) out of range [1,%d]", limbs, pp.maxLimbs))
 	}
 	pp.gets.Inc()
-	c := pp.pool.Get().([][]uint64)
-	return Poly{Coeffs: c[:limbs]}
+	a := pp.pool.Get().(*poolArena)
+	return Poly{
+		Coeffs:  a.coeffs[:limbs],
+		Backing: a.backing[: limbs*pp.n : limbs*pp.n],
+		arena:   a,
+	}
 }
 
 // GetZero returns a zeroed polynomial with exactly `limbs` rows.
@@ -97,16 +113,14 @@ func (pp *PolyPool) GetZero(limbs int) Poly {
 }
 
 // Put returns a polynomial obtained from Get back to the pool. Puts of
-// polynomials with a foreign shape are ignored, so callers can uniformly
-// release mixed scratch. p must not be used after Put.
+// polynomials that did not come from this pool (no arena, or another pool's
+// arena) are ignored, so callers can uniformly release mixed scratch. p must
+// not be used after Put.
 func (pp *PolyPool) Put(p Poly) {
-	if p.Coeffs == nil {
-		return
-	}
-	c := p.Coeffs[:cap(p.Coeffs)]
-	if len(c) != pp.maxLimbs || len(c[0]) != pp.n {
+	a := p.arena
+	if a == nil || a.owner != pp {
 		return // not one of ours; let the GC have it
 	}
 	pp.puts.Inc()
-	pp.pool.Put(c)
+	pp.pool.Put(a)
 }

@@ -83,8 +83,17 @@ func (r *Ring) AtLevel(level int) *Ring {
 // coefficient modulo the i-th limb prime. Whether the value is in coefficient
 // or NTT (evaluation) form is tracked by the owner, not by the Poly itself;
 // the ckks layer keeps ciphertexts in NTT form by convention.
+//
+// Arena invariant: every pool- or NewPoly-constructed Poly is arena-backed —
+// Backing is one contiguous []uint64 of length Limbs()*N(), and Coeffs[i]
+// aliases Backing[i*N : (i+1)*N]. Kernels and serialization may iterate the
+// backing directly (stride-N limb access, one encoding/binary pass). Code that
+// accepts foreign polys (hand-built Coeffs, Backing == nil) must fall back to
+// the row view; the helpers in this file do.
 type Poly struct {
-	Coeffs [][]uint64
+	Coeffs  [][]uint64
+	Backing []uint64
+	arena   *poolArena // set by PolyPool.Get; lets Put recycle without alloc
 }
 
 // NewPoly allocates a zero polynomial with limbs levels+1 limbs of degree N.
@@ -95,12 +104,28 @@ func (r *Ring) NewPoly() Poly {
 // NewPoly allocates a zero polynomial with the given degree and limb count,
 // backed by a single contiguous allocation.
 func NewPoly(n, limbs int) Poly {
-	backing := make([]uint64, n*limbs)
+	return PolyFromBacking(n, limbs, make([]uint64, n*limbs))
+}
+
+// PolyFromBacking builds a Poly over a caller-provided contiguous backing
+// slice of length at least n*limbs. Row i aliases backing[i*n:(i+1)*n] with
+// its capacity clamped to n, so row writes can never spill into a neighbor.
+// The Poly retains backing (trimmed to n*limbs), which is what makes pooled
+// arenas reusable: recycling re-derives the rows from the one slice instead of
+// re-slicing garbage-retaining sub-slices.
+func PolyFromBacking(n, limbs int, backing []uint64) Poly {
+	// INVARIANT: shapes are pinned by the parameter set or the pool class.
+	// A panic here is a repo-internal bug, never a reaction to caller input —
+	// malformed inputs are rejected with typed errors at the public boundary.
+	if n < 1 || limbs < 1 || len(backing) < n*limbs {
+		panic(fmt.Sprintf("ring: PolyFromBacking(%d, %d) with backing length %d", n, limbs, len(backing)))
+	}
+	backing = backing[: n*limbs : n*limbs]
 	c := make([][]uint64, limbs)
 	for i := range c {
-		c[i], backing = backing[:n:n], backing[n:]
+		c[i] = backing[i*n : (i+1)*n : (i+1)*n]
 	}
-	return Poly{Coeffs: c}
+	return Poly{Coeffs: c, Backing: backing}
 }
 
 // Limbs returns the number of RNS limbs of p.
@@ -116,6 +141,10 @@ func (p Poly) N() int {
 
 // CopyValues copies src into p; both must have identical shape.
 func (p Poly) CopyValues(src Poly) {
+	if p.Backing != nil && src.Backing != nil && len(p.Backing) == len(src.Backing) {
+		copy(p.Backing, src.Backing)
+		return
+	}
 	for i := range p.Coeffs {
 		copy(p.Coeffs[i], src.Coeffs[i])
 	}
@@ -129,16 +158,25 @@ func (p Poly) Clone() Poly {
 }
 
 // Truncated returns a shallow view of p restricted to the first limbs limbs.
+// The view keeps the arena linkage: its Backing is the contiguous prefix
+// covering the retained limbs, and a pooled poly's truncated view can still be
+// handed back to its pool.
 func (p Poly) Truncated(limbs int) Poly {
-	return Poly{Coeffs: p.Coeffs[:limbs]}
+	t := Poly{Coeffs: p.Coeffs[:limbs], arena: p.arena}
+	if n := p.N(); p.Backing != nil && len(p.Backing) >= limbs*n {
+		t.Backing = p.Backing[: limbs*n : limbs*n]
+	}
+	return t
 }
 
 // Zero sets all coefficients of p to zero.
 func (p Poly) Zero() {
+	if p.Backing != nil && len(p.Backing) == p.Limbs()*p.N() {
+		clear(p.Backing)
+		return
+	}
 	for i := range p.Coeffs {
-		for j := range p.Coeffs[i] {
-			p.Coeffs[i][j] = 0
-		}
+		clear(p.Coeffs[i])
 	}
 }
 
@@ -148,8 +186,9 @@ func (p Poly) Equal(q Poly) bool {
 		return false
 	}
 	for i := range p.Coeffs {
-		for j := range p.Coeffs[i] {
-			if p.Coeffs[i][j] != q.Coeffs[i][j] {
+		pi, qi := p.Coeffs[i], q.Coeffs[i]
+		for j := range pi {
+			if pi[j] != qi[j] {
 				return false
 			}
 		}

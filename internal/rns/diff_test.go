@@ -73,8 +73,8 @@ func randRows(rng *rand.Rand, ms []ring.Modulus, n int, lazy bool) [][]uint64 {
 // TestConvertMatchesBigIntReference pins the accumulating Convert kernel
 // against the math/big reference, bit for bit, across both datapath widths
 // (36-bit and 60-bit chains in both directions) and every unrolled width of
-// convertAccum (1..4 source limbs plus the generic tail), on canonical and
-// lazy ([0, 2q)) inputs.
+// the ring.BConvAccum inner product (1..4 source limbs plus the generic
+// tail), on canonical and lazy ([0, 2q)) inputs.
 func TestConvertMatchesBigIntReference(t *testing.T) {
 	const logN, n = 4, 16
 	rng := rand.New(rand.NewSource(201))

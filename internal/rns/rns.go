@@ -27,7 +27,16 @@ import (
 	"github.com/fastfhe/fast/internal/ring"
 )
 
-// rowPool recycles [][]uint64 scratch matrices of a fixed shape.
+// rowMatrix is an arena-backed scratch matrix: rows[i] aliases
+// backing[i*n : (i+1)*n], so kernels that want strided access (the vectorized
+// BConv accumulate) can run over the contiguous backing while per-limb loops
+// keep the row view.
+type rowMatrix struct {
+	rows    [][]uint64
+	backing []uint64
+}
+
+// rowPool recycles arena-backed scratch matrices of a fixed shape.
 type rowPool struct {
 	rows, n int
 	pool    sync.Pool
@@ -39,15 +48,15 @@ func newRowPool(rows, n int) *rowPool {
 		backing := make([]uint64, rows*n)
 		m := make([][]uint64, rows)
 		for i := range m {
-			m[i], backing = backing[:n:n], backing[n:]
+			m[i] = backing[i*n : (i+1)*n : (i+1)*n]
 		}
-		return m
+		return &rowMatrix{rows: m, backing: backing}
 	}
 	return rp
 }
 
-func (rp *rowPool) get() [][]uint64  { return rp.pool.Get().([][]uint64) }
-func (rp *rowPool) put(m [][]uint64) { rp.pool.Put(m) }
+func (rp *rowPool) get() *rowMatrix  { return rp.pool.Get().(*rowMatrix) }
+func (rp *rowPool) put(m *rowMatrix) { rp.pool.Put(m) }
 
 // Extender converts RNS representations from a source basis Q = {q_i} to a
 // target basis P = {p_j}. The precomputations follow the standard CRT
@@ -59,9 +68,10 @@ type Extender struct {
 	// convention; 1 = serial). Set once before first use.
 	Workers int
 
-	qhatInv    []uint64   // (Q/q_i)^-1 mod q_i
-	qhatInvSho []uint64   // Shoup companions of qhatInv
-	qhatModP   [][]uint64 // [j][i] = (Q/q_i) mod p_j
+	qhatInv     []uint64   // (Q/q_i)^-1 mod q_i
+	qhatInvSho  []uint64   // Shoup companions of qhatInv
+	qhatModP    [][]uint64 // [j][i] = (Q/q_i) mod p_j
+	qhatModPSho [][]uint64 // [j][i] = Shoup companion of qhatModP[j][i] under p_j
 
 	scratch struct {
 		mu    sync.Mutex
@@ -100,11 +110,14 @@ func NewExtender(from, to []ring.Modulus) (*Extender, error) {
 		e.qhatInvSho[i] = m.ShoupPrecomp(e.qhatInv[i])
 	}
 	e.qhatModP = make([][]uint64, len(to))
+	e.qhatModPSho = make([][]uint64, len(to))
 	for j := range to {
 		e.qhatModP[j] = make([]uint64, len(from))
+		e.qhatModPSho[j] = make([]uint64, len(from))
 		pj := new(big.Int).SetUint64(to[j].Q)
 		for i := range from {
 			e.qhatModP[j][i] = new(big.Int).Mod(qhat[i], pj).Uint64()
+			e.qhatModPSho[j][i] = to[j].ShoupPrecomp(e.qhatModP[j][i])
 		}
 	}
 	return e, nil
@@ -112,7 +125,7 @@ func NewExtender(from, to []ring.Modulus) (*Extender, error) {
 
 // scratchRows returns a pooled len(From)-row scratch matrix for coefficient
 // count n, plus the pool to return it to.
-func (e *Extender) scratchRows(n int) ([][]uint64, *rowPool) {
+func (e *Extender) scratchRows(n int) (*rowMatrix, *rowPool) {
 	e.scratch.mu.Lock()
 	if e.scratch.pools == nil || e.scratch.n != n {
 		e.scratch.pools = newRowPool(len(e.From), n)
@@ -155,14 +168,12 @@ func (e *Extender) Convert(src, dst [][]uint64) {
 		for i := lo; i < hi; i++ {
 			m := e.From[i]
 			inv, invSho := e.qhatInv[i], e.qhatInvSho[i]
-			si, ti := src[i], t[i]
-			for k := 0; k < n; k++ {
-				ti[k] = m.MulModShoup(si[k], inv, invSho)
-			}
+			m.ShoupMulVec(t.rows[i], src[i][:n], inv, invSho)
 		}
 	})
 	l := len(e.From)
-	rows := t[:l]
+	rows := t.rows[:l]
+	backing := t.backing
 	ring.ForEachLimbRange(len(e.To), e.Workers, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			mp := e.To[j]
@@ -172,73 +183,13 @@ func (e *Extender) Convert(src, dst [][]uint64) {
 				convertFold(mp, rows, ws, dj, n, capTerms)
 				continue
 			}
-			convertAccum(mp, rows, ws, dj[:n])
+			// The scratch arena has the rows at stride n, so the inner
+			// product runs over the contiguous backing (vectorized when the
+			// assembly kernels are in). The precomputed Shoup companions let
+			// short bases take the per-term lazy-Shoup kernel.
+			mp.BConvAccumShoup(dj[:n], backing, n, ws[:l], e.qhatModPSho[j][:l])
 		}
 	})
-}
-
-// convertAccum computes dj[k] = (Σ_i rows[i][k] * ws[i]) mod p with 128-bit
-// accumulation and one Barrett reduction per coefficient. The common small
-// source-base widths (the α-limb ModUp groups and the 2–4 limb special
-// chains) are unrolled with hoisted row slices so the inner loop carries no
-// slice-of-slice indirection or bounds checks.
-func convertAccum(mp ring.Modulus, rows [][]uint64, ws, dj []uint64) {
-	n := len(dj)
-	switch len(rows) {
-	case 1:
-		r0, w0 := rows[0][:n], ws[0]
-		for k := range dj {
-			hi, lo := bits.Mul64(r0[k], w0)
-			dj[k] = mp.Reduce(hi, lo)
-		}
-	case 2:
-		r0, r1 := rows[0][:n], rows[1][:n]
-		w0, w1 := ws[0], ws[1]
-		for k := range dj {
-			h0, l0 := bits.Mul64(r0[k], w0)
-			h1, l1 := bits.Mul64(r1[k], w1)
-			lo, c := bits.Add64(l0, l1, 0)
-			dj[k] = mp.Reduce(h0+h1+c, lo)
-		}
-	case 3:
-		r0, r1, r2 := rows[0][:n], rows[1][:n], rows[2][:n]
-		w0, w1, w2 := ws[0], ws[1], ws[2]
-		for k := range dj {
-			h0, l0 := bits.Mul64(r0[k], w0)
-			h1, l1 := bits.Mul64(r1[k], w1)
-			h2, l2 := bits.Mul64(r2[k], w2)
-			lo, c := bits.Add64(l0, l1, 0)
-			hi := h0 + h1 + c
-			lo, c = bits.Add64(lo, l2, 0)
-			dj[k] = mp.Reduce(hi+h2+c, lo)
-		}
-	case 4:
-		r0, r1, r2, r3 := rows[0][:n], rows[1][:n], rows[2][:n], rows[3][:n]
-		w0, w1, w2, w3 := ws[0], ws[1], ws[2], ws[3]
-		for k := range dj {
-			h0, l0 := bits.Mul64(r0[k], w0)
-			h1, l1 := bits.Mul64(r1[k], w1)
-			h2, l2 := bits.Mul64(r2[k], w2)
-			h3, l3 := bits.Mul64(r3[k], w3)
-			loA, cA := bits.Add64(l0, l1, 0)
-			hiA := h0 + h1 + cA
-			loB, cB := bits.Add64(l2, l3, 0)
-			hiB := h2 + h3 + cB
-			lo, c := bits.Add64(loA, loB, 0)
-			dj[k] = mp.Reduce(hiA+hiB+c, lo)
-		}
-	default:
-		for k := range dj {
-			var accHi, accLo uint64
-			for i := range rows {
-				ph, pl := bits.Mul64(rows[i][k], ws[i])
-				var c uint64
-				accLo, c = bits.Add64(accLo, pl, 0)
-				accHi += ph + c
-			}
-			dj[k] = mp.Reduce(accHi, accLo)
-		}
-	}
 }
 
 // convertFold is the long-base fallback of Convert: when the source base has
@@ -316,7 +267,7 @@ func (d *ModDowner) SetWorkers(w int) {
 	d.conv.Workers = w
 }
 
-func (d *ModDowner) scratchRows(n int) ([][]uint64, *rowPool) {
+func (d *ModDowner) scratchRows(n int) (*rowMatrix, *rowPool) {
 	d.scratch.mu.Lock()
 	if d.scratch.pools == nil || d.scratch.n != n {
 		d.scratch.pools = newRowPool(len(d.Q), n)
@@ -341,19 +292,15 @@ func (d *ModDowner) ModDown(xQ, xP, out [][]uint64) {
 	n := len(xQ[0])
 	tmp, rp := d.scratchRows(n)
 	defer rp.put(tmp)
-	d.conv.Convert(xP, tmp)
+	d.conv.Convert(xP, tmp.rows)
 	ring.ForEachLimbRange(len(d.Q), d.Workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			m := d.Q[i]
-			twoQ := m.Q << 1
 			inv, invSho := d.pInvMod[i], d.pInvModSho[i]
-			xi, ti, oi := xQ[i], tmp[i], out[i]
-			for k := 0; k < n; k++ {
-				// Lazy subtraction: xi < 2q and ti < q, so xi + 2q - ti stays
-				// in (0, 4q) < 2^63; the Shoup multiply is exact for any
-				// 64-bit operand and re-enters the fully reduced domain.
-				oi[k] = m.MulModShoup(xi[k]+twoQ-ti[k], inv, invSho)
-			}
+			// Fused lazy subtract-multiply: xQ rows < 2q and the converted
+			// rows < q, within ShoupMulSubVec's < 2q contract; the result
+			// re-enters the fully reduced domain.
+			m.ShoupMulSubVec(out[i][:n], xQ[i][:n], tmp.rows[i], inv, invSho)
 		}
 	})
 }

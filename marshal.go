@@ -8,8 +8,11 @@ import (
 
 // Serialize writes the ciphertext to w in the package's versioned binary wire
 // format (tagged header, level, scale, then the RNS coefficient rows of both
-// components). The format is what the fastd serving daemon moves over HTTP;
-// ReadCiphertext is the inverse.
+// components). Because ciphertext polynomials are arena-backed (one contiguous
+// []uint64 per poly, rows in limb order), each component is emitted as a
+// single encoding/binary pass over its backing — the wire bytes are identical
+// to the historical per-row encoding. The format is what the fastd serving
+// daemon moves over HTTP; ReadCiphertext is the inverse.
 func (c *Ciphertext) Serialize(w io.Writer) error {
 	return c.ct.Serialize(w)
 }

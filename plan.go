@@ -310,8 +310,35 @@ func (c *Context) Plan(prog *Program, inputLevels map[string]int, opts ...PlanOp
 		p.decisions = append(p.decisions, d)
 	}
 	p.units = cm.PlanUnits(costSites, p.passes)
-	p.fingerprint = p.computeFingerprint(pc)
+	p.fingerprint = planFingerprint(p.prog, p.inputLevels, pc)
 	return p, nil
+}
+
+// PlanFingerprint computes the fingerprint Plan would assign for (prog,
+// inputLevels, opts) WITHOUT compiling: missing input levels resolve to the
+// context's maximum level exactly as Plan resolves them, so the returned key
+// equals plan.Fingerprint() of the corresponding Plan call. Serving layers use
+// it as a cache key to skip recompilation of hot programs; it performs no
+// validation, so an invalid program still hashes (and its Plan still fails).
+// The fingerprint does not cover context parameters — cache per context.
+func (c *Context) PlanFingerprint(prog *Program, inputLevels map[string]int, opts ...PlanOption) string {
+	if prog == nil {
+		return ""
+	}
+	var pc planConfig
+	for _, o := range opts {
+		o(&pc)
+	}
+	maxL := c.MaxLevel()
+	resolved := make(map[string]int, len(prog.inputs))
+	for _, in := range prog.inputs {
+		lvl, ok := inputLevels[in]
+		if !ok {
+			lvl = maxL
+		}
+		resolved[in] = lvl
+	}
+	return planFingerprint(prog, resolved, pc)
 }
 
 func cmMethod(m Method) costmodel.Method {
@@ -321,21 +348,23 @@ func cmMethod(m Method) costmodel.Method {
 	return costmodel.Hybrid
 }
 
-// computeFingerprint hashes the program text, the resolved input levels and
+// planFingerprint hashes the program text, the resolved input levels and
 // the plan-wide default into a stable identifier correlating observer records
 // (Observer.PlanRecords, aether.decision.* tallies) with a program run.
-func (p *Plan) computeFingerprint(pc planConfig) string {
+// Shared by Plan and Context.PlanFingerprint so cache keys computed before
+// compilation match the fingerprints stamped on compiled plans.
+func planFingerprint(prog *Program, inputLevels map[string]int, pc planConfig) string {
 	h := fnv.New64a()
-	if raw, err := json.Marshal(p.prog); err == nil {
+	if raw, err := json.Marshal(prog); err == nil {
 		_, _ = h.Write(raw)
 	}
-	names := make([]string, 0, len(p.inputLevels))
-	for in := range p.inputLevels {
+	names := make([]string, 0, len(inputLevels))
+	for in := range inputLevels {
 		names = append(names, in)
 	}
 	sort.Strings(names)
 	for _, in := range names {
-		fmt.Fprintf(h, "|%s@%d", in, p.inputLevels[in])
+		fmt.Fprintf(h, "|%s@%d", in, inputLevels[in])
 	}
 	if pc.pinDefault != nil {
 		fmt.Fprintf(h, "|pin:%s", pc.pinDefault.String())

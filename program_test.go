@@ -260,6 +260,37 @@ func TestPlanFingerprintDeterministic(t *testing.T) {
 	}
 }
 
+// TestPlanFingerprintWithoutCompile pins the pre-compilation helper to the
+// compiled plan's fingerprint: the cache key a serving layer computes with
+// Context.PlanFingerprint must equal plan.Fingerprint() for every level
+// resolution path (explicit, missing-defaults-to-max) and plan option.
+func TestPlanFingerprintWithoutCompile(t *testing.T) {
+	ctx := sharedConcCtx(t)
+	p := validProgram()
+	cases := []struct {
+		name   string
+		levels map[string]int
+		opts   []PlanOption
+	}{
+		{"nil levels", nil, nil},
+		{"explicit levels", map[string]int{"x": 2, "y": 2}, nil},
+		{"partial levels default to max", map[string]int{"x": 1}, nil},
+		{"pinned default method", nil, []PlanOption{PlanWithDefaultMethod(Hybrid)}},
+	}
+	for _, tc := range cases {
+		plan, err := ctx.Plan(p, tc.levels, tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: Plan: %v", tc.name, err)
+		}
+		if got := ctx.PlanFingerprint(p, tc.levels, tc.opts...); got != plan.Fingerprint() {
+			t.Fatalf("%s: PlanFingerprint %s != compiled %s", tc.name, got, plan.Fingerprint())
+		}
+	}
+	if got := ctx.PlanFingerprint(nil, nil); got != "" {
+		t.Fatalf("nil program fingerprint = %q, want empty", got)
+	}
+}
+
 func TestPlanErrors(t *testing.T) {
 	ctx := sharedConcCtx(t)
 
