@@ -64,12 +64,15 @@ func BenchmarkServeThroughput(b *testing.B) {
 	// One worker: evaluation serializes, so concurrent requests queue — the
 	// queue wait is the coalescing window (that is the regime batching is
 	// for; with an idle pool every batch has size 1 and the modes tie).
-	d := newDaemon(daemonConfig{
+	d, err := newDaemon(daemonConfig{
 		Workers:          1,
 		QueueDepth:       256,
 		BreakerThreshold: 1 << 20,
 		Sequential:       sequential,
 	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(d.handler())
 	defer ts.Close()
 

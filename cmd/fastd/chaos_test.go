@@ -167,9 +167,9 @@ func TestFastdChaosScenariosBitExact(t *testing.T) {
 				t.Fatalf("scenario %s: served decryption is not bit-exact", scenario)
 			}
 
-			sess, ok := d.session(sr.ID)
-			if !ok {
-				t.Fatal("session vanished")
+			sess, err := d.getSession(sr.ID)
+			if err != nil {
+				t.Fatal("session vanished:", err)
 			}
 			st := sess.ctx.FaultStats()
 			if scenario == "none" {

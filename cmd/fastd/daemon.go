@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"container/list"
 	"context"
 	"encoding/base64"
 	"encoding/json"
@@ -11,11 +12,13 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	fast "github.com/fastfhe/fast"
 	"github.com/fastfhe/fast/internal/costmodel"
+	"github.com/fastfhe/fast/internal/fault"
 	"github.com/fastfhe/fast/internal/obs"
 	"github.com/fastfhe/fast/internal/serve"
 )
@@ -30,8 +33,27 @@ type daemonConfig struct {
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
 	// MaxSessions bounds the session registry (each session owns a full key
-	// set — memory, not descriptors, is the scarce resource).
+	// set — memory, not descriptors, is the scarce resource). With a state
+	// dir the bound covers resident AND persisted sessions: it is the total
+	// keyspace count the daemon will accept, not the memory bound.
 	MaxSessions int
+	// StateDir enables crash-safe session durability: every session is
+	// write-ahead snapshotted there on create (atomic rename, fsync'd),
+	// restored lazily after a restart, and evicted to disk under resident
+	// pressure. Empty disables persistence (sessions die with the process).
+	StateDir string
+	// MaxResident bounds the sessions held in memory when StateDir is set
+	// (0 = MaxSessions). Past the bound the least-recently-used session is
+	// snapshotted (if dirty) and released; the next request faults it back in.
+	MaxResident int
+	// SessionTTL evicts sessions idle longer than this to disk (0 disables;
+	// requires StateDir).
+	SessionTTL time.Duration
+	// IdemCap bounds each session's idempotency dedup table (0 = 512).
+	IdemCap int
+	// StoreFaults optionally injects disk-write failures into the persistence
+	// layer (chaos testing of the retry-then-degrade path).
+	StoreFaults fault.Plan
 	// Sequential disables cross-request micro-batching: each eval executes
 	// straight-line on its own worker (the pre-planner behavior). Used as the
 	// benchmark baseline and as an operational escape hatch.
@@ -61,6 +83,12 @@ func (c daemonConfig) withDefaults() daemonConfig {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 16
 	}
+	if c.MaxResident <= 0 || c.MaxResident > c.MaxSessions {
+		c.MaxResident = c.MaxSessions
+	}
+	if c.IdemCap <= 0 {
+		c.IdemCap = idemTableCap
+	}
 	if c.Observer == nil {
 		c.Observer = fast.NewObserver()
 	}
@@ -71,15 +99,24 @@ func (c daemonConfig) withDefaults() daemonConfig {
 }
 
 // session is one client keyspace: a fast.Context plus the bookkeeping the
-// admission layer needs (cost parameters, fault-recovery watermark).
+// admission layer needs (cost parameters, fault-recovery watermark) and the
+// durability layer adds (snapshot metadata, idempotency table, LRU position).
 type session struct {
 	id    string
 	ctx   *fast.Context
 	cm    costmodel.Params
 	plans *planCache // compiled-plan LRU keyed by Plan fingerprint
+	meta  fast.SessionMeta
+	idem  *idemTable // nil only for registry entries tests build by hand
+
+	// lruEl and lastUsed are guarded by daemon.mu (they move with the
+	// registry's LRU list); both stay zero when persistence is disabled.
+	lruEl    *list.Element
+	lastUsed time.Time
 
 	mu           sync.Mutex
-	lastRecovery int // Retries+Timeouts+Refetches watermark for breaker deltas
+	lastRecovery int  // Retries+Timeouts+Refetches watermark for breaker deltas
+	persisted    bool // on-disk snapshot is current (guards re-save on evict)
 }
 
 // faultRecoveryDelta returns the growth of the session's fault-recovery
@@ -105,29 +142,51 @@ type daemon struct {
 	requests *obs.RequestTable
 	logger   *slog.Logger
 
-	mu       sync.RWMutex
-	sessions map[string]*session
-	reserved int // slots held by in-flight session creates (keygen running)
-	nextID   uint64
+	store *sessionStore // nil when persistence is disabled
+
+	mu        sync.RWMutex
+	sessions  map[string]*session      // resident
+	persisted map[string]struct{}      // on disk only (evicted or not yet restored)
+	corrupt   map[string]struct{}      // snapshot failed integrity validation; skipped
+	restoring map[string]chan struct{} // restore singleflight, closed on completion
+	lru       *list.List               // resident eviction order, front = most recent
+	reserved  int                      // slots held by in-flight session creates (keygen running)
+	nextID    uint64
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+	stopOnce  sync.Once
 
 	mRequests     *obs.Counter
 	mFaultTrips   *obs.Counter
 	mSessionCount *obs.Gauge
 	mPlanHits     *obs.Counter
 	mPlanMisses   *obs.Counter
+	mPlanEvicted  *obs.Counter
+	mResident     *obs.Gauge
+	mPersisted    *obs.Gauge
+	mRestored     *obs.Counter
+	mEvicted      *obs.Counter
+	mCorrupt      *obs.Counter
+	mIdemReplays  *obs.Counter
+	mIdemRecorded *obs.Counter
 }
 
-func newDaemon(cfg daemonConfig) *daemon {
+func newDaemon(cfg daemonConfig) (*daemon, error) {
 	cfg = cfg.withDefaults()
 	reg := cfg.Observer.Registry()
 	br := serve.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	d := &daemon{
-		cfg:      cfg,
-		breaker:  br,
-		observer: cfg.Observer,
-		requests: obs.NewRequestTable(reg),
-		logger:   cfg.Logger,
-		sessions: map[string]*session{},
+		cfg:       cfg,
+		breaker:   br,
+		observer:  cfg.Observer,
+		requests:  obs.NewRequestTable(reg),
+		logger:    cfg.Logger,
+		sessions:  map[string]*session{},
+		persisted: map[string]struct{}{},
+		corrupt:   map[string]struct{}{},
+		restoring: map[string]chan struct{}{},
+		lru:       list.New(),
 		srv: serve.New(serve.Config{
 			Workers:    cfg.Workers,
 			QueueDepth: cfg.QueueDepth,
@@ -145,8 +204,47 @@ func newDaemon(cfg daemonConfig) *daemon {
 		d.mSessionCount = reg.Gauge("fastd.sessions")
 		d.mPlanHits = reg.Counter("serve.plan_cache.hits")
 		d.mPlanMisses = reg.Counter("serve.plan_cache.misses")
+		d.mPlanEvicted = reg.Counter("serve.plan_cache.evicted")
+		d.mResident = reg.Gauge("sessions.resident")
+		d.mPersisted = reg.Gauge("sessions.persisted")
+		d.mRestored = reg.Counter("sessions.restored")
+		d.mEvicted = reg.Counter("sessions.evicted")
+		d.mCorrupt = reg.Counter("sessions.corrupt")
+		d.mIdemReplays = reg.Counter("fastd.idem.replays")
+		d.mIdemRecorded = reg.Counter("fastd.idem.recorded")
 	}
-	return d
+	if cfg.StateDir != "" {
+		store, err := openSessionStore(cfg.StateDir, fault.NewInjector(cfg.StoreFaults), reg, d.logger)
+		if err != nil {
+			return nil, err
+		}
+		d.store = store
+		// Persisted sessions are NOT restored here — startup stays O(files)
+		// cheap and the first request for each session faults it in (decode,
+		// checksum, parameter recompile, key deserialisation). Only the ID
+		// space is recovered eagerly, so new creates never collide with
+		// pre-crash sessions.
+		ids, err := store.scan()
+		if err != nil {
+			return nil, fmt.Errorf("fastd: scan state dir: %w", err)
+		}
+		for _, id := range ids {
+			d.persisted[id] = struct{}{}
+			if n, err := strconv.ParseUint(strings.TrimPrefix(id, "s"), 10, 64); err == nil && n > d.nextID {
+				d.nextID = n
+			}
+		}
+		d.updateOccupancy()
+		if len(ids) > 0 {
+			d.logger.Info("session state recovered", "dir", cfg.StateDir, "persisted", len(ids))
+		}
+		if cfg.SessionTTL > 0 {
+			d.sweepStop = make(chan struct{})
+			d.sweepDone = make(chan struct{})
+			go d.sweepIdle()
+		}
+	}
+	return d, nil
 }
 
 // runEvalBatch executes one micro-batch of compiled eval requests. All items
@@ -184,8 +282,19 @@ func (d *daemon) runEvalBatch(items []*serve.BatchItem) {
 	}
 }
 
-// drain gracefully stops the admission layer (bounded by ctx).
-func (d *daemon) drain(ctx context.Context) error { return d.srv.Drain(ctx) }
+// drain gracefully stops the admission layer (bounded by ctx) and the idle
+// sweeper. No final mass-snapshot is needed: durability is write-ahead, so
+// whatever is on disk at any instant — graceful drain or SIGKILL — is already
+// a consistent recovery image.
+func (d *daemon) drain(ctx context.Context) error {
+	d.stopOnce.Do(func() {
+		if d.sweepStop != nil {
+			close(d.sweepStop)
+			<-d.sweepDone
+		}
+	})
+	return d.srv.Drain(ctx)
+}
 
 // ---- HTTP surface ----------------------------------------------------------
 
@@ -232,6 +341,18 @@ func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// sessionReadiness is /readyz's view of the session registry: occupancy
+// against both bounds plus the durability lifecycle counters.
+type sessionReadiness struct {
+	Resident    int    `json:"resident"`
+	Persisted   int    `json:"persisted"`
+	Max         int    `json:"max"`
+	MaxResident int    `json:"max_resident"`
+	Restored    uint64 `json:"restored"`
+	Evicted     uint64 `json:"evicted"`
+	Corrupt     uint64 `json:"corrupt"`
+}
+
 func (d *daemon) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	type readiness struct {
 		Ready    bool               `json:"ready"`
@@ -239,24 +360,42 @@ func (d *daemon) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		Breaker  string             `json:"breaker"`
 		Queue    int                `json:"queue_depth"`
 		Inflight int                `json:"inflight_requests"`
+		Sessions sessionReadiness   `json:"sessions"`
 		Latency  map[string]float64 `json:"latency"`
 	}
 	// Quantiles are estimated from the end-to-end log2-bucket latency
 	// histogram (rank interpolation, within 2x of exact) — the same numbers
 	// the serve.latency.p*_ns gauges export on /metrics.
 	lat := d.observer.Registry().Histogram("serve.latency_ns").Snapshot()
+	d.mu.RLock()
+	occupancy := len(d.sessions) + len(d.persisted) + d.reserved
+	sess := sessionReadiness{
+		Resident:    len(d.sessions),
+		Persisted:   len(d.persisted),
+		Max:         d.cfg.MaxSessions,
+		MaxResident: d.cfg.MaxResident,
+		Restored:    d.mRestored.Value(),
+		Evicted:     d.mEvicted.Value(),
+		Corrupt:     d.mCorrupt.Value(),
+	}
+	d.mu.RUnlock()
 	r := readiness{
 		Draining: d.srv.Draining(),
 		Breaker:  d.breaker.State().String(),
 		Queue:    d.srv.QueueLen(),
 		Inflight: d.requests.Len(),
+		Sessions: sess,
 		Latency: map[string]float64{
 			"serve.latency.p50_ns": lat.Quantile(0.50),
 			"serve.latency.p90_ns": lat.Quantile(0.90),
 			"serve.latency.p99_ns": lat.Quantile(0.99),
 		},
 	}
-	r.Ready = !r.Draining && d.breaker.State() != serve.BreakerOpen
+	// A full registry flips readiness: the next session create would be
+	// refused (429), so a balancer should steer keyspace-creating clients
+	// elsewhere. Existing sessions keep being served either way.
+	r.Ready = !r.Draining && d.breaker.State() != serve.BreakerOpen &&
+		occupancy < d.cfg.MaxSessions
 	if !r.Ready {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
@@ -319,7 +458,7 @@ func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	// to enforce. The reservation is released on any failure path and
 	// converted into the real entry on success.
 	d.mu.Lock()
-	if len(d.sessions)+d.reserved >= d.cfg.MaxSessions {
+	if len(d.sessions)+len(d.persisted)+d.reserved >= d.cfg.MaxSessions {
 		d.mu.Unlock()
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Errorf("session limit %d reached", d.cfg.MaxSessions))
@@ -355,14 +494,34 @@ func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		ctx:   fctx,
 		cm:    costmodel.ForContext(cfg.LogN, fctx.MaxLevel()),
 		plans: newPlanCache(planCacheCap, d.mPlanHits, d.mPlanMisses),
+		idem:  newIdemTable(d.cfg.IdemCap),
+		meta: fast.SessionMeta{
+			ID:              id,
+			CreatedUnixNano: time.Now().UnixNano(),
+			FaultScenario:   req.FaultScenario,
+		},
+	}
+	// Write-ahead durability: the snapshot hits disk (fsync'd, atomically
+	// renamed) BEFORE the create response is released, so a session the client
+	// has been told about survives a SIGKILL in the very next instruction. A
+	// persistent write failure degrades to a resident-only session (counted
+	// and logged) rather than refusing service.
+	if d.store != nil {
+		sess.persisted = d.store.saveSnapshotRetry(fctx, sess.meta) == nil
 	}
 
 	d.mu.Lock()
 	d.reserved--
 	d.sessions[id] = sess
+	if d.store != nil {
+		sess.lruEl = d.lru.PushFront(sess)
+		sess.lastUsed = time.Now()
+	}
 	n := len(d.sessions)
 	d.mu.Unlock()
 	d.mSessionCount.Set(int64(n))
+	d.updateOccupancy()
+	d.enforceResident()
 	writeJSON(w, sessionResponse{ID: id, Slots: fctx.Slots(), MaxLevel: fctx.MaxLevel()})
 }
 
@@ -370,23 +529,31 @@ func (d *daemon) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	d.mRequests.Inc()
 	id := r.PathValue("id")
 	d.mu.Lock()
-	_, ok := d.sessions[id]
+	s, resident := d.sessions[id]
+	_, onDisk := d.persisted[id]
+	_, wasCorrupt := d.corrupt[id]
 	delete(d.sessions, id)
+	delete(d.persisted, id)
+	delete(d.corrupt, id)
+	if resident && s.lruEl != nil {
+		d.lru.Remove(s.lruEl)
+		s.lruEl = nil
+	}
 	n := len(d.sessions)
 	d.mu.Unlock()
-	if !ok {
+	if !resident && !onDisk && !wasCorrupt {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
 		return
 	}
+	if resident {
+		d.mPlanEvicted.Add(uint64(s.plans.drop()))
+	}
+	if d.store != nil {
+		d.store.remove(id)
+	}
 	d.mSessionCount.Set(int64(n))
+	d.updateOccupancy()
 	w.WriteHeader(http.StatusNoContent)
-}
-
-func (d *daemon) session(id string) (*session, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	s, ok := d.sessions[id]
-	return s, ok
 }
 
 type cnum struct {
@@ -442,36 +609,38 @@ func decodeCiphertext(fctx *fast.Context, b64 string) (*fast.Ciphertext, error) 
 
 func (d *daemon) handleEncrypt(w http.ResponseWriter, r *http.Request) {
 	d.mRequests.Inc()
-	sess, ok := d.session(r.PathValue("id"))
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
-		return
-	}
-	var req encryptRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	obsReq := obs.RequestFrom(r.Context())
-	obsReq.SetSession(sess.id)
-	obsReq.SetUnits(sess.cm.PassUnits())
-	ctx, cancel := requestContext(r)
-	defer cancel()
-
-	var resp ciphertextResponse
-	err := d.srv.Do(ctx, serve.Op{Name: "encrypt", Units: sess.cm.PassUnits()}, func(ctx context.Context) error {
-		ct, err := sess.ctx.Encrypt(toComplex(req.Values))
-		if err != nil {
-			return err
-		}
-		resp, err = encodeCiphertext(ct)
-		return err
-	})
+	sess, err := d.getSession(r.PathValue("id"))
 	if err != nil {
 		d.writeAdmissionError(w, r, err)
 		return
 	}
-	writeJSON(w, resp)
+	d.withIdempotency(w, r, sess, func(w http.ResponseWriter) {
+		var req encryptRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		obsReq := obs.RequestFrom(r.Context())
+		obsReq.SetSession(sess.id)
+		obsReq.SetUnits(sess.cm.PassUnits())
+		ctx, cancel := requestContext(r)
+		defer cancel()
+
+		var resp ciphertextResponse
+		err := d.srv.Do(ctx, serve.Op{Name: "encrypt", Units: sess.cm.PassUnits()}, func(ctx context.Context) error {
+			ct, err := sess.ctx.Encrypt(toComplex(req.Values))
+			if err != nil {
+				return err
+			}
+			resp, err = encodeCiphertext(ct)
+			return err
+		})
+		if err != nil {
+			d.writeAdmissionError(w, r, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
 }
 
 type decryptRequest struct {
@@ -484,9 +653,9 @@ type decryptResponse struct {
 
 func (d *daemon) handleDecrypt(w http.ResponseWriter, r *http.Request) {
 	d.mRequests.Inc()
-	sess, ok := d.session(r.PathValue("id"))
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+	sess, err := d.getSession(r.PathValue("id"))
+	if err != nil {
+		d.writeAdmissionError(w, r, err)
 		return
 	}
 	var req decryptRequest
@@ -523,56 +692,58 @@ func (d *daemon) handleDecrypt(w http.ResponseWriter, r *http.Request) {
 
 func (d *daemon) handleEval(w http.ResponseWriter, r *http.Request) {
 	d.mRequests.Inc()
-	sess, ok := d.session(r.PathValue("id"))
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
-		return
-	}
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	obsReq := obs.RequestFrom(r.Context())
-	obsReq.SetSession(sess.id)
-	obsReq.SetPhase(obs.PhasePlanning)
-	ce, err := compileEval(sess, body)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	obsReq.SetUnits(ce.units())
-	obsReq.SetFingerprint(ce.plan.Fingerprint())
-	ctx, cancel := requestContext(r)
-	defer cancel()
-
-	op := serve.Op{Name: "eval", Units: ce.units()}
-	if d.cfg.Sequential {
-		// Baseline/escape-hatch mode: straight-line interpretation on this
-		// request's own worker, no cross-request coalescing.
-		var resp ciphertextResponse
-		err = d.srv.Do(ctx, op, func(ctx context.Context) error {
-			out, err := sess.ctx.ExecuteSequential(ctx, ce.plan, ce.inputs)
-			d.recordFaultHealth(sess)
-			if err != nil {
-				return err
-			}
-			resp, err = encodeCiphertext(out)
-			return err
-		})
-		if err != nil {
-			d.writeAdmissionError(w, r, err)
-			return
-		}
-		writeJSON(w, resp)
-		return
-	}
-	res, err := d.batcher.Do(ctx, op, sess.id, ce)
+	sess, err := d.getSession(r.PathValue("id"))
 	if err != nil {
 		d.writeAdmissionError(w, r, err)
 		return
 	}
-	writeJSON(w, res.(ciphertextResponse))
+	d.withIdempotency(w, r, sess, func(w http.ResponseWriter) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		obsReq := obs.RequestFrom(r.Context())
+		obsReq.SetSession(sess.id)
+		obsReq.SetPhase(obs.PhasePlanning)
+		ce, err := compileEval(sess, body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		obsReq.SetUnits(ce.units())
+		obsReq.SetFingerprint(ce.plan.Fingerprint())
+		ctx, cancel := requestContext(r)
+		defer cancel()
+
+		op := serve.Op{Name: "eval", Units: ce.units()}
+		if d.cfg.Sequential {
+			// Baseline/escape-hatch mode: straight-line interpretation on this
+			// request's own worker, no cross-request coalescing.
+			var resp ciphertextResponse
+			err = d.srv.Do(ctx, op, func(ctx context.Context) error {
+				out, err := sess.ctx.ExecuteSequential(ctx, ce.plan, ce.inputs)
+				d.recordFaultHealth(sess)
+				if err != nil {
+					return err
+				}
+				resp, err = encodeCiphertext(out)
+				return err
+			})
+			if err != nil {
+				d.writeAdmissionError(w, r, err)
+				return
+			}
+			writeJSON(w, resp)
+			return
+		}
+		res, err := d.batcher.Do(ctx, op, sess.id, ce)
+		if err != nil {
+			d.writeAdmissionError(w, r, err)
+			return
+		}
+		writeJSON(w, res.(ciphertextResponse))
+	})
 }
 
 // recordFaultHealth feeds the circuit breaker the session's modeled Hemera
@@ -622,6 +793,8 @@ func requestContext(r *http.Request) (context.Context, context.CancelFunc) {
 //	503 Service Unavailable breaker open or draining (retry elsewhere/later)
 //	504 Gateway Timeout     shed: deadline provably unmeetable
 //	408 Request Timeout     canceled/deadline mid-flight
+//	404 Not Found           session unknown (neither resident nor on disk)
+//	410 Gone                session snapshot corrupt: unrecoverable, re-create
 //	500 Internal            panic (isolated) or evaluation failure
 //
 // The rung is also recorded as the request's outcome, so the access log names
@@ -631,6 +804,13 @@ func (d *daemon) writeAdmissionError(w http.ResponseWriter, r *http.Request, err
 	status := http.StatusInternalServerError
 	outcome := "error"
 	switch {
+	case errors.Is(err, errUnknownSession):
+		status, outcome = http.StatusNotFound, "unknown_session"
+	case errors.Is(err, fast.ErrCorruptSnapshot):
+		// 410 Gone: the snapshot failed integrity validation, so the session
+		// is permanently unrecoverable — restoring it could decrypt wrongly.
+		// Clients must re-create the keyspace, not retry.
+		status, outcome = http.StatusGone, "corrupt_snapshot"
 	case errors.Is(err, serve.ErrQueueFull):
 		status, outcome = http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, serve.ErrShed):

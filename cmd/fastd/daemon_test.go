@@ -36,7 +36,10 @@ func newTestDaemon(t *testing.T, cfg daemonConfig) (*daemon, *httptest.Server) {
 	if cfg.Observer == nil {
 		cfg.Observer = fast.NewObserver()
 	}
-	d := newDaemon(cfg)
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(d.handler())
 	t.Cleanup(ts.Close)
 	return d, ts

@@ -1,0 +1,332 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	fast "github.com/fastfhe/fast"
+	"github.com/fastfhe/fast/internal/costmodel"
+	"github.com/fastfhe/fast/internal/obs"
+)
+
+// Session lifecycle: create → (snapshot) → serve ⇄ evict/restore → expire.
+//
+// A session is in exactly one of three registry states:
+//
+//	resident   in d.sessions (and on the LRU list): fully expanded Context,
+//	           serving requests directly;
+//	persisted  in d.persisted: snapshot on disk only — evicted under resident
+//	           pressure / idle TTL, or not yet faulted in after a restart;
+//	corrupt    in d.corrupt: the snapshot failed integrity validation; the ID
+//	           is tombstoned (410 Gone) so a bad file can never serve a wrong
+//	           decrypt, and the daemon keeps running.
+//
+// Transitions are lazy and request-driven: nothing is restored at startup
+// (scan() only recovers IDs), the first request for a persisted session pays
+// the restore, and eviction is triggered by create/restore overshoot or the
+// idle sweeper. Restores are singleflighted per ID — a stampede of requests
+// for one cold session performs one deserialisation.
+
+// errUnknownSession is the typed miss for a session ID with no resident
+// entry, no snapshot and no tombstone — mapped to 404 by the error ladder.
+var errUnknownSession = errors.New("unknown session")
+
+// getSession resolves a session ID: the resident fast path is two map reads
+// under RLock; a persisted ID pays a singleflighted restore from disk.
+func (d *daemon) getSession(id string) (*session, error) {
+	d.mu.RLock()
+	s, ok := d.sessions[id]
+	d.mu.RUnlock()
+	if ok {
+		d.touch(s)
+		return s, nil
+	}
+	if d.store == nil {
+		return nil, fmt.Errorf("%w %q", errUnknownSession, id)
+	}
+	for {
+		d.mu.Lock()
+		if s, ok := d.sessions[id]; ok {
+			d.mu.Unlock()
+			d.touch(s)
+			return s, nil
+		}
+		if _, bad := d.corrupt[id]; bad {
+			d.mu.Unlock()
+			return nil, fmt.Errorf("session %q: %w", id, fast.ErrCorruptSnapshot)
+		}
+		if _, onDisk := d.persisted[id]; !onDisk {
+			d.mu.Unlock()
+			return nil, fmt.Errorf("%w %q", errUnknownSession, id)
+		}
+		if ch, inflight := d.restoring[id]; inflight {
+			d.mu.Unlock()
+			<-ch // another request is already restoring; wait and re-check
+			continue
+		}
+		ch := make(chan struct{})
+		d.restoring[id] = ch
+		d.mu.Unlock()
+
+		s, err := d.restoreSession(id) // disk + NTT tables; never under d.mu
+		d.mu.Lock()
+		delete(d.restoring, id)
+		if err != nil {
+			if errors.Is(err, fast.ErrCorruptSnapshot) {
+				// Tombstone: the file stays on disk for forensics but the ID
+				// will never be restored — wrong decrypts are impossible.
+				d.corrupt[id] = struct{}{}
+				delete(d.persisted, id)
+				d.mCorrupt.Inc()
+			}
+			d.mu.Unlock()
+			close(ch)
+			d.logger.Warn("session restore failed", "session", id, "error", err.Error())
+			return nil, err
+		}
+		delete(d.persisted, id)
+		d.sessions[id] = s
+		s.lruEl = d.lru.PushFront(s)
+		s.lastUsed = time.Now()
+		n := len(d.sessions)
+		d.mu.Unlock()
+		close(ch)
+		d.mRestored.Inc()
+		d.mSessionCount.Set(int64(n))
+		d.updateOccupancy()
+		d.logger.Info("session restored", "session", id, "restores", s.meta.Restores)
+		d.enforceResident()
+		return s, nil
+	}
+}
+
+// restoreSession rebuilds one session from its snapshot: checksum-verified
+// decode, a Restores bump (fresh encryptor randomness epoch — a restored
+// session must never replay pre-crash encryption randomness), key expansion
+// against the deterministically recompiled parameters, and an idempotency
+// table rebuilt from the journal. The bumped metadata is re-persisted so the
+// NEXT crash also lands on a fresh epoch.
+func (d *daemon) restoreSession(id string) (*session, error) {
+	snap, err := d.store.loadSnapshot(id)
+	if err != nil {
+		return nil, err
+	}
+	snap.Meta.Restores++
+	opts := []fast.Option{fast.WithObserver(d.observer)}
+	if fs := snap.Meta.FaultScenario; fs != "" && fs != "none" {
+		plan, err := fast.FaultScenario(fs)
+		if err != nil {
+			return nil, fmt.Errorf("session %q fault scenario: %w", id, err)
+		}
+		opts = append(opts, fast.WithFaultPlan(plan))
+	}
+	fctx, err := snap.Restore(opts...)
+	if err != nil {
+		return nil, err
+	}
+	sess := &session{
+		id:    id,
+		ctx:   fctx,
+		cm:    costmodel.ForContext(snap.Config.LogN, fctx.MaxLevel()),
+		plans: newPlanCache(planCacheCap, d.mPlanHits, d.mPlanMisses),
+		idem:  newIdemTable(d.cfg.IdemCap),
+		meta:  snap.Meta,
+	}
+	for _, rec := range d.store.loadIdem(id) {
+		sess.idem.insert(rec)
+	}
+	sess.persisted = d.store.saveSnapshotRetry(fctx, sess.meta) == nil
+	return sess, nil
+}
+
+// touch marks a session recently used (LRU front + idle clock reset).
+func (d *daemon) touch(s *session) {
+	if d.store == nil {
+		return
+	}
+	d.mu.Lock()
+	if s.lruEl != nil {
+		d.lru.MoveToFront(s.lruEl)
+	}
+	s.lastUsed = time.Now()
+	d.mu.Unlock()
+}
+
+// enforceResident evicts least-recently-used sessions until the resident
+// count is within MaxResident. Called after every create and restore.
+func (d *daemon) enforceResident() {
+	if d.store == nil {
+		return
+	}
+	for {
+		d.mu.RLock()
+		over := len(d.sessions) > d.cfg.MaxResident
+		var victim *session
+		if over {
+			if el := d.lru.Back(); el != nil {
+				victim = el.Value.(*session)
+			}
+		}
+		d.mu.RUnlock()
+		if victim == nil {
+			return
+		}
+		if !d.evictSession(victim) {
+			return // victim unpersistable: durability beats the memory bound
+		}
+	}
+}
+
+// evictSession releases one resident session to disk: snapshot-if-dirty,
+// journal compaction to the bounded in-memory window, then an atomic
+// resident→persisted registry flip and plan-cache drop. Returns false when
+// the session could not be persisted — losing key material to enforce a
+// memory bound is never acceptable, so the session stays resident (counted
+// via fastd.store.write_failures).
+func (d *daemon) evictSession(victim *session) bool {
+	victim.mu.Lock()
+	dirty := !victim.persisted
+	victim.mu.Unlock()
+	if dirty {
+		if d.store.saveSnapshotRetry(victim.ctx, victim.meta) != nil {
+			return false
+		}
+		victim.mu.Lock()
+		victim.persisted = true
+		victim.mu.Unlock()
+	}
+	if err := d.store.rewriteIdem(victim.id, victim.idem.records()); err != nil {
+		d.logger.Warn("idempotency journal compaction failed", "session", victim.id, "error", err.Error())
+	}
+
+	d.mu.Lock()
+	if victim.lruEl == nil {
+		// A concurrent evict or delete already claimed it.
+		d.mu.Unlock()
+		return true
+	}
+	d.lru.Remove(victim.lruEl)
+	victim.lruEl = nil
+	delete(d.sessions, victim.id)
+	d.persisted[victim.id] = struct{}{}
+	n := len(d.sessions)
+	d.mu.Unlock()
+
+	d.mPlanEvicted.Add(uint64(victim.plans.drop()))
+	d.mEvicted.Inc()
+	d.mSessionCount.Set(int64(n))
+	d.updateOccupancy()
+	d.logger.Info("session evicted", "session", victim.id)
+	return true
+}
+
+// sweepIdle is the idle-TTL loop: sessions untouched for SessionTTL are
+// evicted to disk. Restore on next use is transparent (modulo latency), so
+// the TTL reclaims key-set memory from abandoned keyspaces without a
+// client-visible expiry.
+func (d *daemon) sweepIdle() {
+	defer close(d.sweepDone)
+	interval := d.cfg.SessionTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.sweepStop:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-d.cfg.SessionTTL)
+		var victims []*session
+		d.mu.RLock()
+		for _, s := range d.sessions {
+			if s.lruEl != nil && s.lastUsed.Before(cutoff) {
+				victims = append(victims, s)
+			}
+		}
+		d.mu.RUnlock()
+		for _, s := range victims {
+			d.evictSession(s)
+		}
+	}
+}
+
+// updateOccupancy refreshes the sessions.{resident,persisted} gauges.
+func (d *daemon) updateOccupancy() {
+	d.mu.RLock()
+	res, per := len(d.sessions), len(d.persisted)
+	d.mu.RUnlock()
+	d.mResident.Set(int64(res))
+	d.mPersisted.Set(int64(per))
+}
+
+// ---- Idempotent replay -----------------------------------------------------
+
+// withIdempotency gives mutating endpoints exactly-once semantics keyed by
+// the client's Idempotency-Key header:
+//
+//   - the first request for a key executes and its deterministic outcome
+//     (200/400/404) is journaled — fsync'd — BEFORE the response is released;
+//   - concurrent duplicates coalesce onto the first execution and replay its
+//     outcome (marked Idempotency-Replayed: true);
+//   - retries after a daemon crash replay from the journal rebuilt on session
+//     restore: ordering guarantees a recorded response was durable first, so
+//     "client saw a reply" implies "a retry replays that same reply";
+//   - transient ladder outcomes (429/503/504/408/500) are never recorded —
+//     the retry they invite must re-execute.
+//
+// Requests without the header bypass the table entirely.
+func (d *daemon) withIdempotency(w http.ResponseWriter, r *http.Request, sess *session, h func(w http.ResponseWriter)) {
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" || sess.idem == nil {
+		h(w)
+		return
+	}
+	for {
+		e, owner := sess.idem.begin(key)
+		if !owner {
+			select {
+			case <-e.done:
+			case <-r.Context().Done():
+				d.writeAdmissionError(w, r, fmt.Errorf("awaiting idempotent duplicate: %w", fast.ErrCanceled))
+				return
+			}
+			if e.status == 0 {
+				continue // original execution was abandoned (transient): retry owns it now
+			}
+			d.mIdemReplays.Inc()
+			obs.RequestFrom(r.Context()).SetOutcome("idem_replay")
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Header().Set("Idempotency-Replayed", "true")
+			w.WriteHeader(e.status)
+			_, _ = w.Write(e.body)
+			return
+		}
+
+		rr := newResponseRecorder()
+		h(rr)
+		if rr.recordable() {
+			// Durability BEFORE release: once the client can observe this
+			// response, a post-crash retry must find its record.
+			if d.store != nil {
+				d.store.appendIdemRetry(sess.id, idemRecord{Key: key, Status: rr.status, Body: rr.body})
+			}
+			sess.idem.complete(e, rr.status, rr.body)
+			d.mIdemRecorded.Inc()
+		} else {
+			sess.idem.abandon(e)
+		}
+		for k, vs := range rr.header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(rr.status)
+		_, _ = w.Write(rr.body)
+		return
+	}
+}

@@ -8,7 +8,16 @@
 //
 //	fastd [-addr 127.0.0.1:8080] [-workers 2] [-queue 8]
 //	      [-breaker-threshold 5] [-breaker-cooldown 2s] [-max-sessions 16]
+//	      [-state-dir ""] [-max-resident-sessions 0] [-session-ttl 0]
 //	      [-access-log stderr] [-log-level info] [-slow-request-ms 0]
+//
+// With -state-dir set, fastd is crash-safe: sessions are write-ahead
+// snapshotted (fsync + atomic rename) before the create response, restored
+// lazily after a restart, LRU-evicted to disk past -max-resident-sessions or
+// after -session-ttl idle, and requests carrying an Idempotency-Key header
+// are exactly-once across restarts (completed outcomes are journaled before
+// release and replayed to retries). Corrupt snapshots are detected by
+// checksum, skipped with a 410 and counted — never restored.
 //
 // Endpoints:
 //
@@ -48,6 +57,7 @@ import (
 	"time"
 
 	fast "github.com/fastfhe/fast"
+	"github.com/fastfhe/fast/internal/fault"
 	"github.com/fastfhe/fast/internal/obs"
 )
 
@@ -70,7 +80,11 @@ func run(args []string, stdout io.Writer) error {
 	queue := fs.Int("queue", 0, "admission queue depth (0 = 4x workers)")
 	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive fault-bearing requests that open the circuit breaker")
 	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "open interval before the half-open probe")
-	maxSessions := fs.Int("max-sessions", 16, "maximum live sessions")
+	maxSessions := fs.Int("max-sessions", 16, "maximum sessions (resident + persisted)")
+	stateDir := fs.String("state-dir", "", "directory for crash-safe session snapshots and idempotency journals (empty disables durability)")
+	maxResident := fs.Int("max-resident-sessions", 0, "sessions held in memory before LRU eviction to -state-dir (0 = -max-sessions)")
+	sessionTTL := fs.Duration("session-ttl", 0, "evict sessions idle longer than this to -state-dir (0 disables)")
+	storeFaults := fs.String("store-faults", "", "disk-write fault plan for chaos testing, e.g. \"disk=0.2\"")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
 	sequential := fs.Bool("sequential", false, "disable cross-request micro-batching (baseline/debug mode)")
 	logLevel := fs.String("log-level", "info", "access-log level: debug, info, warn or error")
@@ -86,17 +100,30 @@ func run(args []string, stdout io.Writer) error {
 	}
 	defer closeLog()
 
-	d := newDaemon(daemonConfig{
+	var faultPlan fault.Plan
+	if *storeFaults != "" {
+		if faultPlan, err = fault.ParsePlan(*storeFaults); err != nil {
+			return fmt.Errorf("fastd: -store-faults: %w", err)
+		}
+	}
+	d, err := newDaemon(daemonConfig{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		MaxSessions:      *maxSessions,
+		StateDir:         *stateDir,
+		MaxResident:      *maxResident,
+		SessionTTL:       *sessionTTL,
+		StoreFaults:      faultPlan,
 		Sequential:       *sequential,
 		Observer:         fast.NewTracingObserver(0),
 		Logger:           obs.NewLogger(logW, obs.ParseLogLevel(*logLevel)),
 		SlowRequest:      time.Duration(*slowRequestMs) * time.Millisecond,
 	})
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+
+	fast "github.com/fastfhe/fast"
+	"github.com/fastfhe/fast/internal/fault"
+	"github.com/fastfhe/fast/internal/obs"
+)
+
+// sessionStore is fastd's crash-safe persistence layer: one snapshot file per
+// session (the fast.SessionSnapshot wire format — versioned, checksummed key
+// material) plus an append-only idempotency journal. Every write is made
+// durable before it is relied on:
+//
+//   - snapshots are written to a temp file, fsync'd, atomically renamed into
+//     place, and the directory fsync'd — a crash at any point leaves either
+//     the old snapshot or the new one, never a torn file;
+//   - journal appends are fsync'd before the response that depends on them
+//     is released to the client.
+//
+// Corruption is detected, never trusted: a snapshot that fails its checksum
+// is skipped with a typed error (fast.ErrCorruptSnapshot) and counted — a
+// wrong decrypt from a torn or bit-flipped file is structurally impossible.
+//
+// The store consults a fault.Injector (DiskWrite kind) so the chaos suite
+// can exercise the degraded path: a failed durability write is retried once,
+// then the session is served resident-only and the failure counted.
+type sessionStore struct {
+	dir    string
+	inj    *fault.Injector
+	logger *slog.Logger
+
+	mWriteFailures *obs.Counter // fastd.store.write_failures (post-retry)
+	mWriteFaults   *obs.Counter // fastd.store.write_faults (injected)
+}
+
+const (
+	snapSuffix = ".snap"
+	idemSuffix = ".idem"
+)
+
+// errInjectedDiskWrite is the synthetic error of a DiskWrite fault.
+var errInjectedDiskWrite = errors.New("fastd: injected disk-write fault")
+
+func openSessionStore(dir string, inj *fault.Injector, reg *obs.Registry, logger *slog.Logger) (*sessionStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fastd: state dir: %w", err)
+	}
+	st := &sessionStore{dir: dir, inj: inj, logger: logger}
+	if reg != nil {
+		st.mWriteFailures = reg.Counter("fastd.store.write_failures")
+		st.mWriteFaults = reg.Counter("fastd.store.write_faults")
+	}
+	return st, nil
+}
+
+func (st *sessionStore) snapshotPath(id string) string { return filepath.Join(st.dir, id+snapSuffix) }
+func (st *sessionStore) idemPath(id string) string     { return filepath.Join(st.dir, id+idemSuffix) }
+
+// scan returns the session IDs with a snapshot on disk.
+func (st *sessionStore) scan() ([]string, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if name := e.Name(); !e.IsDir() && strings.HasSuffix(name, snapSuffix) {
+			ids = append(ids, strings.TrimSuffix(name, snapSuffix))
+		}
+	}
+	return ids, nil
+}
+
+// checkFault surfaces an injected DiskWrite fault as a write error.
+func (st *sessionStore) checkFault() error {
+	if st.inj.DiskWriteFails() {
+		st.mWriteFaults.Inc()
+		return errInjectedDiskWrite
+	}
+	return nil
+}
+
+// saveSnapshot durably persists the session's full state under its ID:
+// temp file, fsync, atomic rename, directory fsync. The write-ahead ordering
+// (snapshot before the create response, journal append before the eval
+// response) is what makes a SIGKILL at any instant recoverable.
+func (st *sessionStore) saveSnapshot(fctx *fast.Context, meta fast.SessionMeta) error {
+	if err := st.checkFault(); err != nil {
+		return err
+	}
+	final := st.snapshotPath(meta.ID)
+	tmp, err := os.CreateTemp(st.dir, meta.ID+".snap.tmp.*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if err := fctx.WriteSessionSnapshot(bw, meta); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	return st.syncDir()
+}
+
+// saveSnapshotRetry is saveSnapshot with the store's recovery policy: retry
+// once, then count and report the failure. Callers decide whether a failure
+// degrades (resident-only session) or aborts (nothing to serve without it).
+func (st *sessionStore) saveSnapshotRetry(fctx *fast.Context, meta fast.SessionMeta) error {
+	err := st.saveSnapshot(fctx, meta)
+	if err == nil {
+		return nil
+	}
+	if err = st.saveSnapshot(fctx, meta); err == nil {
+		return nil
+	}
+	st.mWriteFailures.Inc()
+	st.logger.Warn("session snapshot write failed", "session", meta.ID, "error", err.Error())
+	return err
+}
+
+// loadSnapshot reads and checksum-verifies a session snapshot. Key material
+// is not expanded yet — the caller bumps Meta.Restores first, then Restore()s.
+func (st *sessionStore) loadSnapshot(id string) (*fast.SessionSnapshot, error) {
+	data, err := os.ReadFile(st.snapshotPath(id))
+	if err != nil {
+		return nil, err
+	}
+	return fast.DecodeSessionSnapshot(data)
+}
+
+// remove deletes a session's snapshot and journal (best-effort; a missing
+// file is not an error) and syncs the directory.
+func (st *sessionStore) remove(id string) {
+	for _, p := range []string{st.snapshotPath(id), st.idemPath(id)} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			st.logger.Warn("session state remove failed", "session", id, "path", p, "error", err.Error())
+		}
+	}
+	_ = st.syncDir()
+}
+
+// syncDir fsyncs the state directory so renames and unlinks are durable.
+func (st *sessionStore) syncDir() error {
+	d, err := os.Open(st.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ---- Idempotency journal ---------------------------------------------------
+
+// appendIdem durably appends one completed-request record to the session's
+// idempotency journal: JSON line, fsync'd before returning — and therefore
+// before the recorded response reaches the client, so a retry arriving after
+// a crash always finds the record the original response was based on.
+func (st *sessionStore) appendIdem(id string, rec idemRecord) error {
+	if err := st.checkFault(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(st.idemPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// appendIdemRetry is appendIdem with the retry-once-then-degrade policy.
+func (st *sessionStore) appendIdemRetry(id string, rec idemRecord) {
+	if st.appendIdem(id, rec) == nil {
+		return
+	}
+	if err := st.appendIdem(id, rec); err != nil {
+		st.mWriteFailures.Inc()
+		st.logger.Warn("idempotency journal append failed", "session", id, "key", rec.Key, "error", err.Error())
+	}
+}
+
+// loadIdem replays a session's idempotency journal. A torn final line (the
+// crash landed mid-append; its fsync never completed, so no response was
+// released against it) is skipped with a log line, never an error.
+func (st *sessionStore) loadIdem(id string) []idemRecord {
+	f, err := os.Open(st.idemPath(id))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var recs []idemRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec idemRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			st.logger.Warn("idempotency journal: skipping torn record", "session", id, "error", err.Error())
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// rewriteIdem compacts a session's journal to exactly the given records
+// (atomic tmp+rename like snapshots). Used on eviction so the journal never
+// outgrows the bounded in-memory table it mirrors.
+func (st *sessionStore) rewriteIdem(id string, recs []idemRecord) error {
+	if err := st.checkFault(); err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		if err := os.Remove(st.idemPath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		return st.syncDir()
+	}
+	tmp, err := os.CreateTemp(st.dir, id+".idem.tmp.*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := bw.Write(append(line, '\n')); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), st.idemPath(id)); err != nil {
+		return err
+	}
+	return st.syncDir()
+}

@@ -86,6 +86,19 @@ func (pc *planCache) put(key string, p *fast.Plan) {
 	}
 }
 
+// drop empties the cache and returns the number of entries discarded — the
+// session delete/evict path, where retaining compiled plans for a keyspace
+// that no longer resides in memory would defeat the eviction's purpose.
+// The count feeds the serve.plan_cache.evicted counter.
+func (pc *planCache) drop() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	n := pc.ll.Len()
+	pc.ll.Init()
+	pc.items = make(map[string]*list.Element)
+	return n
+}
+
 // size returns the current entry count (test hook).
 func (pc *planCache) size() int {
 	pc.mu.Lock()

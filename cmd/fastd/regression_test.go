@@ -99,7 +99,10 @@ func TestSessionLimitUnderConcurrentCreates(t *testing.T) {
 // record nothing, or any interleaved healthy traffic masks a sustained fault
 // storm on another session and the breaker never trips.
 func TestHealthyTrafficDoesNotResetBreakerStreak(t *testing.T) {
-	d := newDaemon(daemonConfig{BreakerThreshold: 2})
+	d, err := newDaemon(daemonConfig{BreakerThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() { _ = d.drain(context.Background()) })
 
 	fctx, err := fast.NewContext(fast.ContextConfig{LogN: 9, Levels: 2, LogScale: 36, Seed: 1})

@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled mirrors the -race flag of the test build so the spawned fastd
+// binary is compiled with the same instrumentation.
+const raceEnabled = true

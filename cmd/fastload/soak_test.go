@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// buildFastd compiles the fastd binary the harness will spawn and kill. The
+// race detector is inherited from the test invocation, so `make soak-smoke`
+// (go test -race) chaoses a race-instrumented daemon.
+func buildFastd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "fastd")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	args := []string{"build", "-o", bin}
+	if raceEnabled {
+		args = append(args, "-race")
+	}
+	args = append(args, "github.com/fastfhe/fast/cmd/fastd")
+	cmd := exec.Command("go", args...)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build fastd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSoakSmoke is the CI-sized soak: a short Zipf workload over a handful of
+// sessions with ONE SIGKILL+restart cycle in the middle, asserting the full
+// durability contract (bit-identical restored decrypts, ladder-only errors,
+// exactly-once idempotent retries, p99 within a generous SLO). The full-size
+// soak is the fastload binary itself; this keeps `go test -short` fast.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke skipped in -short mode")
+	}
+	bin := buildFastd(t)
+	var log bytes.Buffer
+	rep, err := soak(soakConfig{
+		Spawn:    bin,
+		StateDir: t.TempDir(),
+		Sessions: 3,
+		RPS:      30,
+		Duration: 6 * time.Second,
+		Workers:  4,
+		ZipfS:    1.2,
+		Kills:    1,
+		SLOP99:   30 * time.Second,
+		Seed:     7,
+	}, &log)
+	if err != nil {
+		t.Fatalf("soak: %v\n%s", err, log.String())
+	}
+	t.Logf("soak: requests=%d success=%d retries=%d transport_errs=%d restarts=%d replays=%d p99=%.0fms",
+		rep.Requests, rep.Success, rep.Retries, rep.TransportErrors, rep.Restarts, rep.IdempotentReplays, rep.P99Ms)
+	if !rep.Pass {
+		t.Fatalf("soak failed: %v\n%s", rep.Failures, log.String())
+	}
+	if rep.Restarts != 1 {
+		t.Fatalf("expected exactly one kill/restart cycle, got %d", rep.Restarts)
+	}
+	if rep.Success == 0 {
+		t.Fatal("no successful requests")
+	}
+}

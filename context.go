@@ -84,9 +84,11 @@ func DefaultConfig() ContextConfig {
 // fixed at construction (WithDefaultMethod). See README.md ("Concurrency
 // model") for what is shared and what is pooled.
 type Context struct {
+	cfg           ContextConfig // resolved configuration (defaults applied)
 	params        *ckks.Parameters
 	encoder       *ckks.Encoder
 	sk            *ckks.SecretKey
+	pk            *ckks.PublicKey
 	enc           *ckks.Encryptor
 	dec           *ckks.Decryptor
 	keys          *ckks.EvaluationKeySet
@@ -122,6 +124,34 @@ func (c *Ciphertext) Scale() float64 {
 // wins): NewContext(fast.DefaultConfig(), fast.WithParallelism(4),
 // fast.WithDefaultMethod(fast.KLSS)).
 func NewContext(cfg ContextConfig, opts ...Option) (*Context, error) {
+	cfg, settings, err := resolveConfig(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	params, err := compileParameters(cfg)
+	if err != nil {
+		return nil, err
+	}
+	kgen := ckks.NewKeyGenerator(params)
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	methods := []ckks.KeySwitchMethod{ckks.Hybrid}
+	if cfg.EnableKLSS {
+		methods = append(methods, ckks.KLSS)
+	}
+	keys, err := kgen.GenEvaluationKeySet(sk, methods, cfg.Rotations, cfg.Conjugation)
+	if err != nil {
+		return nil, err
+	}
+	return assembleContext(cfg, settings, params, sk, pk, keys, params.Seed()+0x5eed)
+}
+
+// resolveConfig applies options on top of cfg, fills defaults and validates
+// the cross-field invariants shared by fresh construction and snapshot
+// restoration. The returned cfg is fully resolved: compiling it again yields
+// the identical parameter set, which is why it can be embedded verbatim in a
+// session snapshot.
+func resolveConfig(cfg ContextConfig, opts []Option) (ContextConfig, contextSettings, error) {
 	settings := contextSettings{cfg: &cfg, defaultMethod: Hybrid}
 	for _, o := range opts {
 		o(&settings)
@@ -143,12 +173,20 @@ func NewContext(cfg ContextConfig, opts ...Option) (*Context, error) {
 		cfg.Seed = 1
 	}
 	if cfg.Levels < 1 {
-		return nil, fmt.Errorf("fast: need at least one multiplicative level: %w", ErrInvalidParameters)
+		return cfg, settings, fmt.Errorf("fast: need at least one multiplicative level: %w", ErrInvalidParameters)
 	}
 	if settings.defaultMethod == KLSS && !cfg.EnableKLSS {
-		return nil, fmt.Errorf("fast: WithDefaultMethod(KLSS) requires EnableKLSS: %w", ErrMethodUnavailable)
+		return cfg, settings, fmt.Errorf("fast: WithDefaultMethod(KLSS) requires EnableKLSS: %w", ErrMethodUnavailable)
 	}
+	return cfg, settings, nil
+}
 
+// compileParameters maps a resolved ContextConfig onto a CKKS parameter set.
+// The mapping is deterministic: prime-chain generation depends only on the
+// literal, so the same config always compiles to bit-identical ring tables —
+// the property snapshot restoration relies on to pair persisted key material
+// with freshly compiled parameters.
+func compileParameters(cfg ContextConfig) (*ckks.Parameters, error) {
 	logQ := make([]int, cfg.Levels+1)
 	logQ[0] = cfg.LogScale + 14 // q0 absorbs the message plus noise margin
 	if logQ[0] > 55 {
@@ -170,32 +208,26 @@ func NewContext(cfg ContextConfig, opts ...Option) (*Context, error) {
 		lit.LogT = []int{60, 60}
 		lit.AlphaT = 2
 	}
-	params, err := ckks.NewParameters(lit)
-	if err != nil {
-		return nil, err
-	}
+	return ckks.NewParameters(lit)
+}
 
-	ctx := &Context{params: params}
+// assembleContext wires a Context from compiled parameters plus key material
+// — freshly generated (NewContext) or deserialised from a session snapshot
+// (SessionSnapshot.Restore). encSeed seeds the encryptor's deterministic
+// sampler stream; restoration passes a per-epoch seed so a restored session
+// never replays pre-crash encryption randomness.
+func assembleContext(cfg ContextConfig, settings contextSettings, params *ckks.Parameters,
+	sk *ckks.SecretKey, pk *ckks.PublicKey, keys *ckks.EvaluationKeySet, encSeed int64) (*Context, error) {
+	ctx := &Context{cfg: cfg, params: params, sk: sk, pk: pk, keys: keys}
 	ctx.encoder = ckks.NewEncoder(params)
-	kgen := ckks.NewKeyGenerator(params)
-	ctx.sk = kgen.GenSecretKey()
-	pk := kgen.GenPublicKey(ctx.sk)
-	ctx.enc = ckks.NewEncryptor(params, pk)
-	ctx.dec = ckks.NewDecryptor(params, ctx.sk)
+	ctx.enc = ckks.NewEncryptorWithSeed(params, pk, encSeed)
+	ctx.dec = ckks.NewDecryptor(params, sk)
 	if settings.observer != nil {
 		ctx.observer = settings.observer
 		ctx.enc.SetObserver(settings.observer.internal())
 	}
-
-	methods := []ckks.KeySwitchMethod{ckks.Hybrid}
-	if cfg.EnableKLSS {
-		methods = append(methods, ckks.KLSS)
-	}
-	ctx.keys, err = kgen.GenEvaluationKeySet(ctx.sk, methods, cfg.Rotations, cfg.Conjugation)
-	if err != nil {
-		return nil, err
-	}
-	ctx.eval, err = ckks.NewEvaluatorOptions(params, ctx.keys, ckks.EvaluatorOptions{
+	var err error
+	ctx.eval, err = ckks.NewEvaluatorOptions(params, keys, ckks.EvaluatorOptions{
 		Parallelism: cfg.Parallelism,
 		Observer:    settings.observer.internal(),
 	})
@@ -256,6 +288,11 @@ func (c *Context) Observer() *Observer { return c.observer }
 // key-switch phase timings, encryptor and sampler activity, and scratch-pool
 // traffic. On an unobserved context the snapshot is empty.
 func (c *Context) Metrics() *MetricsSnapshot { return c.observer.Metrics() }
+
+// Config returns the resolved configuration the context was built from
+// (defaults applied). Compiling it again yields an identical parameter set,
+// so it is the parameter description embedded in session snapshots.
+func (c *Context) Config() ContextConfig { return c.cfg }
 
 // Slots returns the number of packed values per ciphertext.
 func (c *Context) Slots() int { return c.params.Slots() }

@@ -84,4 +84,11 @@ var (
 	// expired (errors.Is also matches context.DeadlineExceeded), or a serving
 	// request shed on arrival because its deadline could not be met.
 	ErrDeadline = ckks.ErrDeadline
+
+	// ErrCorruptSnapshot reports a session snapshot that fails integrity
+	// validation — truncation, bit flips, wrong magic/version or inconsistent
+	// key material. The checksum is verified before any parsing, so a corrupt
+	// snapshot can never be partially restored into a session that would
+	// decrypt wrongly; recovery paths skip the file and log instead.
+	ErrCorruptSnapshot = ckks.ErrCorruptSnapshot
 )

@@ -47,7 +47,17 @@ type Encryptor struct {
 
 // NewEncryptor returns a public-key encryptor.
 func NewEncryptor(params *Parameters, pk *PublicKey) *Encryptor {
-	return &Encryptor{params: params, pk: pk, sampler: ring.NewSampler(params.seed + 0x5eed)}
+	return NewEncryptorWithSeed(params, pk, params.seed+0x5eed)
+}
+
+// NewEncryptorWithSeed returns a public-key encryptor whose deterministic
+// sampler stream starts from an explicit seed instead of the parameter-set
+// default. Session restoration uses this to start a fresh stream per restore
+// epoch: replaying the original seed after a crash would re-issue the exact
+// (u, e0, e1) draws of the earliest pre-crash encrypts, and reusing
+// encryption randomness under one public key leaks plaintext differences.
+func NewEncryptorWithSeed(params *Parameters, pk *PublicKey, seed int64) *Encryptor {
+	return &Encryptor{params: params, pk: pk, sampler: ring.NewSampler(seed)}
 }
 
 // SetObserver attaches observability instruments: an encrypt counter and

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"github.com/fastfhe/fast/internal/ring"
 )
@@ -23,6 +24,8 @@ const (
 	tagPlaintext  byte = 0x03
 	tagSwitchKey  byte = 0x04
 	tagPublicKey  byte = 0x05
+	tagSecretKey  byte = 0x06
+	tagEvalKeys   byte = 0x07
 )
 
 func writeHeader(w io.Writer, tag byte) error {
@@ -242,6 +245,158 @@ func ReadPublicKey(r io.Reader, params *Parameters) (*PublicKey, error) {
 		return nil, fmt.Errorf("ckks: public key shape inconsistent with parameters")
 	}
 	return &PublicKey{B: b, A: a}, nil
+}
+
+// Serialize writes the secret key. Only the signed ternary coefficients go on
+// the wire (one byte each): the NTT-form embeddings over the key rings are
+// deterministic functions of the signed vector and the parameter set, so
+// ReadSecretKey reconstructs them bit-identically. This keeps the snapshot
+// compact and means the secret's serialised form is independent of which
+// key-switching backends the parameter set enables.
+func (sk *SecretKey) Serialize(w io.Writer) error {
+	if err := writeHeader(w, tagSecretKey); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(sk.signed))); err != nil {
+		return err
+	}
+	buf := make([]int8, len(sk.signed))
+	for i, v := range sk.signed {
+		if v < -1 || v > 1 {
+			return fmt.Errorf("ckks: secret coefficient %d out of ternary range", v)
+		}
+		buf[i] = int8(v)
+	}
+	return binary.Write(w, binary.LittleEndian, buf)
+}
+
+// ReadSecretKey deserialises a secret key and rebuilds its NTT-form
+// embeddings over every key ring the parameter set enables (Q++P always,
+// Q++T when KLSS is available). Malformed input wraps ErrCorruptSnapshot.
+func ReadSecretKey(r io.Reader, params *Parameters) (*SecretKey, error) {
+	if err := readHeader(r, tagSecretKey); err != nil {
+		return nil, err
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if int(n) != params.N() {
+		return nil, fmt.Errorf("ckks: secret key length %d does not match N=%d: %w", n, params.N(), ErrCorruptSnapshot)
+	}
+	buf := make([]int8, n)
+	if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+		return nil, err
+	}
+	sk := &SecretKey{signed: make([]int64, n)}
+	for i, v := range buf {
+		if v < -1 || v > 1 {
+			return nil, fmt.Errorf("ckks: secret coefficient %d out of ternary range: %w", v, ErrCorruptSnapshot)
+		}
+		sk.signed[i] = int64(v)
+	}
+	sk.QP = params.ringQP.NewPoly()
+	setSignedInto(params.ringQP, sk.signed, sk.QP)
+	params.ringQP.NTT(sk.QP)
+	if params.ringQT != nil {
+		sk.QT = params.ringQT.NewPoly()
+		setSignedInto(params.ringQT, sk.signed, sk.QT)
+		params.ringQT.NTT(sk.QT)
+	}
+	return sk, nil
+}
+
+// Serialize writes the full evaluation-key set in a canonical order (methods
+// ascending, Galois elements ascending) so identical key sets always produce
+// identical bytes — the property the snapshot checksum relies on.
+func (s *EvaluationKeySet) Serialize(w io.Writer) error {
+	if err := writeHeader(w, tagEvalKeys); err != nil {
+		return err
+	}
+	methods := make([]KeySwitchMethod, 0, len(s.Relin))
+	for m := range s.Relin {
+		methods = append(methods, m)
+	}
+	sort.Slice(methods, func(i, j int) bool { return methods[i] < methods[j] })
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(methods))); err != nil {
+		return err
+	}
+	for _, m := range methods {
+		galEls := make([]uint64, 0, len(s.Galois[m]))
+		for el := range s.Galois[m] {
+			galEls = append(galEls, el)
+		}
+		sort.Slice(galEls, func(i, j int) bool { return galEls[i] < galEls[j] })
+		meta := [2]uint32{uint32(m), uint32(len(galEls))}
+		if err := binary.Write(w, binary.LittleEndian, meta); err != nil {
+			return err
+		}
+		if err := s.Relin[m].Serialize(w); err != nil {
+			return err
+		}
+		for _, el := range galEls {
+			if err := binary.Write(w, binary.LittleEndian, el); err != nil {
+				return err
+			}
+			if err := s.Galois[m][el].Serialize(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadEvaluationKeySet deserialises an evaluation-key set, validating every
+// switching key's shape against the parameter set.
+func ReadEvaluationKeySet(r io.Reader, params *Parameters) (*EvaluationKeySet, error) {
+	if err := readHeader(r, tagEvalKeys); err != nil {
+		return nil, err
+	}
+	var nMethods uint32
+	if err := binary.Read(r, binary.LittleEndian, &nMethods); err != nil {
+		return nil, err
+	}
+	if nMethods > 2 {
+		return nil, fmt.Errorf("ckks: implausible method count %d: %w", nMethods, ErrCorruptSnapshot)
+	}
+	set := NewEvaluationKeySet()
+	for i := uint32(0); i < nMethods; i++ {
+		var meta [2]uint32
+		if err := binary.Read(r, binary.LittleEndian, &meta); err != nil {
+			return nil, err
+		}
+		method := KeySwitchMethod(meta[0])
+		if method != Hybrid && method != KLSS {
+			return nil, fmt.Errorf("ckks: unknown key-switch method %d in key set: %w", meta[0], ErrCorruptSnapshot)
+		}
+		rlk, err := ReadSwitchingKey(r, params)
+		if err != nil {
+			return nil, err
+		}
+		if rlk.Method != method {
+			return nil, fmt.Errorf("ckks: relin key method %v under %v section: %w", rlk.Method, method, ErrCorruptSnapshot)
+		}
+		set.Relin[method] = rlk
+		nGal := int(meta[1])
+		if nGal < 0 || nGal > 1<<16 {
+			return nil, fmt.Errorf("ckks: implausible galois key count %d: %w", nGal, ErrCorruptSnapshot)
+		}
+		for j := 0; j < nGal; j++ {
+			var el uint64
+			if err := binary.Read(r, binary.LittleEndian, &el); err != nil {
+				return nil, err
+			}
+			gk, err := ReadSwitchingKey(r, params)
+			if err != nil {
+				return nil, err
+			}
+			if gk.Method != method {
+				return nil, fmt.Errorf("ckks: galois key method %v under %v section: %w", gk.Method, method, ErrCorruptSnapshot)
+			}
+			set.addGalois(method, el, gk)
+		}
+	}
+	return set, nil
 }
 
 // Serialize writes a switching key (all gadget pairs).

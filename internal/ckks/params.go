@@ -226,6 +226,9 @@ func (p *Parameters) Scale() float64 { return p.scale }
 // Sigma returns the noise standard deviation.
 func (p *Parameters) Sigma() float64 { return p.sigma }
 
+// Seed returns the randomness seed the parameter set was compiled with.
+func (p *Parameters) Seed() int64 { return p.seed }
+
 // Alpha returns the hybrid decomposition group size.
 func (p *Parameters) Alpha() int { return p.alpha }
 

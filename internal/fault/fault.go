@@ -49,6 +49,17 @@ const (
 	// following requests thrash; sustained pressure triggers the Aether
 	// degradation fallback.
 	PoolPressure
+	// DiskWrite fails a durability write (session snapshot, idempotency
+	// journal append) with a synthetic I/O error — a full disk, a torn
+	// write, a flaky volume. Recovery is retry-once then degrade: the
+	// session stays resident-only (served, but not crash-safe) and the
+	// failure is counted, never silently swallowed.
+	DiskWrite
+	// Restart models an abrupt process death (SIGKILL, OOM-kill, node
+	// loss). The injector only schedules it — the soak harness
+	// (cmd/fastload) queries RestartFires between requests and performs the
+	// actual kill/restart cycle against the daemon under test.
+	Restart
 
 	numKinds
 )
@@ -63,6 +74,10 @@ func (k Kind) String() string {
 		return "corruption"
 	case PoolPressure:
 		return "pool_pressure"
+	case DiskWrite:
+		return "disk_write"
+	case Restart:
+		return "restart"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -89,11 +104,18 @@ type Plan struct {
 	// PressureFraction is the fraction of pool capacity that survives a
 	// pressure event (default 0.5: half the resident keys are flushed).
 	PressureFraction float64
+	// DiskWrite is the per-attempt probability that a durability write
+	// (snapshot, journal append) fails with a synthetic I/O error.
+	DiskWrite float64
+	// Restart is the per-query probability that the soak harness should
+	// kill and restart the daemon under test at this point.
+	Restart float64
 }
 
 // Enabled reports whether the plan can inject anything.
 func (p Plan) Enabled() bool {
-	return p.TransferFailure > 0 || p.LatencySpike > 0 || p.Corruption > 0 || p.PoolPressure > 0
+	return p.TransferFailure > 0 || p.LatencySpike > 0 || p.Corruption > 0 || p.PoolPressure > 0 ||
+		p.DiskWrite > 0 || p.Restart > 0
 }
 
 // withDefaults resolves the magnitude knobs.
@@ -202,6 +224,10 @@ func ParsePlan(spec string) (Plan, error) {
 			if hasMag {
 				p.PressureFraction = magnitude
 			}
+		case "disk":
+			p.DiskWrite = prob
+		case "restart":
+			p.Restart = prob
 		default:
 			return Plan{}, fmt.Errorf("fault: unknown fault kind %q in %q", key, term)
 		}
@@ -234,6 +260,12 @@ func (p Plan) String() string {
 			t += fmt.Sprintf("/%g", p.PressureFraction)
 		}
 		terms = append(terms, t)
+	}
+	if p.DiskWrite > 0 {
+		terms = append(terms, fmt.Sprintf("disk=%g", p.DiskWrite))
+	}
+	if p.Restart > 0 {
+		terms = append(terms, fmt.Sprintf("restart=%g", p.Restart))
 	}
 	return strings.Join(terms, ",")
 }
@@ -354,6 +386,28 @@ func (i *Injector) Corrupts() bool {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	return i.fire(i.plan.Corruption, Corruption)
+}
+
+// DiskWriteFails reports whether this durability write attempt (snapshot,
+// journal append) fails with a synthetic I/O error.
+func (i *Injector) DiskWriteFails() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fire(i.plan.DiskWrite, DiskWrite)
+}
+
+// RestartFires reports whether the harness should kill and restart the
+// daemon under test at this point in the drive sequence.
+func (i *Injector) RestartFires() bool {
+	if i == nil {
+		return false
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.fire(i.plan.Restart, Restart)
 }
 
 // PoolPressure reports whether a pool-pressure event hits this request, and
