@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test test-short test-purego race chaos fuzz obs-smoke soak-smoke bench bench-json benchdiff bench-serve-json benchdiff-serve tables cover fmt vet clean
+.PHONY: all check build test test-short test-purego race chaos fuzz obs-smoke soak-smoke shard-chaos bench bench-json benchdiff bench-serve-json benchdiff-serve tables cover fmt vet clean
 
 all: build test
 
@@ -42,7 +42,7 @@ race:
 # re-close once faults stop. (-short keeps the op count CI-sized; drop it for
 # a deeper soak.)
 chaos:
-	$(GO) test -race -short -run 'Chaos|Fault|Resilience' . ./internal/sim ./internal/hemera ./cmd/fastsim ./cmd/fastd ./internal/serve
+	$(GO) test -race -short -run 'Chaos|Fault|Resilience' . ./internal/sim ./internal/hemera ./cmd/fastsim ./cmd/fastd ./internal/serve ./internal/shard
 	$(GO) test -race ./internal/fault
 
 # Fuzz smoke pass: each target fuzzes for 10s (Go allows one -fuzz pattern
@@ -70,6 +70,16 @@ obs-smoke:
 # soak is `go run ./cmd/fastload` (see its package doc).
 soak-smoke:
 	$(GO) test -race -run TestSoakSmoke -v ./cmd/fastload
+
+# Shard-failover gate: fastload spawns a race-instrumented 3-shard fastd and
+# fences one shard mid-soak through the chaos endpoint (an in-process SIGKILL:
+# permanent fence, hash-range remap, snapshot failover). Asserts the daemon
+# stays ready, the dead shard's sessions serve bit-identically from survivors,
+# errors stay on the typed ladder, idempotent retries are exactly-once, and
+# the shared evk tier shows cross-shard reuse within its byte budget.
+shard-chaos:
+	$(GO) test -race -run TestShardChaosSmoke -v ./cmd/fastload
+	$(GO) test -race -run 'TestShard|TestIdemJournal|TestForward' -v ./cmd/fastd
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -167,7 +167,7 @@ func TestFastdChaosScenariosBitExact(t *testing.T) {
 				t.Fatalf("scenario %s: served decryption is not bit-exact", scenario)
 			}
 
-			sess, err := d.getSession(sr.ID)
+			_, sess, err := d.resolve(sr.ID)
 			if err != nil {
 				t.Fatal("session vanished:", err)
 			}
@@ -303,7 +303,7 @@ func TestFastdFaultBreakerResilience(t *testing.T) {
 		default:
 			t.Fatalf("storm request %d: status %d: %s", i, status, raw)
 		}
-		if d.breaker.State() == serve.BreakerOpen {
+		if d.shards[0].breaker.State() == serve.BreakerOpen {
 			opened = true
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	fast "github.com/fastfhe/fast"
@@ -21,36 +22,58 @@ import (
 	"github.com/fastfhe/fast/internal/fault"
 	"github.com/fastfhe/fast/internal/obs"
 	"github.com/fastfhe/fast/internal/serve"
+	shardpkg "github.com/fastfhe/fast/internal/shard"
 )
 
 // daemonConfig sizes the serving layer.
 type daemonConfig struct {
+	// Shards is the number of failure-isolated serving lanes behind the one
+	// listener (default 1 — the pre-sharding topology). Each shard owns its
+	// own admission queue, worker pool, circuit breaker and resident-session
+	// LRU; sessions are pinned to shards by consistent hashing of the ID.
+	Shards int
+	// Workers is the evaluator pool size PER SHARD.
 	Workers    int
 	QueueDepth int
 	// BreakerThreshold is the number of consecutive fault-bearing requests
-	// that open the circuit breaker; BreakerCooldown the open interval before
-	// the half-open probe.
+	// that open a shard's circuit breaker; BreakerCooldown the open interval
+	// before the half-open probe.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
-	// MaxSessions bounds the session registry (each session owns a full key
-	// set — memory, not descriptors, is the scarce resource). With a state
-	// dir the bound covers resident AND persisted sessions: it is the total
-	// keyspace count the daemon will accept, not the memory bound.
+	// MaxSessions bounds the session keyspace count PROCESS-WIDE (each
+	// session owns a full key set — memory, not descriptors, is the scarce
+	// resource). The bound is enforced with one shared atomic reservation, so
+	// N shards cannot collectively overshoot it. With a state dir the bound
+	// covers resident AND persisted sessions.
 	MaxSessions int
 	// StateDir enables crash-safe session durability: every session is
 	// write-ahead snapshotted there on create (atomic rename, fsync'd),
 	// restored lazily after a restart, and evicted to disk under resident
 	// pressure. Empty disables persistence (sessions die with the process).
+	// The snapshot store is shared by all shards — it is also the failover
+	// channel: a fenced shard's sessions restore on the survivors from here.
 	StateDir string
 	// MaxResident bounds the sessions held in memory when StateDir is set
-	// (0 = MaxSessions). Past the bound the least-recently-used session is
-	// snapshotted (if dirty) and released; the next request faults it back in.
+	// (0 = MaxSessions), split evenly across shards. Past a shard's slice the
+	// least-recently-used session is snapshotted (if dirty) and released; the
+	// next request faults it back in.
 	MaxResident int
 	// SessionTTL evicts sessions idle longer than this to disk (0 disables;
 	// requires StateDir).
 	SessionTTL time.Duration
 	// IdemCap bounds each session's idempotency dedup table (0 = 512).
 	IdemCap int
+	// EvkBudget bounds the process-wide shared evaluation-key tier in bytes
+	// (0 = 256 MiB; negative disables retention but keeps accounting).
+	EvkBudget int64
+	// ProbeInterval / ProbeTimeout / FenceThreshold drive the shard
+	// supervisor: every ProbeInterval each live shard must execute a no-op
+	// task within ProbeTimeout; FenceThreshold consecutive failures fence the
+	// shard (its sessions fail over to the survivors). Probing only runs with
+	// Shards >= 2 — with one shard there is nowhere to fail over to.
+	ProbeInterval  time.Duration
+	ProbeTimeout   time.Duration
+	FenceThreshold int
 	// StoreFaults optionally injects disk-write failures into the persistence
 	// layer (chaos testing of the retry-then-degrade path).
 	StoreFaults fault.Plan
@@ -65,9 +88,15 @@ type daemonConfig struct {
 	// SlowRequest is the duration above which a completed request additionally
 	// emits a warn-level "slow request" record (0 disables).
 	SlowRequest time.Duration
+	// Peers lists sibling fastd base URLs for the multi-node forwarding
+	// skeleton (empty = single node; see forward.go).
+	Peers []string
 }
 
 func (c daemonConfig) withDefaults() daemonConfig {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.Workers <= 0 {
 		c.Workers = 2
 	}
@@ -89,6 +118,18 @@ func (c daemonConfig) withDefaults() daemonConfig {
 	if c.IdemCap <= 0 {
 		c.IdemCap = idemTableCap
 	}
+	if c.EvkBudget == 0 {
+		c.EvkBudget = 256 << 20
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval
+	}
+	if c.FenceThreshold <= 0 {
+		c.FenceThreshold = 5
+	}
 	if c.Observer == nil {
 		c.Observer = fast.NewObserver()
 	}
@@ -109,8 +150,9 @@ type session struct {
 	meta  fast.SessionMeta
 	idem  *idemTable // nil only for registry entries tests build by hand
 
-	// lruEl and lastUsed are guarded by daemon.mu (they move with the
-	// registry's LRU list); both stay zero when persistence is disabled.
+	// lruEl and lastUsed are guarded by the owning shard's mu (they move
+	// with that shard's LRU list); both stay zero when persistence is
+	// disabled.
 	lruEl    *list.Element
 	lastUsed time.Time
 
@@ -131,73 +173,76 @@ func (s *session) faultRecoveryDelta() int {
 	return delta
 }
 
-// daemon is the fastd HTTP server: a session registry in front of the
-// admission-controlled evaluator pool.
+// daemon is the fastd HTTP server: N failure-isolated shards behind one
+// listener, routed by a consistent-hash ring over session IDs, plus the
+// global pieces — the snapshot store, the shared evk tier, the supervisor
+// that fences failed shards, and the process-wide session budget.
 type daemon struct {
 	cfg      daemonConfig
-	srv      *serve.Server
-	batcher  *serve.Batcher
-	breaker  *serve.Breaker
+	shards   []*evalShard
+	ring     *shardpkg.Ring
+	sup      *shardpkg.Supervisor
+	evk      *fast.EvkCache
+	fwd      *forwarder // nil without -peers
 	observer *fast.Observer
 	requests *obs.RequestTable
 	logger   *slog.Logger
 
 	store *sessionStore // nil when persistence is disabled
 
-	mu        sync.RWMutex
-	sessions  map[string]*session      // resident
-	persisted map[string]struct{}      // on disk only (evicted or not yet restored)
-	corrupt   map[string]struct{}      // snapshot failed integrity validation; skipped
-	restoring map[string]chan struct{} // restore singleflight, closed on completion
-	lru       *list.List               // resident eviction order, front = most recent
-	reserved  int                      // slots held by in-flight session creates (keygen running)
-	nextID    uint64
+	// mu guards the GLOBAL registry state: sessions on disk, tombstones, and
+	// the owner table mapping resident session IDs to their current shard.
+	// Per-shard registries live behind each evalShard.mu (always acquired
+	// AFTER d.mu when both are needed).
+	mu        sync.Mutex
+	persisted map[string]struct{}   // on disk only (evicted or not yet restored)
+	corrupt   map[string]struct{}   // snapshot failed integrity validation; skipped
+	owners    map[string]*evalShard // resident session -> shard currently holding it
+
+	// occupancy is the shard-global MaxSessions reservation: resident +
+	// persisted + in-flight creates, maintained with one atomic so N shards
+	// admitting concurrently cannot collectively overshoot the bound.
+	occupancy atomic.Int64
+	resident  atomic.Int64
+	nextID    atomic.Uint64
+	draining  atomic.Bool
 
 	sweepStop chan struct{}
 	sweepDone chan struct{}
 	stopOnce  sync.Once
 
-	mRequests     *obs.Counter
-	mFaultTrips   *obs.Counter
-	mSessionCount *obs.Gauge
-	mPlanHits     *obs.Counter
-	mPlanMisses   *obs.Counter
-	mPlanEvicted  *obs.Counter
-	mResident     *obs.Gauge
-	mPersisted    *obs.Gauge
-	mRestored     *obs.Counter
-	mEvicted      *obs.Counter
-	mCorrupt      *obs.Counter
-	mIdemReplays  *obs.Counter
-	mIdemRecorded *obs.Counter
+	mRequests      *obs.Counter
+	mFaultTrips    *obs.Counter
+	mSessionCount  *obs.Gauge
+	mPlanEvicted   *obs.Counter
+	mPlanHits      *obs.Counter
+	mPlanMisses    *obs.Counter
+	mResident      *obs.Gauge
+	mPersisted     *obs.Gauge
+	mRestored      *obs.Counter
+	mEvicted       *obs.Counter
+	mCorrupt       *obs.Counter
+	mIdemReplays   *obs.Counter
+	mIdemRecorded  *obs.Counter
+	mShardMigrated *obs.Counter
+	mShardLost     *obs.Counter
+	mShardDown     *obs.Counter
 }
 
 func newDaemon(cfg daemonConfig) (*daemon, error) {
 	cfg = cfg.withDefaults()
 	reg := cfg.Observer.Registry()
-	br := serve.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	d := &daemon{
 		cfg:       cfg,
-		breaker:   br,
 		observer:  cfg.Observer,
 		requests:  obs.NewRequestTable(reg),
 		logger:    cfg.Logger,
-		sessions:  map[string]*session{},
 		persisted: map[string]struct{}{},
 		corrupt:   map[string]struct{}{},
-		restoring: map[string]chan struct{}{},
-		lru:       list.New(),
-		srv: serve.New(serve.Config{
-			Workers:    cfg.Workers,
-			QueueDepth: cfg.QueueDepth,
-			Breaker:    br,
-			Reg:        reg,
-		}),
+		owners:    map[string]*evalShard{},
+		ring:      shardpkg.NewRing(cfg.Shards, 0),
+		evk:       fast.NewEvkCache(cfg.EvkBudget, cfg.Observer),
 	}
-	// Eval requests batch by session: concurrently admitted programs on one
-	// keyspace execute as a micro-batch, sharing hoisted decompositions when
-	// their rotation groups read identical input ciphertexts.
-	d.batcher = serve.NewBatcher(d.srv, d.runEvalBatch, reg)
 	if reg != nil {
 		d.mRequests = reg.Counter("fastd.requests")
 		d.mFaultTrips = reg.Counter("fastd.breaker_fault_reports")
@@ -212,6 +257,34 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		d.mCorrupt = reg.Counter("sessions.corrupt")
 		d.mIdemReplays = reg.Counter("fastd.idem.replays")
 		d.mIdemRecorded = reg.Counter("fastd.idem.recorded")
+		d.mShardMigrated = reg.Counter("fastd.shard.sessions_migrated")
+		d.mShardLost = reg.Counter("fastd.shard.sessions_lost")
+		d.mShardDown = reg.Counter("fastd.shard.down_refusals")
+	}
+	residentSlices := splitResident(cfg.MaxResident, cfg.Shards)
+	d.shards = make([]*evalShard, cfg.Shards)
+	for i := range d.shards {
+		d.shards[i] = newEvalShard(d, i, residentSlices[i])
+	}
+	// The supervisor health-checks shards through their own admission path
+	// and fences the wedged ones. With a single shard there is no survivor to
+	// fail over to, so probing is disabled (Kill still works for tests).
+	var probe func(context.Context, int) error
+	if cfg.Shards > 1 {
+		probe = d.probeShard
+	}
+	d.sup = shardpkg.NewSupervisor(d.ring, shardpkg.SupervisorConfig{
+		Shards:       cfg.Shards,
+		Probe:        probe,
+		Interval:     cfg.ProbeInterval,
+		ProbeTimeout: cfg.ProbeTimeout,
+		Threshold:    cfg.FenceThreshold,
+		OnFence:      d.onFence,
+		OnUnfence:    d.onUnfence,
+		Reg:          reg,
+	})
+	if len(cfg.Peers) > 0 {
+		d.fwd = newForwarder(cfg.Peers, reg, d.logger)
 	}
 	if cfg.StateDir != "" {
 		store, err := openSessionStore(cfg.StateDir, fault.NewInjector(cfg.StoreFaults), reg, d.logger)
@@ -230,10 +303,11 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 		}
 		for _, id := range ids {
 			d.persisted[id] = struct{}{}
-			if n, err := strconv.ParseUint(strings.TrimPrefix(id, "s"), 10, 64); err == nil && n > d.nextID {
-				d.nextID = n
+			if n, err := strconv.ParseUint(strings.TrimPrefix(id, "s"), 10, 64); err == nil && n > d.nextID.Load() {
+				d.nextID.Store(n)
 			}
 		}
+		d.occupancy.Store(int64(len(ids)))
 		d.updateOccupancy()
 		if len(ids) > 0 {
 			d.logger.Info("session state recovered", "dir", cfg.StateDir, "persisted", len(ids))
@@ -247,53 +321,47 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	return d, nil
 }
 
-// runEvalBatch executes one micro-batch of compiled eval requests. All items
-// share a batch key (the session ID), so one session context executes them;
-// each run keeps its own request context for per-request cancellation.
-func (d *daemon) runEvalBatch(items []*serve.BatchItem) {
-	runs := make([]*fast.Run, len(items))
-	var sess *session
-	for i, it := range items {
-		ce := it.Payload.(*compiledEval)
-		sess = ce.sess
-		runs[i] = &fast.Run{
-			Plan:     ce.plan,
-			Inputs:   ce.inputs,
-			InputIDs: ce.inputIDs,
-			Ctx:      it.Ctx,
-		}
+// route resolves a session ID to its ring-assigned live shard.
+func (d *daemon) route(id string) (*evalShard, error) {
+	i, err := d.ring.Owner(id)
+	if err != nil {
+		d.mShardDown.Inc()
+		return nil, err
 	}
-	sess.ctx.ExecuteBatch(runs)
-	d.recordFaultHealth(sess)
-	for i, it := range items {
-		// Stamp the batch sequence onto the in-flight record so the access
-		// log and /debug/requests can join against /debug/plans.
-		obs.RequestFrom(it.Ctx).SetBatch(runs[i].Batch)
-		if runs[i].Err != nil {
-			it.Finish(nil, runs[i].Err)
-			continue
-		}
-		resp, err := encodeCiphertext(runs[i].Out)
-		if err != nil {
-			it.Finish(nil, err)
-			continue
-		}
-		it.Finish(resp, nil)
-	}
+	return d.shards[i], nil
 }
 
-// drain gracefully stops the admission layer (bounded by ctx) and the idle
-// sweeper. No final mass-snapshot is needed: durability is write-ahead, so
-// whatever is on disk at any instant — graceful drain or SIGKILL — is already
-// a consistent recovery image.
+// drain gracefully stops the supervisor, every shard's admission layer
+// (bounded by ctx) and the idle sweeper. No final mass-snapshot is needed:
+// durability is write-ahead, so whatever is on disk at any instant —
+// graceful drain or SIGKILL — is already a consistent recovery image.
 func (d *daemon) drain(ctx context.Context) error {
+	d.draining.Store(true)
 	d.stopOnce.Do(func() {
+		d.sup.Stop()
 		if d.sweepStop != nil {
 			close(d.sweepStop)
 			<-d.sweepDone
 		}
 	})
-	return d.srv.Drain(ctx)
+	var firstErr error
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, sh := range d.shards {
+		wg.Add(1)
+		go func(sh *evalShard) {
+			defer wg.Done()
+			if err := sh.srv.Drain(ctx); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(sh)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // ---- HTTP surface ----------------------------------------------------------
@@ -311,6 +379,7 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/encrypt", d.handleEncrypt)
 	mux.HandleFunc("POST /v1/sessions/{id}/decrypt", d.handleDecrypt)
 	mux.HandleFunc("POST /v1/sessions/{id}/eval", d.handleEval)
+	mux.HandleFunc("POST /debug/shards/{id}/kill", d.handleKillShard)
 
 	ob := d.observer.Handler()
 	for _, p := range []string{"/metrics", "/debug/", "/snapshot.json", "/trace.json", "/trace.txt"} {
@@ -319,7 +388,11 @@ func (d *daemon) handler() http.Handler {
 	// Most-specific-pattern-wins: these shadow the observer's /debug/ catch-all.
 	mux.Handle("GET /debug/requests", d.requests.Handler())
 	mux.HandleFunc("GET /debug/plans", d.handlePlans)
-	return d.withObservability(mux)
+	var h http.Handler = mux
+	if d.fwd != nil {
+		h = d.fwd.middleware(h)
+	}
+	return d.withObservability(h)
 }
 
 // handlePlans serves the observer's retained plan-execution records (the ring
@@ -353,49 +426,89 @@ type sessionReadiness struct {
 	Corrupt     uint64 `json:"corrupt"`
 }
 
+// rollupBreaker summarises per-shard breaker states for the global view: the
+// daemon can serve key-switch traffic as long as one live shard's breaker is
+// not open, so the rollup reports the most-available state across live
+// shards ("closed" beats "half-open" beats "open").
+func (d *daemon) rollupBreaker() string {
+	best := serve.BreakerOpen
+	seen := false
+	for i, sh := range d.shards {
+		if d.ring.Fenced(i) {
+			continue
+		}
+		seen = true
+		switch sh.breaker.State() {
+		case serve.BreakerClosed:
+			return serve.BreakerClosed.String()
+		case serve.BreakerHalfOpen:
+			best = serve.BreakerHalfOpen
+		}
+	}
+	if !seen {
+		return serve.BreakerOpen.String()
+	}
+	return best.String()
+}
+
 func (d *daemon) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	type readiness struct {
-		Ready    bool               `json:"ready"`
-		Draining bool               `json:"draining"`
-		Breaker  string             `json:"breaker"`
-		Queue    int                `json:"queue_depth"`
-		Inflight int                `json:"inflight_requests"`
-		Sessions sessionReadiness   `json:"sessions"`
-		Latency  map[string]float64 `json:"latency"`
+		Ready      bool               `json:"ready"`
+		Draining   bool               `json:"draining"`
+		Breaker    string             `json:"breaker"`
+		Queue      int                `json:"queue_depth"`
+		Inflight   int                `json:"inflight_requests"`
+		Shards     []shardReadiness   `json:"shards"`
+		LiveShards int                `json:"live_shards"`
+		Sessions   sessionReadiness   `json:"sessions"`
+		Evk        evkReadiness       `json:"evk"`
+		Latency    map[string]float64 `json:"latency"`
 	}
 	// Quantiles are estimated from the end-to-end log2-bucket latency
 	// histogram (rank interpolation, within 2x of exact) — the same numbers
 	// the serve.latency.p*_ns gauges export on /metrics.
 	lat := d.observer.Registry().Histogram("serve.latency_ns").Snapshot()
-	d.mu.RLock()
-	occupancy := len(d.sessions) + len(d.persisted) + d.reserved
+	d.mu.Lock()
+	persisted := len(d.persisted)
+	d.mu.Unlock()
+	occupancy := int(d.occupancy.Load())
+	shards := d.shardReadiness()
+	queue := 0
+	for _, s := range shards {
+		queue += s.Queue
+	}
 	sess := sessionReadiness{
-		Resident:    len(d.sessions),
-		Persisted:   len(d.persisted),
+		Resident:    int(d.resident.Load()),
+		Persisted:   persisted,
 		Max:         d.cfg.MaxSessions,
 		MaxResident: d.cfg.MaxResident,
 		Restored:    d.mRestored.Value(),
 		Evicted:     d.mEvicted.Value(),
 		Corrupt:     d.mCorrupt.Value(),
 	}
-	d.mu.RUnlock()
 	r := readiness{
-		Draining: d.srv.Draining(),
-		Breaker:  d.breaker.State().String(),
-		Queue:    d.srv.QueueLen(),
-		Inflight: d.requests.Len(),
-		Sessions: sess,
+		Draining:   d.draining.Load(),
+		Breaker:    d.rollupBreaker(),
+		Queue:      queue,
+		Inflight:   d.requests.Len(),
+		Shards:     shards,
+		LiveShards: d.ring.Live(),
+		Sessions:   sess,
+		Evk:        d.evkReadiness(),
 		Latency: map[string]float64{
 			"serve.latency.p50_ns": lat.Quantile(0.50),
 			"serve.latency.p90_ns": lat.Quantile(0.90),
 			"serve.latency.p99_ns": lat.Quantile(0.99),
 		},
 	}
-	// A full registry flips readiness: the next session create would be
-	// refused (429), so a balancer should steer keyspace-creating clients
-	// elsewhere. Existing sessions keep being served either way.
-	r.Ready = !r.Draining && d.breaker.State() != serve.BreakerOpen &&
-		occupancy < d.cfg.MaxSessions
+	// Readiness flips when the NEXT unit of work would be refused everywhere:
+	// draining, a full session budget (the next create 429s), every shard
+	// fenced, or every live shard's breaker open. A fenced shard with live
+	// survivors keeps the daemon ready — that is the point of failover: its
+	// sessions are being served elsewhere, capacity degraded, availability
+	// did not.
+	r.Ready = !r.Draining && r.Breaker != serve.BreakerOpen.String() &&
+		r.LiveShards > 0 && occupancy < d.cfg.MaxSessions
 	if !r.Ready {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
@@ -421,6 +534,7 @@ type sessionResponse struct {
 	ID       string `json:"id"`
 	Slots    int    `json:"slots"`
 	MaxLevel int    `json:"max_level"`
+	Shard    int    `json:"shard"`
 }
 
 func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -441,50 +555,56 @@ func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		Seed:        req.Seed,
 		Parallelism: req.Parallelism,
 	}
-	opts := []fast.Option{fast.WithObserver(d.observer)}
+
+	// Reserve the session slot BEFORE the expensive keygen: checking the
+	// limit, running seconds of key generation and only then inserting would
+	// let N concurrent creates all pass the check and grow the registry past
+	// MaxSessions — the memory bound the limit exists to enforce. The
+	// reservation is one shared atomic, so creates admitted concurrently on
+	// DIFFERENT shards still cannot collectively overshoot the process-wide
+	// bound. It is released on any failure path and converted into the real
+	// entry on success.
+	if d.occupancy.Add(1) > int64(d.cfg.MaxSessions) {
+		d.occupancy.Add(-1)
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("session limit %d reached", d.cfg.MaxSessions))
+		return
+	}
+	id := "s" + strconv.FormatUint(d.nextID.Add(1), 10)
+	sh, err := d.route(id)
+	if err != nil {
+		d.occupancy.Add(-1)
+		d.writeAdmissionError(w, r, err)
+		return
+	}
+
+	opts := []fast.Option{fast.WithObserver(d.observer), fast.WithEvkCache(d.evk, id, sh.id)}
 	if req.FaultScenario != "" && req.FaultScenario != "none" {
 		plan, err := fast.FaultScenario(req.FaultScenario)
 		if err != nil {
+			d.occupancy.Add(-1)
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
 		opts = append(opts, fast.WithFaultPlan(plan))
 	}
 
-	// Reserve the session slot under the lock BEFORE the expensive keygen:
-	// checking the limit, unlocking for seconds of key generation and only
-	// then inserting would let N concurrent creates all pass the check and
-	// grow the registry past MaxSessions — the memory bound the limit exists
-	// to enforce. The reservation is released on any failure path and
-	// converted into the real entry on success.
-	d.mu.Lock()
-	if len(d.sessions)+len(d.persisted)+d.reserved >= d.cfg.MaxSessions {
-		d.mu.Unlock()
-		httpError(w, http.StatusTooManyRequests,
-			fmt.Errorf("session limit %d reached", d.cfg.MaxSessions))
-		return
-	}
-	d.reserved++
-	d.nextID++
-	id := "s" + strconv.FormatUint(d.nextID, 10)
-	d.mu.Unlock()
-
-	// Key generation is expensive: run it under admission control too, so a
-	// burst of session creates cannot starve evaluation workers unnoticed.
+	// Key generation is expensive: run it under the owning shard's admission
+	// control too, so a burst of session creates cannot starve that shard's
+	// evaluation workers unnoticed (and cannot starve any OTHER shard's
+	// workers at all).
 	var fctx *fast.Context
 	units := keygenUnits(cfg)
 	obsReq := obs.RequestFrom(r.Context())
 	obsReq.SetSession(id)
 	obsReq.SetUnits(units)
-	err := d.srv.Do(r.Context(), serve.Op{Name: "keygen", Units: units}, func(ctx context.Context) error {
+	err = sh.srv.Do(r.Context(), serve.Op{Name: "keygen", Units: units}, func(ctx context.Context) error {
 		var err error
 		fctx, err = fast.NewContext(cfg, opts...)
 		return err
 	})
 	if err != nil {
-		d.mu.Lock()
-		d.reserved--
-		d.mu.Unlock()
+		d.occupancy.Add(-1)
 		d.writeAdmissionError(w, r, err)
 		return
 	}
@@ -511,47 +631,61 @@ func (d *daemon) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 
 	d.mu.Lock()
-	d.reserved--
-	d.sessions[id] = sess
+	sh.mu.Lock()
+	d.owners[id] = sh
+	sh.sessions[id] = sess
 	if d.store != nil {
-		sess.lruEl = d.lru.PushFront(sess)
+		sess.lruEl = sh.lru.PushFront(sess)
 		sess.lastUsed = time.Now()
 	}
-	n := len(d.sessions)
+	sh.mu.Unlock()
 	d.mu.Unlock()
-	d.mSessionCount.Set(int64(n))
+	n := d.resident.Add(1)
+	d.mSessionCount.Set(n)
 	d.updateOccupancy()
-	d.enforceResident()
-	writeJSON(w, sessionResponse{ID: id, Slots: fctx.Slots(), MaxLevel: fctx.MaxLevel()})
+	d.enforceResident(sh)
+	writeJSON(w, sessionResponse{ID: id, Slots: fctx.Slots(), MaxLevel: fctx.MaxLevel(), Shard: sh.id})
 }
 
 func (d *daemon) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	d.mRequests.Inc()
 	id := r.PathValue("id")
 	d.mu.Lock()
-	s, resident := d.sessions[id]
+	sh := d.owners[id]
+	var s *session
+	resident := sh != nil
+	if resident {
+		sh.mu.Lock()
+		s = sh.sessions[id]
+		delete(sh.sessions, id)
+		if s != nil && s.lruEl != nil {
+			sh.lru.Remove(s.lruEl)
+			s.lruEl = nil
+		}
+		sh.mu.Unlock()
+		delete(d.owners, id)
+	}
 	_, onDisk := d.persisted[id]
 	_, wasCorrupt := d.corrupt[id]
-	delete(d.sessions, id)
 	delete(d.persisted, id)
 	delete(d.corrupt, id)
-	if resident && s.lruEl != nil {
-		d.lru.Remove(s.lruEl)
-		s.lruEl = nil
-	}
-	n := len(d.sessions)
 	d.mu.Unlock()
 	if !resident && !onDisk && !wasCorrupt {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
 		return
 	}
+	if resident || onDisk {
+		// A corrupt tombstone released its occupancy slot when it was
+		// tombstoned — deleting it only clears the 410.
+		d.occupancy.Add(-1)
+	}
 	if resident {
 		d.mPlanEvicted.Add(uint64(s.plans.drop()))
+		d.mSessionCount.Set(d.resident.Add(-1))
 	}
 	if d.store != nil {
 		d.store.remove(id)
 	}
-	d.mSessionCount.Set(int64(n))
 	d.updateOccupancy()
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -609,7 +743,7 @@ func decodeCiphertext(fctx *fast.Context, b64 string) (*fast.Ciphertext, error) 
 
 func (d *daemon) handleEncrypt(w http.ResponseWriter, r *http.Request) {
 	d.mRequests.Inc()
-	sess, err := d.getSession(r.PathValue("id"))
+	sh, sess, err := d.resolve(r.PathValue("id"))
 	if err != nil {
 		d.writeAdmissionError(w, r, err)
 		return
@@ -627,7 +761,7 @@ func (d *daemon) handleEncrypt(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 
 		var resp ciphertextResponse
-		err := d.srv.Do(ctx, serve.Op{Name: "encrypt", Units: sess.cm.PassUnits()}, func(ctx context.Context) error {
+		err := sh.srv.Do(ctx, serve.Op{Name: "encrypt", Units: sess.cm.PassUnits()}, func(ctx context.Context) error {
 			ct, err := sess.ctx.Encrypt(toComplex(req.Values))
 			if err != nil {
 				return err
@@ -653,7 +787,7 @@ type decryptResponse struct {
 
 func (d *daemon) handleDecrypt(w http.ResponseWriter, r *http.Request) {
 	d.mRequests.Inc()
-	sess, err := d.getSession(r.PathValue("id"))
+	sh, sess, err := d.resolve(r.PathValue("id"))
 	if err != nil {
 		d.writeAdmissionError(w, r, err)
 		return
@@ -675,7 +809,7 @@ func (d *daemon) handleDecrypt(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	var resp decryptResponse
-	err = d.srv.Do(ctx, serve.Op{Name: "decrypt", Units: sess.cm.PassUnits()}, func(ctx context.Context) error {
+	err = sh.srv.Do(ctx, serve.Op{Name: "decrypt", Units: sess.cm.PassUnits()}, func(ctx context.Context) error {
 		vals := sess.ctx.Decrypt(ct)
 		if vals == nil {
 			return fmt.Errorf("decrypt: %w", fast.ErrInvalidCiphertext)
@@ -692,7 +826,7 @@ func (d *daemon) handleDecrypt(w http.ResponseWriter, r *http.Request) {
 
 func (d *daemon) handleEval(w http.ResponseWriter, r *http.Request) {
 	d.mRequests.Inc()
-	sess, err := d.getSession(r.PathValue("id"))
+	sh, sess, err := d.resolve(r.PathValue("id"))
 	if err != nil {
 		d.writeAdmissionError(w, r, err)
 		return
@@ -721,9 +855,9 @@ func (d *daemon) handleEval(w http.ResponseWriter, r *http.Request) {
 			// Baseline/escape-hatch mode: straight-line interpretation on this
 			// request's own worker, no cross-request coalescing.
 			var resp ciphertextResponse
-			err = d.srv.Do(ctx, op, func(ctx context.Context) error {
+			err = sh.srv.Do(ctx, op, func(ctx context.Context) error {
 				out, err := sess.ctx.ExecuteSequential(ctx, ce.plan, ce.inputs)
-				d.recordFaultHealth(sess)
+				sh.recordFaultHealth(sess)
 				if err != nil {
 					return err
 				}
@@ -737,38 +871,13 @@ func (d *daemon) handleEval(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, resp)
 			return
 		}
-		res, err := d.batcher.Do(ctx, op, sess.id, ce)
+		res, err := sh.batcher.Do(ctx, op, sess.id, ce)
 		if err != nil {
 			d.writeAdmissionError(w, r, err)
 			return
 		}
 		writeJSON(w, res.(ciphertextResponse))
 	})
-}
-
-// recordFaultHealth feeds the circuit breaker the session's modeled Hemera
-// transfer-fault delta: a request whose key transfers needed recovery actions
-// (retries, timeouts, refetches) counts as a downstream failure even though
-// the computation itself succeeded bit-exactly — the breaker's job is to
-// detect the transfer fault storm, not corrupt data.
-//
-// Sessions without an active fault plan record NOTHING here: the breaker is
-// daemon-global and consecutive-failure based, so a RecordSuccess per healthy
-// eval would reset the streak and let any interleaved healthy-session traffic
-// mask a sustained fault storm on another session. Half-open recovery does
-// not depend on this call — the admission layer resolves the probe task's
-// outcome itself (serve.Server.settle), so a clean eval still re-closes an
-// open breaker after faults stop.
-func (d *daemon) recordFaultHealth(sess *session) {
-	if !sess.ctx.FaultPlanActive() {
-		return
-	}
-	if delta := sess.faultRecoveryDelta(); delta > 0 {
-		d.mFaultTrips.Inc()
-		d.breaker.RecordFailure()
-	} else {
-		d.breaker.RecordSuccess()
-	}
 }
 
 // requestContext derives the task context from the request: the client
@@ -790,7 +899,9 @@ func requestContext(r *http.Request) (context.Context, context.CancelFunc) {
 // codes — the degradation ladder, as seen by a client:
 //
 //	429 Too Many Requests   queue full (burst; back off and retry)
-//	503 Service Unavailable breaker open or draining (retry elsewhere/later)
+//	503 Service Unavailable breaker open, draining, or shard down
+//	                        (shard_down carries Retry-After: failover is in
+//	                        progress, retry shortly and a survivor serves it)
 //	504 Gateway Timeout     shed: deadline provably unmeetable
 //	408 Request Timeout     canceled/deadline mid-flight
 //	404 Not Found           session unknown (neither resident nor on disk)
@@ -799,7 +910,7 @@ func requestContext(r *http.Request) (context.Context, context.CancelFunc) {
 //
 // The rung is also recorded as the request's outcome, so the access log names
 // the exact ladder step even where the status code is ambiguous (503 covers
-// both breaker_open and draining; 504 covers both shed and deadline).
+// breaker_open, draining and shard_down; 504 covers both shed and deadline).
 func (d *daemon) writeAdmissionError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusInternalServerError
 	outcome := "error"
@@ -811,6 +922,12 @@ func (d *daemon) writeAdmissionError(w http.ResponseWriter, r *http.Request, err
 		// is permanently unrecoverable — restoring it could decrypt wrongly.
 		// Clients must re-create the keyspace, not retry.
 		status, outcome = http.StatusGone, "corrupt_snapshot"
+	case errors.Is(err, shardpkg.ErrShardDown):
+		// Failover window: the owning shard is fenced and its sessions are
+		// mid-migration. Retry-After tells the client this is the transient
+		// rung — one short backoff and a surviving shard owns the range.
+		w.Header().Set("Retry-After", "1")
+		status, outcome = http.StatusServiceUnavailable, "shard_down"
 	case errors.Is(err, serve.ErrQueueFull):
 		status, outcome = http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, serve.ErrShed):

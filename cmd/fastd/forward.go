@@ -1,0 +1,279 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/fastfhe/fast/internal/obs"
+	shardpkg "github.com/fastfhe/fast/internal/shard"
+)
+
+// forwarder is the multi-node skeleton: with -peers set, session-scoped
+// requests whose ID hashes to another node are proxied there over HTTP
+// instead of being served locally. It reuses the same consistent-hash ring as
+// in-process sharding — nodes are ring members, peer[0] is this node — so the
+// session → node mapping is stable across the fleet as long as every node is
+// started with the same -peers list (each with itself first).
+//
+// This is deliberately a SKELETON of the scale-out path: it forwards, retries
+// with jittered backoff, and hedges idempotent requests, but there is no
+// membership gossip, no remote health fencing, and no cross-node snapshot
+// hand-off — a session created on node A is served by node A until the fleet
+// topology says otherwise. Creates always run locally (the creating node owns
+// the ID it mints).
+type forwarder struct {
+	self   string   // base URL of this node (peers[0]), for logging only
+	peers  []string // all nodes, index-aligned with ring members
+	ring   *shardpkg.Ring
+	client *http.Client
+	logger *slog.Logger
+
+	// rngMu guards the backoff/hedge jitter source (math/rand.Rand is not
+	// goroutine-safe).
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// perAttempt bounds each proxy attempt; attempts is the total tries for
+	// a forwardable request (1 original + retries); hedgeAfter arms the
+	// at-most-one hedged duplicate for idempotent requests.
+	perAttempt time.Duration
+	attempts   int
+	hedgeAfter time.Duration
+
+	mForwarded *obs.Counter
+	mRetries   *obs.Counter
+	mHedges    *obs.Counter
+	mErrors    *obs.Counter
+}
+
+func newForwarder(peers []string, reg *obs.Registry, logger *slog.Logger) *forwarder {
+	f := &forwarder{
+		self:       peers[0],
+		peers:      peers,
+		ring:       shardpkg.NewRing(len(peers), 0),
+		client:     &http.Client{},
+		logger:     logger,
+		rng:        rand.New(rand.NewSource(1)),
+		perAttempt: 2 * time.Second,
+		attempts:   3,
+		hedgeAfter: 500 * time.Millisecond,
+	}
+	if reg != nil {
+		f.mForwarded = reg.Counter("fastd.forward.requests")
+		f.mRetries = reg.Counter("fastd.forward.retries")
+		f.mHedges = reg.Counter("fastd.forward.hedges")
+		f.mErrors = reg.Counter("fastd.forward.errors")
+	}
+	return f
+}
+
+// owner maps a session ID to the peer index that owns it.
+func (f *forwarder) owner(sessionID string) int {
+	i, err := f.ring.Owner(sessionID)
+	if err != nil {
+		return 0 // nothing is ever fenced in the skeleton ring
+	}
+	return i
+}
+
+// sessionID extracts the {id} segment from /v1/sessions/{id}/... paths;
+// empty means the request is not session-scoped (or is a create) and must be
+// handled locally.
+func sessionID(path string) string {
+	rest, ok := strings.CutPrefix(path, "/v1/sessions/")
+	if !ok || rest == "" {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i]
+	}
+	return rest // DELETE /v1/sessions/{id}
+}
+
+// middleware routes session-scoped requests: local sessions fall through to
+// the daemon's handler, remote ones are proxied to their owning peer.
+func (f *forwarder) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sessionID(r.URL.Path)
+		if id == "" || r.Header.Get("X-Forwarded-By") != "" {
+			// Not session-scoped, or already one forwarding hop deep —
+			// serve locally (one hop max: the owner computed from the shared
+			// peer list is authoritative, so a second hop means the lists
+			// disagree and looping would not fix it).
+			next.ServeHTTP(w, r)
+			return
+		}
+		peer := f.owner(id)
+		if peer == 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		f.proxy(w, r, f.peers[peer])
+	})
+}
+
+// proxy replays the request against the owning peer with per-attempt
+// timeouts, jittered backoff between attempts, and — for requests that are
+// safe to execute twice — at most one hedged duplicate if the first attempt
+// is slow. Hedging is gated on idempotency: GETs and requests carrying an
+// Idempotency-Key may race two attempts (the journal dedups), anything else
+// must never be in flight twice.
+func (f *forwarder) proxy(w http.ResponseWriter, r *http.Request, base string) {
+	f.mForwarded.Inc()
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	target := strings.TrimSuffix(base, "/") + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	if _, err := url.Parse(target); err != nil {
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	idempotent := r.Method == http.MethodGet || r.Header.Get("Idempotency-Key") != ""
+
+	attempt := func(hedged bool) (*http.Response, error) {
+		ctx, cancel := context.WithTimeout(r.Context(), f.perAttempt)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, r.Method, target, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header = r.Header.Clone()
+		req.Header.Set("X-Forwarded-By", f.self)
+		resp, err := f.client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		// Buffer before the per-attempt context is cancelled.
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(b))
+		if hedged {
+			f.mHedges.Inc()
+		}
+		return resp, nil
+	}
+
+	var resp *http.Response
+	var lastErr error
+	for try := 0; try < f.attempts; try++ {
+		if try > 0 {
+			f.mRetries.Inc()
+			// Decorrelated jitter: base 50ms doubling, ±50% spread — retries
+			// from concurrent callers must not re-synchronise on the peer.
+			backoff := 50 * time.Millisecond << (try - 1)
+			f.rngMu.Lock()
+			backoff += time.Duration(f.rng.Int63n(int64(backoff)))
+			f.rngMu.Unlock()
+			select {
+			case <-time.After(backoff):
+			case <-r.Context().Done():
+				d := http.StatusGatewayTimeout
+				httpError(w, d, r.Context().Err())
+				return
+			}
+		}
+		if idempotent && try == 0 {
+			resp, lastErr = f.attemptWithHedge(attempt)
+		} else {
+			resp, lastErr = attempt(false)
+		}
+		if lastErr == nil && resp.StatusCode < http.StatusInternalServerError &&
+			resp.StatusCode != http.StatusTooManyRequests {
+			break
+		}
+		// Retry transport errors and transient ladder rungs (429/5xx) only
+		// when re-execution is safe; a non-idempotent mutation gets its error
+		// surfaced after the first attempt — the CLIENT owns that retry.
+		if !idempotent {
+			break
+		}
+		if resp != nil {
+			resp.Body.Close()
+			resp = nil
+		}
+	}
+	if lastErr != nil {
+		f.mErrors.Inc()
+		f.logger.Warn("forward failed", "target", target, "error", lastErr.Error())
+		httpError(w, http.StatusBadGateway, lastErr)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// attemptWithHedge races the first attempt against one delayed duplicate:
+// if the original has not answered within hedgeAfter, a second copy starts
+// and whichever finishes first wins. Only called for idempotent requests.
+func (f *forwarder) attemptWithHedge(attempt func(hedged bool) (*http.Response, error)) (*http.Response, error) {
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	ch := make(chan result, 2)
+	go func() {
+		resp, err := attempt(false)
+		ch <- result{resp, err}
+	}()
+	var timer *time.Timer
+	f.rngMu.Lock()
+	hedgeDelay := f.hedgeAfter + time.Duration(f.rng.Int63n(int64(f.hedgeAfter/4+1)))
+	f.rngMu.Unlock()
+	timer = time.NewTimer(hedgeDelay)
+	defer timer.Stop()
+	launched := 1
+	for {
+		select {
+		case res := <-ch:
+			if res.err == nil || launched == 2 {
+				// First success wins; or both attempts have reported and this
+				// is the last word.
+				if res.err != nil && launched == 2 {
+					// Drain the other result if it is already buffered, in
+					// case it succeeded.
+					select {
+					case other := <-ch:
+						if other.err == nil {
+							return other.resp, nil
+						}
+					default:
+					}
+				}
+				return res.resp, res.err
+			}
+			// Original failed before the hedge armed: fall through to the
+			// outer retry loop rather than hedging a known-bad attempt.
+			return res.resp, res.err
+		case <-timer.C:
+			if launched == 1 {
+				launched = 2
+				go func() {
+					resp, err := attempt(true)
+					ch <- result{resp, err}
+				}()
+			}
+		}
+	}
+}

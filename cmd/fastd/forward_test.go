@@ -1,0 +1,242 @@
+package main
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fastfhe/fast/internal/obs"
+)
+
+func TestSessionIDExtraction(t *testing.T) {
+	cases := map[string]string{
+		"/v1/sessions/s7/eval":    "s7",
+		"/v1/sessions/s7/encrypt": "s7",
+		"/v1/sessions/s7":         "s7",
+		"/v1/sessions":            "", // create: always local
+		"/v1/sessions/":           "",
+		"/readyz":                 "",
+		"/debug/shards/0/kill":    "",
+	}
+	for path, want := range cases {
+		if got := sessionID(path); got != want {
+			t.Errorf("sessionID(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestSplitPeers(t *testing.T) {
+	got := splitPeers(" http://a:1 ,, http://b:2,")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("splitPeers = %#v", got)
+	}
+	if splitPeers("") != nil {
+		t.Fatal("empty -peers must yield nil")
+	}
+}
+
+// newTestForwarder builds a two-node forwarder whose peer 1 is the given
+// backend, with fast timeouts for tests.
+func newTestForwarder(backend string) (*forwarder, *obs.Registry) {
+	reg := obs.NewRegistry()
+	f := newForwarder([]string{"http://self.invalid", backend}, reg, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	f.perAttempt = 2 * time.Second
+	return f, reg
+}
+
+// remoteID returns a session ID the forwarder's ring assigns to peer 1.
+func remoteID(f *forwarder) string {
+	for i := 0; i < 1000; i++ {
+		id := "s" + strconv.Itoa(i)
+		if f.owner(id) == 1 {
+			return id
+		}
+	}
+	panic("no ID hashed to peer 1 in 1000 tries")
+}
+
+// localID returns a session ID the forwarder keeps on this node.
+func localID(f *forwarder) string {
+	for i := 0; i < 1000; i++ {
+		id := "s" + strconv.Itoa(i)
+		if f.owner(id) == 0 {
+			return id
+		}
+	}
+	panic("no ID hashed to peer 0 in 1000 tries")
+}
+
+// TestForwardRoutesRemoteSessions: a session owned by the peer is proxied
+// (with the forwarding hop marked); a local session and non-session paths
+// fall through to the local handler.
+func TestForwardRoutesRemoteSessions(t *testing.T) {
+	var peerHits atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		peerHits.Add(1)
+		if r.Header.Get("X-Forwarded-By") == "" {
+			t.Error("proxied request lacks X-Forwarded-By")
+		}
+		w.Header().Set("X-Served-By", "peer1")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	defer backend.Close()
+	f, _ := newTestForwarder(backend.URL)
+
+	var localHits atomic.Int64
+	h := f.middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		localHits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	front := httptest.NewServer(h)
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/v1/sessions/"+remoteID(f)+"/eval", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Served-By") != "peer1" {
+		t.Fatal("remote session was not proxied to its owner")
+	}
+	if peerHits.Load() != 1 || localHits.Load() != 0 {
+		t.Fatalf("peer=%d local=%d after remote request, want 1/0", peerHits.Load(), localHits.Load())
+	}
+
+	for _, path := range []string{"/v1/sessions/" + localID(f) + "/eval", "/v1/sessions", "/readyz"} {
+		resp, err := http.Post(front.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if peerHits.Load() != 1 {
+		t.Fatalf("local paths leaked to the peer (%d hits)", peerHits.Load())
+	}
+	if localHits.Load() != 3 {
+		t.Fatalf("local handler saw %d requests, want 3", localHits.Load())
+	}
+}
+
+// TestForwardOneHopMax: a request that already carries the forwarding marker
+// is served locally even when the ring says the peer owns it — the peer lists
+// disagree, and ping-ponging would not fix that.
+func TestForwardOneHopMax(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("second forwarding hop attempted")
+	}))
+	defer backend.Close()
+	f, _ := newTestForwarder(backend.URL)
+	served := false
+	h := f.middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served = true
+		w.WriteHeader(http.StatusOK)
+	}))
+	req := httptest.NewRequest(http.MethodPost, "/v1/sessions/"+remoteID(f)+"/eval", nil)
+	req.Header.Set("X-Forwarded-By", "http://other.invalid")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if !served {
+		t.Fatal("already-forwarded request was not served locally")
+	}
+}
+
+// TestForwardRetriesIdempotent: transient peer failures (503) on an
+// idempotent request are retried with backoff until success, within the
+// attempt budget.
+func TestForwardRetriesIdempotent(t *testing.T) {
+	var calls atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer backend.Close()
+	f, reg := newTestForwarder(backend.URL)
+	h := f.middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("remote request served locally")
+	}))
+	req := httptest.NewRequest(http.MethodPost, "/v1/sessions/"+remoteID(f)+"/eval", nil)
+	req.Header.Set("Idempotency-Key", "retry-1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d after retries, want 200", rec.Code)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("peer saw %d attempts, want 3", calls.Load())
+	}
+	if v := reg.Counter("fastd.forward.retries").Value(); v != 2 {
+		t.Fatalf("retry counter = %d, want 2", v)
+	}
+}
+
+// TestForwardNoRetryWithoutIdempotency: a mutation with no Idempotency-Key
+// must reach the peer exactly once — its failure is surfaced, never silently
+// re-executed.
+func TestForwardNoRetryWithoutIdempotency(t *testing.T) {
+	var calls atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer backend.Close()
+	f, _ := newTestForwarder(backend.URL)
+	h := f.middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest(http.MethodPost, "/v1/sessions/"+remoteID(f)+"/eval", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want the peer's 503 surfaced", rec.Code)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("non-idempotent request reached the peer %d times, want exactly 1", calls.Load())
+	}
+}
+
+// TestForwardHedgedRetry: when the first attempt of an idempotent request is
+// slow, at most one hedged duplicate races it and the fast answer wins.
+func TestForwardHedgedRetry(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // first attempt wedges until the test ends
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"hedged":true}`))
+	}))
+	defer backend.Close()
+	defer close(release)
+	f, reg := newTestForwarder(backend.URL)
+	f.hedgeAfter = 10 * time.Millisecond
+	h := f.middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest(http.MethodPost, "/v1/sessions/"+remoteID(f)+"/eval", nil)
+	req.Header.Set("Idempotency-Key", "hedge-1")
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(rec, req)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hedged request did not complete while the original was wedged")
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want the hedge's 200", rec.Code)
+	}
+	if v := reg.Counter("fastd.forward.hedges").Value(); v != 1 {
+		t.Fatalf("hedge counter = %d, want exactly 1", v)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("peer saw %d attempts, want original + one hedge", calls.Load())
+	}
+}

@@ -9,16 +9,19 @@ import (
 	fast "github.com/fastfhe/fast"
 	"github.com/fastfhe/fast/internal/costmodel"
 	"github.com/fastfhe/fast/internal/obs"
+	shardpkg "github.com/fastfhe/fast/internal/shard"
 )
 
-// Session lifecycle: create → (snapshot) → serve ⇄ evict/restore → expire.
+// Session lifecycle: create → (snapshot) → serve ⇄ evict/restore → expire,
+// now across N shards.
 //
 // A session is in exactly one of three registry states:
 //
-//	resident   in d.sessions (and on the LRU list): fully expanded Context,
-//	           serving requests directly;
+//	resident   in exactly one shard's map, recorded in d.owners: fully
+//	           expanded Context, serving requests directly on that shard;
 //	persisted  in d.persisted: snapshot on disk only — evicted under resident
-//	           pressure / idle TTL, or not yet faulted in after a restart;
+//	           pressure / idle TTL, not yet faulted in after a restart, or
+//	           migrated off a fenced shard;
 //	corrupt    in d.corrupt: the snapshot failed integrity validation; the ID
 //	           is tombstoned (410 Gone) so a bad file can never serve a wrong
 //	           decrypt, and the daemon keeps running.
@@ -28,77 +31,120 @@ import (
 // the restore, and eviction is triggered by create/restore overshoot or the
 // idle sweeper. Restores are singleflighted per ID — a stampede of requests
 // for one cold session performs one deserialisation.
+//
+// The owner table is what makes failover correct: a session is served through
+// whichever shard currently HOLDS it, which is the ring-routed shard in steady
+// state but may be a survivor after its home shard was fenced (and stays the
+// survivor after an unfence, until eviction lets it drift home). Routing by
+// ring alone would either lose track of failed-over residents or snap them
+// back across shards mid-request.
 
 // errUnknownSession is the typed miss for a session ID with no resident
 // entry, no snapshot and no tombstone — mapped to 404 by the error ladder.
 var errUnknownSession = errors.New("unknown session")
 
-// getSession resolves a session ID: the resident fast path is two map reads
-// under RLock; a persisted ID pays a singleflighted restore from disk.
-func (d *daemon) getSession(id string) (*session, error) {
-	d.mu.RLock()
-	s, ok := d.sessions[id]
-	d.mu.RUnlock()
-	if ok {
-		d.touch(s)
-		return s, nil
-	}
-	if d.store == nil {
-		return nil, fmt.Errorf("%w %q", errUnknownSession, id)
-	}
+// resolve maps a session ID to (holding shard, session). The resident path is
+// a map read under the registry locks; a persisted ID pays a singleflighted
+// restore onto its ring-routed live shard. A resident session whose holding
+// shard has been fenced — the window between the ring fencing and onFence
+// migrating the registry — returns ErrShardDown (503 + Retry-After): the
+// retry finds the snapshot back in the persisted set and restores it on a
+// survivor.
+func (d *daemon) resolve(id string) (*evalShard, *session, error) {
 	for {
 		d.mu.Lock()
-		if s, ok := d.sessions[id]; ok {
+		if sh := d.owners[id]; sh != nil {
+			if sh.fenced() {
+				d.mu.Unlock()
+				d.mShardDown.Inc()
+				return nil, nil, fmt.Errorf("session %q: %w", id, shardpkg.ErrShardDown)
+			}
+			sh.mu.RLock()
+			s := sh.sessions[id]
+			sh.mu.RUnlock()
 			d.mu.Unlock()
-			d.touch(s)
-			return s, nil
+			if s == nil {
+				// owners and sh.sessions are updated together under both
+				// locks, so this cannot persist — re-read.
+				continue
+			}
+			d.touch(sh, s)
+			return sh, s, nil
 		}
 		if _, bad := d.corrupt[id]; bad {
 			d.mu.Unlock()
-			return nil, fmt.Errorf("session %q: %w", id, fast.ErrCorruptSnapshot)
+			return nil, nil, fmt.Errorf("session %q: %w", id, fast.ErrCorruptSnapshot)
 		}
-		if _, onDisk := d.persisted[id]; !onDisk {
+		if _, onDisk := d.persisted[id]; !onDisk || d.store == nil {
 			d.mu.Unlock()
-			return nil, fmt.Errorf("%w %q", errUnknownSession, id)
+			return nil, nil, fmt.Errorf("%w %q", errUnknownSession, id)
 		}
-		if ch, inflight := d.restoring[id]; inflight {
+		// Restore lands on the ring-routed shard — the canonical home among
+		// the currently-live members (after a fence this is a survivor; after
+		// an unfence it is the original home again).
+		home, err := d.ring.Owner(id)
+		if err != nil {
+			d.mu.Unlock()
+			d.mShardDown.Inc()
+			return nil, nil, err
+		}
+		sh := d.shards[home]
+		sh.mu.Lock()
+		if ch, inflight := sh.restoring[id]; inflight {
+			sh.mu.Unlock()
 			d.mu.Unlock()
 			<-ch // another request is already restoring; wait and re-check
 			continue
 		}
 		ch := make(chan struct{})
-		d.restoring[id] = ch
+		sh.restoring[id] = ch
+		sh.mu.Unlock()
 		d.mu.Unlock()
 
-		s, err := d.restoreSession(id) // disk + NTT tables; never under d.mu
+		s, err := d.restoreSession(sh, id) // disk + NTT tables; never under locks
 		d.mu.Lock()
-		delete(d.restoring, id)
+		sh.mu.Lock()
+		delete(sh.restoring, id)
 		if err != nil {
 			if errors.Is(err, fast.ErrCorruptSnapshot) {
 				// Tombstone: the file stays on disk for forensics but the ID
-				// will never be restored — wrong decrypts are impossible.
+				// will never be restored — wrong decrypts are impossible. The
+				// occupancy slot is released: a tombstone holds no keys.
 				d.corrupt[id] = struct{}{}
 				delete(d.persisted, id)
 				d.mCorrupt.Inc()
+				d.occupancy.Add(-1)
 			}
+			sh.mu.Unlock()
 			d.mu.Unlock()
 			close(ch)
 			d.logger.Warn("session restore failed", "session", id, "error", err.Error())
-			return nil, err
+			return nil, nil, err
+		}
+		if d.ring.Fenced(sh.id) {
+			// The shard was fenced while the restore ran; onFence could not
+			// see the half-born session. Discard it — the snapshot stays in
+			// the persisted set, and the retry restores on a survivor.
+			sh.mu.Unlock()
+			d.mu.Unlock()
+			close(ch)
+			d.mShardDown.Inc()
+			return nil, nil, fmt.Errorf("session %q: %w", id, shardpkg.ErrShardDown)
 		}
 		delete(d.persisted, id)
-		d.sessions[id] = s
-		s.lruEl = d.lru.PushFront(s)
+		sh.sessions[id] = s
+		d.owners[id] = sh
+		s.lruEl = sh.lru.PushFront(s)
 		s.lastUsed = time.Now()
-		n := len(d.sessions)
+		sh.mu.Unlock()
 		d.mu.Unlock()
 		close(ch)
 		d.mRestored.Inc()
-		d.mSessionCount.Set(int64(n))
+		d.mSessionCount.Set(d.resident.Add(1))
 		d.updateOccupancy()
-		d.logger.Info("session restored", "session", id, "restores", s.meta.Restores)
-		d.enforceResident()
-		return s, nil
+		d.logger.Info("session restored", "session", id, "shard", sh.id, "restores", s.meta.Restores)
+		d.enforceResident(sh)
+		return sh, s, nil
 	}
 }
 
@@ -107,14 +153,23 @@ func (d *daemon) getSession(id string) (*session, error) {
 // session must never replay pre-crash encryption randomness), key expansion
 // against the deterministically recompiled parameters, and an idempotency
 // table rebuilt from the journal. The bumped metadata is re-persisted so the
-// NEXT crash also lands on a fresh epoch.
-func (d *daemon) restoreSession(id string) (*session, error) {
+// NEXT crash also lands on a fresh epoch, and the journal is compacted to the
+// rebuilt table's bounded window so repeated evict/restore cycles cannot grow
+// it without bound.
+func (d *daemon) restoreSession(sh *evalShard, id string) (*session, error) {
 	snap, err := d.store.loadSnapshot(id)
 	if err != nil {
 		return nil, err
 	}
 	snap.Meta.Restores++
-	opts := []fast.Option{fast.WithObserver(d.observer)}
+	opts := []fast.Option{
+		fast.WithObserver(d.observer),
+		// The restored context subscribes to the shared evk tier under the
+		// RESTORING shard's tag: after a failover the survivor's lookups hit
+		// entries the fenced shard filled — the cross-shard reuse the shared
+		// tier exists for.
+		fast.WithEvkCache(d.evk, id, sh.id),
+	}
 	if fs := snap.Meta.FaultScenario; fs != "" && fs != "none" {
 		plan, err := fast.FaultScenario(fs)
 		if err != nil {
@@ -137,43 +192,51 @@ func (d *daemon) restoreSession(id string) (*session, error) {
 	for _, rec := range d.store.loadIdem(id) {
 		sess.idem.insert(rec)
 	}
+	// Compaction on restore: the journal on disk may hold every append since
+	// the last evict (or arbitrarily many across crash loops); rewrite it to
+	// exactly the surviving window so the file stays bounded by IdemCap.
+	if err := d.store.rewriteIdem(id, sess.idem.records()); err != nil {
+		d.logger.Warn("idempotency journal compaction failed", "session", id, "error", err.Error())
+	}
 	sess.persisted = d.store.saveSnapshotRetry(fctx, sess.meta) == nil
 	return sess, nil
 }
 
-// touch marks a session recently used (LRU front + idle clock reset).
-func (d *daemon) touch(s *session) {
+// touch marks a session recently used (LRU front + idle clock reset) on its
+// holding shard.
+func (d *daemon) touch(sh *evalShard, s *session) {
 	if d.store == nil {
 		return
 	}
-	d.mu.Lock()
+	sh.mu.Lock()
 	if s.lruEl != nil {
-		d.lru.MoveToFront(s.lruEl)
+		sh.lru.MoveToFront(s.lruEl)
 	}
 	s.lastUsed = time.Now()
-	d.mu.Unlock()
+	sh.mu.Unlock()
 }
 
-// enforceResident evicts least-recently-used sessions until the resident
-// count is within MaxResident. Called after every create and restore.
-func (d *daemon) enforceResident() {
+// enforceResident evicts least-recently-used sessions from one shard until
+// its resident count is within its slice of MaxResident. Called after every
+// create and restore on that shard.
+func (d *daemon) enforceResident(sh *evalShard) {
 	if d.store == nil {
 		return
 	}
 	for {
-		d.mu.RLock()
-		over := len(d.sessions) > d.cfg.MaxResident
+		sh.mu.RLock()
+		over := len(sh.sessions) > sh.maxResident
 		var victim *session
 		if over {
-			if el := d.lru.Back(); el != nil {
+			if el := sh.lru.Back(); el != nil {
 				victim = el.Value.(*session)
 			}
 		}
-		d.mu.RUnlock()
+		sh.mu.RUnlock()
 		if victim == nil {
 			return
 		}
-		if !d.evictSession(victim) {
+		if !d.evictSession(sh, victim) {
 			return // victim unpersistable: durability beats the memory bound
 		}
 	}
@@ -181,11 +244,11 @@ func (d *daemon) enforceResident() {
 
 // evictSession releases one resident session to disk: snapshot-if-dirty,
 // journal compaction to the bounded in-memory window, then an atomic
-// resident→persisted registry flip and plan-cache drop. Returns false when
-// the session could not be persisted — losing key material to enforce a
-// memory bound is never acceptable, so the session stays resident (counted
-// via fastd.store.write_failures).
-func (d *daemon) evictSession(victim *session) bool {
+// resident→persisted registry flip (shard map + owner table together) and
+// plan-cache drop. Returns false when the session could not be persisted —
+// losing key material to enforce a memory bound is never acceptable, so the
+// session stays resident (counted via fastd.store.write_failures).
+func (d *daemon) evictSession(sh *evalShard, victim *session) bool {
 	victim.mu.Lock()
 	dirty := !victim.persisted
 	victim.mu.Unlock()
@@ -202,30 +265,33 @@ func (d *daemon) evictSession(victim *session) bool {
 	}
 
 	d.mu.Lock()
+	sh.mu.Lock()
 	if victim.lruEl == nil {
-		// A concurrent evict or delete already claimed it.
+		// A concurrent evict, delete or fence already claimed it.
+		sh.mu.Unlock()
 		d.mu.Unlock()
 		return true
 	}
-	d.lru.Remove(victim.lruEl)
+	sh.lru.Remove(victim.lruEl)
 	victim.lruEl = nil
-	delete(d.sessions, victim.id)
+	delete(sh.sessions, victim.id)
+	delete(d.owners, victim.id)
 	d.persisted[victim.id] = struct{}{}
-	n := len(d.sessions)
+	sh.mu.Unlock()
 	d.mu.Unlock()
 
 	d.mPlanEvicted.Add(uint64(victim.plans.drop()))
 	d.mEvicted.Inc()
-	d.mSessionCount.Set(int64(n))
+	d.mSessionCount.Set(d.resident.Add(-1))
 	d.updateOccupancy()
-	d.logger.Info("session evicted", "session", victim.id)
+	d.logger.Info("session evicted", "session", victim.id, "shard", sh.id)
 	return true
 }
 
 // sweepIdle is the idle-TTL loop: sessions untouched for SessionTTL are
-// evicted to disk. Restore on next use is transparent (modulo latency), so
-// the TTL reclaims key-set memory from abandoned keyspaces without a
-// client-visible expiry.
+// evicted to disk, shard by shard. Restore on next use is transparent (modulo
+// latency), so the TTL reclaims key-set memory from abandoned keyspaces
+// without a client-visible expiry.
 func (d *daemon) sweepIdle() {
 	defer close(d.sweepDone)
 	interval := d.cfg.SessionTTL / 4
@@ -241,26 +307,28 @@ func (d *daemon) sweepIdle() {
 		case <-tick.C:
 		}
 		cutoff := time.Now().Add(-d.cfg.SessionTTL)
-		var victims []*session
-		d.mu.RLock()
-		for _, s := range d.sessions {
-			if s.lruEl != nil && s.lastUsed.Before(cutoff) {
-				victims = append(victims, s)
+		for _, sh := range d.shards {
+			var victims []*session
+			sh.mu.RLock()
+			for _, s := range sh.sessions {
+				if s.lruEl != nil && s.lastUsed.Before(cutoff) {
+					victims = append(victims, s)
+				}
 			}
-		}
-		d.mu.RUnlock()
-		for _, s := range victims {
-			d.evictSession(s)
+			sh.mu.RUnlock()
+			for _, s := range victims {
+				d.evictSession(sh, s)
+			}
 		}
 	}
 }
 
 // updateOccupancy refreshes the sessions.{resident,persisted} gauges.
 func (d *daemon) updateOccupancy() {
-	d.mu.RLock()
-	res, per := len(d.sessions), len(d.persisted)
-	d.mu.RUnlock()
-	d.mResident.Set(int64(res))
+	d.mu.Lock()
+	per := len(d.persisted)
+	d.mu.Unlock()
+	d.mResident.Set(d.resident.Load())
 	d.mPersisted.Set(int64(per))
 }
 

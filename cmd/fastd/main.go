@@ -53,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -76,8 +77,9 @@ var (
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("fastd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:0 picks a free port)")
-	workers := fs.Int("workers", 2, "concurrent evaluation workers")
-	queue := fs.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+	shards := fs.Int("shards", 1, "failure-isolated serving shards behind the listener")
+	workers := fs.Int("workers", 2, "concurrent evaluation workers per shard")
+	queue := fs.Int("queue", 0, "admission queue depth per shard (0 = 4x workers)")
 	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive fault-bearing requests that open the circuit breaker")
 	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "open interval before the half-open probe")
 	maxSessions := fs.Int("max-sessions", 16, "maximum sessions (resident + persisted)")
@@ -85,6 +87,11 @@ func run(args []string, stdout io.Writer) error {
 	maxResident := fs.Int("max-resident-sessions", 0, "sessions held in memory before LRU eviction to -state-dir (0 = -max-sessions)")
 	sessionTTL := fs.Duration("session-ttl", 0, "evict sessions idle longer than this to -state-dir (0 disables)")
 	storeFaults := fs.String("store-faults", "", "disk-write fault plan for chaos testing, e.g. \"disk=0.2\"")
+	evkBudgetMB := fs.Int("evk-budget-mb", 256, "shared evaluation-key cache budget in MiB")
+	probeInterval := fs.Duration("shard-probe-interval", time.Second, "shard supervisor health-probe interval (shards >= 2)")
+	probeTimeout := fs.Duration("shard-probe-timeout", time.Second, "per-probe timeout before it counts as a failure")
+	fenceThreshold := fs.Int("shard-fence-threshold", 5, "consecutive probe failures that fence a shard")
+	peers := fs.String("peers", "", "comma-separated sibling fastd base URLs (first entry is this node); enables the forwarding skeleton")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
 	sequential := fs.Bool("sequential", false, "disable cross-request micro-batching (baseline/debug mode)")
 	logLevel := fs.String("log-level", "info", "access-log level: debug, info, warn or error")
@@ -107,6 +114,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	d, err := newDaemon(daemonConfig{
+		Shards:           *shards,
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		BreakerThreshold: *breakerThreshold,
@@ -116,6 +124,11 @@ func run(args []string, stdout io.Writer) error {
 		MaxResident:      *maxResident,
 		SessionTTL:       *sessionTTL,
 		StoreFaults:      faultPlan,
+		EvkBudget:        int64(*evkBudgetMB) << 20,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		FenceThreshold:   *fenceThreshold,
+		Peers:            splitPeers(*peers),
 		Sequential:       *sequential,
 		Observer:         fast.NewTracingObserver(0),
 		Logger:           obs.NewLogger(logW, obs.ParseLogLevel(*logLevel)),
@@ -131,8 +144,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 	srv := &http.Server{Handler: d.handler()}
 	go func() { _ = srv.Serve(ln) }()
-	fmt.Fprintf(stdout, "fastd serving on http://%s (%d workers, queue %d)\n",
-		ln.Addr(), *workers, d.srv.QueueCap())
+	fmt.Fprintf(stdout, "fastd serving on http://%s (%d shards x %d workers, queue %d)\n",
+		ln.Addr(), d.cfg.Shards, d.cfg.Workers, d.cfg.QueueDepth)
 	httpStarted(ln.Addr())
 	httpWait()
 
@@ -150,6 +163,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintln(stdout, "fastd stopped")
 	return nil
+}
+
+// splitPeers parses the comma-separated -peers list, dropping empty entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // openAccessLog resolves the -access-log flag to a writer plus its closer.

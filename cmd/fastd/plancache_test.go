@@ -104,9 +104,10 @@ func TestDaemonPlanCacheHitRate(t *testing.T) {
 
 	// The cached plans live per session and the shapes above stay far below
 	// capacity, so the session cache holds exactly the two compiled plans.
-	d.mu.RLock()
-	sess := d.sessions[sr.ID]
-	d.mu.RUnlock()
+	sh := d.shards[0]
+	sh.mu.RLock()
+	sess := sh.sessions[sr.ID]
+	sh.mu.RUnlock()
 	if got := sess.plans.size(); got != 2 {
 		t.Fatalf("session plan cache holds %d plans, want 2", got)
 	}

@@ -60,24 +60,22 @@ func TestSessionLimitUnderConcurrentCreates(t *testing.T) {
 	if created != limit || refused != n-limit {
 		t.Fatalf("created %d / refused %d, want %d / %d", created, refused, limit, n-limit)
 	}
-	d.mu.RLock()
-	registered, reserved := len(d.sessions), d.reserved
-	d.mu.RUnlock()
+	registered := int(d.resident.Load())
 	if registered != limit {
 		t.Fatalf("registry holds %d sessions, want %d", registered, limit)
 	}
-	if reserved != 0 {
-		t.Fatalf("%d reservations leaked after creates settled", reserved)
+	if occ := int(d.occupancy.Load()); occ != limit {
+		t.Fatalf("occupancy %d after creates settled, want %d: reservations leaked", occ, limit)
 	}
 
 	// Failed creates must have released their reservations: deleting one
 	// session frees exactly one slot for a new create.
 	var sr sessionResponse
-	for id := range func() map[string]*session {
-		d.mu.RLock()
-		defer d.mu.RUnlock()
-		m := make(map[string]*session, len(d.sessions))
-		for k, v := range d.sessions {
+	for id := range func() map[string]*evalShard {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		m := make(map[string]*evalShard, len(d.owners))
+		for k, v := range d.owners {
 			m[k] = v
 		}
 		return m
@@ -114,15 +112,16 @@ func TestHealthyTrafficDoesNotResetBreakerStreak(t *testing.T) {
 		t.Fatal("test session unexpectedly has a fault plan")
 	}
 
+	sh := d.shards[0]
 	// One fault report shy of the threshold...
-	d.breaker.RecordFailure()
+	sh.breaker.RecordFailure()
 	// ...then a burst of healthy-session evals interleaves...
 	for i := 0; i < 5; i++ {
-		d.recordFaultHealth(healthy)
+		sh.recordFaultHealth(healthy)
 	}
 	// ...and the storm's next fault report must still reach the threshold.
-	d.breaker.RecordFailure()
-	if st := d.breaker.State(); st != serve.BreakerOpen {
+	sh.breaker.RecordFailure()
+	if st := sh.breaker.State(); st != serve.BreakerOpen {
 		t.Fatalf("breaker state = %v, want open: healthy traffic reset the failure streak", st)
 	}
 }

@@ -1,0 +1,305 @@
+package main
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	fast "github.com/fastfhe/fast"
+	"github.com/fastfhe/fast/internal/obs"
+	"github.com/fastfhe/fast/internal/serve"
+)
+
+// evalShard is one failure-isolated serving lane: its own admission queue,
+// worker pool, circuit breaker, micro-batcher and resident-session LRU. The
+// consistent-hash ring pins each session ID to one shard, so an overloaded
+// queue, a tripped breaker or a panic storm on one shard cannot slow, refuse
+// or wedge traffic owned by its neighbors. Sessions, plan caches (which are
+// per-session) and restore singleflights all live inside the shard; only the
+// snapshot store, the shared evk tier and the MaxSessions budget are global.
+type evalShard struct {
+	id      int
+	d       *daemon
+	srv     *serve.Server
+	batcher *serve.Batcher
+	breaker *serve.Breaker
+
+	maxResident int // this shard's slice of cfg.MaxResident
+
+	// mu guards the shard-local registry. Lock ordering: daemon.mu (global
+	// registry) strictly BEFORE evalShard.mu — never the reverse.
+	mu        sync.RWMutex
+	sessions  map[string]*session
+	restoring map[string]chan struct{} // restore singleflight, closed on completion
+	lru       *list.List               // resident eviction order, front = most recent
+
+	mBreakerState *obs.Gauge
+}
+
+func newEvalShard(d *daemon, id int, maxResident int) *evalShard {
+	cfg := d.cfg
+	reg := cfg.Observer.Registry()
+	sh := &evalShard{
+		id:          id,
+		d:           d,
+		breaker:     serve.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		maxResident: maxResident,
+		sessions:    map[string]*session{},
+		restoring:   map[string]chan struct{}{},
+		lru:         list.New(),
+	}
+	sh.srv = serve.New(serve.Config{
+		Workers:    cfg.Workers,
+		QueueDepth: cfg.QueueDepth,
+		Breaker:    sh.breaker,
+		Reg:        reg,
+	})
+	// Eval requests batch by session: concurrently admitted programs on one
+	// keyspace execute as a micro-batch, sharing hoisted decompositions when
+	// their rotation groups read identical input ciphertexts. Batch keys are
+	// session IDs and sessions are shard-pinned, so per-shard batchers never
+	// split a batch.
+	sh.batcher = serve.NewBatcher(sh.srv, sh.runEvalBatch, reg)
+	if reg != nil {
+		// Per-shard breaker gauge, driven by the transition hook so scrapes
+		// between transitions still see the live state. Values follow
+		// serve.BreakerState: 0 closed, 1 open, 2 half-open.
+		sh.mBreakerState = reg.Gauge("serve.breaker.state{shard=" + strconv.Itoa(id) + "}")
+		sh.mBreakerState.Set(int64(serve.BreakerClosed))
+		gauge := sh.mBreakerState
+		sh.breaker.OnStateChange(func(_, now serve.BreakerState) {
+			gauge.Set(int64(now))
+		})
+	}
+	return sh
+}
+
+// fenced reports whether the ring has fenced this shard (routing skips it).
+func (sh *evalShard) fenced() bool { return sh.d.ring.Fenced(sh.id) }
+
+// resident returns the shard's resident-session count.
+func (sh *evalShard) resident() int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.sessions)
+}
+
+// runEvalBatch executes one micro-batch of compiled eval requests. All items
+// share a batch key (the session ID), so one session context executes them;
+// each run keeps its own request context for per-request cancellation.
+func (sh *evalShard) runEvalBatch(items []*serve.BatchItem) {
+	runs := make([]*fast.Run, len(items))
+	var sess *session
+	for i, it := range items {
+		ce := it.Payload.(*compiledEval)
+		sess = ce.sess
+		runs[i] = &fast.Run{
+			Plan:     ce.plan,
+			Inputs:   ce.inputs,
+			InputIDs: ce.inputIDs,
+			Ctx:      it.Ctx,
+		}
+	}
+	sess.ctx.ExecuteBatch(runs)
+	sh.recordFaultHealth(sess)
+	for i, it := range items {
+		// Stamp the batch sequence onto the in-flight record so the access
+		// log and /debug/requests can join against /debug/plans.
+		obs.RequestFrom(it.Ctx).SetBatch(runs[i].Batch)
+		if runs[i].Err != nil {
+			it.Finish(nil, runs[i].Err)
+			continue
+		}
+		resp, err := encodeCiphertext(runs[i].Out)
+		if err != nil {
+			it.Finish(nil, err)
+			continue
+		}
+		it.Finish(resp, nil)
+	}
+}
+
+// recordFaultHealth feeds this shard's circuit breaker the session's modeled
+// Hemera transfer-fault delta: a request whose key transfers needed recovery
+// actions (retries, timeouts, refetches) counts as a downstream failure even
+// though the computation itself succeeded bit-exactly — the breaker's job is
+// to detect the transfer fault storm, not corrupt data.
+//
+// Sessions without an active fault plan record NOTHING here: the breaker is
+// shard-global and consecutive-failure based, so a RecordSuccess per healthy
+// eval would reset the streak and let any interleaved healthy-session traffic
+// mask a sustained fault storm on another session. Half-open recovery does
+// not depend on this call — the admission layer resolves the probe task's
+// outcome itself (serve.Server.settle), so a clean eval still re-closes an
+// open breaker after faults stop.
+func (sh *evalShard) recordFaultHealth(sess *session) {
+	if !sess.ctx.FaultPlanActive() {
+		return
+	}
+	if delta := sess.faultRecoveryDelta(); delta > 0 {
+		sh.d.mFaultTrips.Inc()
+		sh.breaker.RecordFailure()
+	} else {
+		sh.breaker.RecordSuccess()
+	}
+}
+
+// ---- Supervision, fencing and failover -------------------------------------
+
+// probeShard is the supervisor's health probe: a zero-unit task through the
+// shard's own admission queue and worker pool, so a wedged pool, a queue that
+// never drains, or a deadlocked worker all surface as probe failures. An open
+// or half-open breaker is deliberately reported healthy — the shard is
+// refusing work with typed errors by design, and a no-op probe task must not
+// consume (and close) the breaker's single half-open recovery slot that real
+// traffic is entitled to.
+func (d *daemon) probeShard(ctx context.Context, i int) error {
+	sh := d.shards[i]
+	if sh.breaker.State() != serve.BreakerClosed {
+		return nil
+	}
+	return sh.srv.Do(ctx, serve.Op{Name: "probe", Units: 0}, func(context.Context) error { return nil })
+}
+
+// onFence migrates a fenced shard's registry out so the survivors can serve
+// its sessions: every resident session with a current snapshot returns to the
+// global persisted set (its next request restores it, lazily, on whichever
+// live shard the ring now routes it to); a session whose snapshot write had
+// degraded (resident-only) is lost with the shard — exactly what a SIGKILL
+// would have cost — and is released from the occupancy budget.
+//
+// The ring was fenced before this callback runs, so no new request routes
+// here; requests that resolve the session to this shard through the owner
+// table in the window before migration completes get ErrShardDown (503 +
+// Retry-After) and find the snapshot on a survivor when they retry.
+func (d *daemon) onFence(i int, reason string) {
+	sh := d.shards[i]
+	migrated, lost := 0, 0
+	d.mu.Lock()
+	sh.mu.Lock()
+	for id, s := range sh.sessions {
+		delete(sh.sessions, id)
+		delete(d.owners, id)
+		if s.lruEl != nil {
+			sh.lru.Remove(s.lruEl)
+			s.lruEl = nil
+		}
+		d.mPlanEvicted.Add(uint64(s.plans.drop()))
+		s.mu.Lock()
+		persisted := s.persisted
+		s.mu.Unlock()
+		if d.store != nil && persisted {
+			d.persisted[id] = struct{}{}
+			migrated++
+		} else {
+			d.occupancy.Add(-1)
+			lost++
+		}
+	}
+	sh.mu.Unlock()
+	d.mu.Unlock()
+	d.resident.Add(int64(-(migrated + lost)))
+	d.mShardMigrated.Add(uint64(migrated))
+	d.mShardLost.Add(uint64(lost))
+	d.updateOccupancy()
+	d.logger.Warn("shard fenced", "shard", i, "reason", reason,
+		"migrated", migrated, "lost", lost, "live", d.ring.Live())
+}
+
+// onUnfence logs a recovered shard rejoining the ring. Its sessions are NOT
+// pulled back eagerly: they stay resident where failover restored them (the
+// owner table routes to the current holder) and drift home lazily — the next
+// restore-after-eviction lands on the ring-routed shard again.
+func (d *daemon) onUnfence(i int) {
+	d.logger.Info("shard unfenced", "shard", i, "live", d.ring.Live())
+}
+
+// handleKillShard is the chaos endpoint: an in-process SIGKILL equivalent.
+// The shard is fenced permanently (the supervisor never probes or unfences a
+// killed shard), its hash range remaps to the survivors, and its sessions
+// fail over through their snapshots. Idempotent per shard.
+func (d *daemon) handleKillShard(w http.ResponseWriter, r *http.Request) {
+	d.mRequests.Inc()
+	i, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || i < 0 || i >= len(d.shards) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("invalid shard %q", r.PathValue("id")))
+		return
+	}
+	d.sup.Kill(i, "kill endpoint")
+	writeJSON(w, map[string]any{
+		"shard":  i,
+		"killed": true,
+		"live":   d.ring.Live(),
+	})
+}
+
+// shardReadiness is one shard's row in the /readyz per-shard view.
+type shardReadiness struct {
+	Shard    int    `json:"shard"`
+	Fenced   bool   `json:"fenced"`
+	Killed   bool   `json:"killed"`
+	Breaker  string `json:"breaker"`
+	Queue    int    `json:"queue_depth"`
+	Resident int    `json:"resident"`
+	Draining bool   `json:"draining"`
+}
+
+func (d *daemon) shardReadiness() []shardReadiness {
+	out := make([]shardReadiness, len(d.shards))
+	for i, sh := range d.shards {
+		out[i] = shardReadiness{
+			Shard:    i,
+			Fenced:   d.ring.Fenced(i),
+			Killed:   d.sup.Killed(i),
+			Breaker:  sh.breaker.State().String(),
+			Queue:    sh.srv.QueueLen(),
+			Resident: sh.resident(),
+			Draining: sh.srv.Draining(),
+		}
+	}
+	return out
+}
+
+// evkReadiness surfaces the shared evk tier on /readyz so operators (and the
+// chaos harness) can check budget compliance and cross-shard reuse without
+// scraping /metrics.
+type evkReadiness struct {
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Evictions      uint64 `json:"evictions"`
+	CrossShardHits uint64 `json:"cross_shard_hits"`
+	ResidentBytes  int64  `json:"resident_bytes"`
+	BudgetBytes    int64  `json:"budget_bytes"`
+}
+
+func (d *daemon) evkReadiness() evkReadiness {
+	st := d.evk.Stats()
+	return evkReadiness{
+		Hits:           st.Hits,
+		Misses:         st.Misses,
+		Evictions:      st.Evictions,
+		CrossShardHits: st.CrossShardHits,
+		ResidentBytes:  st.ResidentBytes,
+		BudgetBytes:    st.Capacity,
+	}
+}
+
+// splitResident slices the global MaxResident bound across n shards (every
+// shard gets at least 1).
+func splitResident(maxResident, n int) []int {
+	out := make([]int, n)
+	base, extra := maxResident/n, maxResident%n
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+		if out[i] < 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}

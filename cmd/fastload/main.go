@@ -44,6 +44,8 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 8, "concurrent client workers")
 	zipfS := fs.Float64("zipf-s", 1.2, "Zipf skew for session reuse (>1; higher = hotter head)")
 	kills := fs.Int("kills", 0, "SIGKILL+restart cycles spread across the soak (chaos mode)")
+	shards := fs.Int("shards", 1, "shards for the spawned fastd (-spawn only)")
+	shardKills := fs.Int("shard-kills", 0, "shards to fence mid-soak via the chaos endpoint (must leave a survivor)")
 	sloP99 := fs.Duration("slo-p99", 5*time.Second, "success-latency p99 SLO")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	reportPath := fs.String("report", "", "write the JSON report here (default stdout)")
@@ -51,17 +53,19 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	cfg := soakConfig{
-		Addr:     *addr,
-		Spawn:    *spawn,
-		StateDir: *stateDir,
-		Sessions: *sessions,
-		RPS:      *rps,
-		Duration: *duration,
-		Workers:  *workers,
-		ZipfS:    *zipfS,
-		Kills:    *kills,
-		SLOP99:   *sloP99,
-		Seed:     *seed,
+		Addr:       *addr,
+		Spawn:      *spawn,
+		StateDir:   *stateDir,
+		Sessions:   *sessions,
+		RPS:        *rps,
+		Duration:   *duration,
+		Workers:    *workers,
+		ZipfS:      *zipfS,
+		Kills:      *kills,
+		Shards:     *shards,
+		ShardKills: *shardKills,
+		SLOP99:     *sloP99,
+		Seed:       *seed,
 	}
 	rep, err := soak(cfg, stdout)
 	if err != nil {

@@ -28,8 +28,15 @@ type soakConfig struct {
 	Workers  int
 	ZipfS    float64
 	Kills    int
-	SLOP99   time.Duration
-	Seed     int64
+	// Shards configures the spawned daemon's -shards; ShardKills fences that
+	// many shards mid-soak through the in-process chaos endpoint (must leave
+	// at least one survivor). Unlike -kills, the PROCESS stays up — this
+	// exercises failover (fence, remap, snapshot restore on survivors), not
+	// restart recovery.
+	Shards     int
+	ShardKills int
+	SLOP99     time.Duration
+	Seed       int64
 }
 
 // soakReport is the harness verdict: the tally of everything observed plus
@@ -43,6 +50,10 @@ type soakReport struct {
 	TransportErrors    int64            `json:"transport_errors"`
 	Statuses           map[string]int64 `json:"statuses"`
 	Restarts           int              `json:"restarts"`
+	ShardKills         int              `json:"shard_kills"`
+	EvkCrossShardHits  uint64           `json:"evk_cross_shard_hits"`
+	EvkResidentBytes   int64            `json:"evk_resident_bytes"`
+	EvkBudgetBytes     int64            `json:"evk_budget_bytes"`
 	IdempotentReplays  int64            `json:"idempotent_replays"`
 	BitMismatches      int64            `json:"bit_mismatches"`
 	IdemViolations     int64            `json:"idempotency_violations"`
@@ -320,6 +331,44 @@ type wireEvalReq struct {
 	Output  string            `json:"output"`
 }
 
+// wireReadyz mirrors the slice of /readyz the shard-chaos controller reads.
+type wireReadyz struct {
+	Ready      bool `json:"ready"`
+	LiveShards int  `json:"live_shards"`
+	Shards     []struct {
+		Shard    int  `json:"shard"`
+		Fenced   bool `json:"fenced"`
+		Killed   bool `json:"killed"`
+		Resident int  `json:"resident"`
+	} `json:"shards"`
+	Sessions struct {
+		Corrupt uint64 `json:"corrupt"`
+	} `json:"sessions"`
+	Evk struct {
+		CrossShardHits uint64 `json:"cross_shard_hits"`
+		ResidentBytes  int64  `json:"resident_bytes"`
+		BudgetBytes    int64  `json:"budget_bytes"`
+	} `json:"evk"`
+}
+
+// readyz fetches and decodes /readyz (any status).
+func (c *client) readyz() (int, wireReadyz, error) {
+	var rz wireReadyz
+	resp, err := c.hc.Get(c.base + "/readyz")
+	if err != nil {
+		return 0, rz, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return resp.StatusCode, rz, err
+	}
+	if err := json.Unmarshal(raw, &rz); err != nil {
+		return resp.StatusCode, rz, err
+	}
+	return resp.StatusCode, rz, nil
+}
+
 func soak(cfg soakConfig, logw io.Writer) (*soakReport, error) {
 	if cfg.Sessions <= 0 {
 		cfg.Sessions = 1
@@ -342,6 +391,17 @@ func soak(cfg soakConfig, logw io.Writer) (*soakReport, error) {
 	if cfg.Kills > 0 && cfg.Spawn == "" {
 		return nil, fmt.Errorf("fastload: chaos mode (-kills) requires -spawn")
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.ShardKills > 0 {
+		if cfg.Spawn == "" {
+			return nil, fmt.Errorf("fastload: shard-chaos mode (-shard-kills) requires -spawn")
+		}
+		if cfg.ShardKills >= cfg.Shards {
+			return nil, fmt.Errorf("fastload: -shard-kills %d must leave a survivor among %d shards", cfg.ShardKills, cfg.Shards)
+		}
+	}
 
 	col := &collector{statuses: map[int]int64{}}
 	var proc *daemonProc
@@ -363,6 +423,7 @@ func soak(cfg soakConfig, logw io.Writer) (*soakReport, error) {
 				"-access-log", "none",
 				"-workers", "2",
 				"-queue", "64",
+				"-shards", fmt.Sprint(cfg.Shards),
 				// Headroom above the soak's session count so /readyz's
 				// full-registry flip never blocks the post-restart gate.
 				"-max-sessions", fmt.Sprint(cfg.Sessions*2 + 4),
@@ -447,7 +508,65 @@ func soak(cfg soakConfig, logw io.Writer) (*soakReport, error) {
 	}()
 
 	restarts := 0
+	shardKills := 0
 	var chaosWG sync.WaitGroup
+	if cfg.ShardKills > 0 {
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			interval := cfg.Duration / time.Duration(cfg.ShardKills+1)
+			for k := 0; k < cfg.ShardKills; k++ {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(interval):
+				}
+				// Prefer fencing a shard that still holds sessions, so the
+				// kill forces actual failover work on the survivors.
+				_, rz, err := cl.readyz()
+				if err != nil {
+					col.fail("shard kill %d: readyz: %v", k+1, err)
+					return
+				}
+				victim := -1
+				for _, s := range rz.Shards {
+					if s.Fenced || s.Killed {
+						continue
+					}
+					if victim < 0 {
+						victim = s.Shard
+					}
+					if s.Resident > 0 {
+						victim = s.Shard
+						break
+					}
+				}
+				if victim < 0 || rz.LiveShards <= 1 {
+					col.fail("shard kill %d: no killable shard (live=%d)", k+1, rz.LiveShards)
+					return
+				}
+				fmt.Fprintf(logw, "fastload: shard chaos kill %d/%d -> shard %d\n", k+1, cfg.ShardKills, victim)
+				status, _, _, err := cl.do(http.MethodPost, fmt.Sprintf("/debug/shards/%d/kill", victim), nil, nil, true)
+				if err != nil || status != http.StatusOK {
+					col.fail("shard kill %d: status %d err %v", k+1, status, err)
+					return
+				}
+				// Killing one of N>1 shards must NOT cost readiness: the
+				// fenced shard's sessions fail over, capacity degrades,
+				// availability does not.
+				status, rz, err = cl.readyz()
+				if err != nil || status != http.StatusOK || !rz.Ready {
+					col.fail("shard kill %d: daemon lost readiness (status %d ready %v err %v)", k+1, status, rz.Ready, err)
+					return
+				}
+				if !rz.Shards[victim].Fenced || !rz.Shards[victim].Killed {
+					col.fail("shard kill %d: shard %d not reported fenced+killed on /readyz", k+1, victim)
+					return
+				}
+				shardKills++
+			}
+		}()
+	}
 	if cfg.Kills > 0 {
 		chaosWG.Add(1)
 		go func() {
@@ -497,7 +616,7 @@ func soak(cfg soakConfig, logw io.Writer) (*soakReport, error) {
 				if rng.Intn(10) < 7 {
 					soakDecryptCheck(cl, col, s)
 				} else {
-					soakIdemEval(cl, col, s, fmt.Sprintf("w%d-%d", w, seq))
+					soakIdemEval(cl, col, s, fmt.Sprintf("w%d-%d", w, seq), cfg.Shards > 1)
 				}
 			}
 		}(w)
@@ -513,6 +632,7 @@ func soak(cfg soakConfig, logw io.Writer) (*soakReport, error) {
 		TransportErrors:    col.transportErrors.Load(),
 		Statuses:           map[string]int64{},
 		Restarts:           restarts,
+		ShardKills:         shardKills,
 		IdempotentReplays:  col.replays.Load(),
 		BitMismatches:      col.bitMismatch.Load(),
 		IdemViolations:     col.idemViolations.Load(),
@@ -532,18 +652,14 @@ func soak(cfg soakConfig, logw io.Writer) (*soakReport, error) {
 		rep.P99Ms = float64(lats[len(lats)*99/100]) / float64(time.Millisecond)
 	}
 	if proc != nil {
-		// Post-soak integrity sweep: the daemon must still be ready and must
-		// not have tombstoned any snapshot as corrupt during clean chaos.
-		var rz struct {
-			Sessions struct {
-				Corrupt uint64 `json:"corrupt"`
-			} `json:"sessions"`
-		}
-		if resp, err := cl.hc.Get(base + "/readyz"); err == nil {
-			raw, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			_ = json.Unmarshal(raw, &rz)
+		// Post-soak integrity sweep: the daemon must still be ready, must not
+		// have tombstoned any snapshot as corrupt during clean chaos, and the
+		// shared evk tier must be within budget.
+		if _, rz, err := cl.readyz(); err == nil {
 			rep.CorruptSnapshots = rz.Sessions.Corrupt
+			rep.EvkCrossShardHits = rz.Evk.CrossShardHits
+			rep.EvkResidentBytes = rz.Evk.ResidentBytes
+			rep.EvkBudgetBytes = rz.Evk.BudgetBytes
 		}
 	}
 
@@ -562,6 +678,11 @@ func soak(cfg soakConfig, logw io.Writer) (*soakReport, error) {
 	check(rep.Success == 0, "no request succeeded")
 	check(rep.P99Ms > rep.SLOP99Ms, "success p99 %.1fms exceeds SLO %.0fms", rep.P99Ms, rep.SLOP99Ms)
 	check(cfg.Kills > 0 && restarts < cfg.Kills, "only %d/%d kill cycles completed", restarts, cfg.Kills)
+	check(cfg.ShardKills > 0 && shardKills < cfg.ShardKills, "only %d/%d shard kills completed", shardKills, cfg.ShardKills)
+	check(cfg.ShardKills > 0 && rep.EvkCrossShardHits == 0,
+		"no cross-shard evk hits after failover: survivors did not reuse the dead shard's keys")
+	check(rep.EvkBudgetBytes > 0 && rep.EvkResidentBytes > rep.EvkBudgetBytes,
+		"evk tier resident %d bytes exceeds budget %d", rep.EvkResidentBytes, rep.EvkBudgetBytes)
 	return rep, nil
 }
 
@@ -589,11 +710,21 @@ func soakDecryptCheck(cl *client, col *collector, s *soakSession) {
 
 // soakIdemEval runs one idempotent eval then immediately retries the same
 // key: the duplicate must return the recorded bytes (exactly-once), whether
-// served from memory or — across a kill — from the journal.
-func soakIdemEval(cl *client, col *collector, s *soakSession, key string) {
+// served from memory or — across a kill — from the journal. In shard mode the
+// program carries a rotation: addconst alone never key-switches, and it is
+// exactly the evaluation-key traffic that exercises the shared evk tier
+// (cross-shard hits after failover are one of the chaos assertions).
+func soakIdemEval(cl *client, col *collector, s *soakSession, key string, rotate bool) {
+	prog := []map[string]any{{"op": "addconst", "a": "x", "value": 0.5, "out": "y"}}
+	if rotate {
+		prog = []map[string]any{
+			{"op": "rotate", "a": "x", "r": 1, "out": "t"},
+			{"op": "addconst", "a": "t", "value": 0.5, "out": "y"},
+		}
+	}
 	req := wireEvalReq{
 		Inputs:  map[string]string{"x": s.ciphertext},
-		Program: []map[string]any{{"op": "addconst", "a": "x", "value": 0.5, "out": "y"}},
+		Program: prog,
 		Output:  "y",
 	}
 	hdr := map[string]string{"Idempotency-Key": key}

@@ -37,6 +37,49 @@ func buildFastd(t *testing.T) string {
 // durability contract (bit-identical restored decrypts, ladder-only errors,
 // exactly-once idempotent retries, p99 within a generous SLO). The full-size
 // soak is the fastload binary itself; this keeps `go test -short` fast.
+// TestShardChaosSmoke is the kill-a-shard drill against a spawned multi-shard
+// daemon: mid-soak one of three shards is fenced through the chaos endpoint
+// while Zipf traffic (with rotations, so evaluation keys flow through the
+// shared tier) keeps hammering. Asserts the failover contract: the daemon
+// stays ready, the fenced shard's sessions serve bit-identically from
+// survivors, errors stay on the typed ladder, idempotent retries are
+// exactly-once, and the shared evk tier shows cross-shard reuse within
+// budget.
+func TestShardChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard chaos smoke skipped in -short mode")
+	}
+	bin := buildFastd(t)
+	var log bytes.Buffer
+	rep, err := soak(soakConfig{
+		Spawn:      bin,
+		StateDir:   t.TempDir(),
+		Sessions:   4,
+		RPS:        40,
+		Duration:   6 * time.Second,
+		Workers:    4,
+		ZipfS:      1.2,
+		Shards:     3,
+		ShardKills: 1,
+		SLOP99:     30 * time.Second,
+		Seed:       11,
+	}, &log)
+	if err != nil {
+		t.Fatalf("shard soak: %v\n%s", err, log.String())
+	}
+	t.Logf("shard soak: requests=%d success=%d retries=%d shard_kills=%d replays=%d evk_cross=%d p99=%.0fms",
+		rep.Requests, rep.Success, rep.Retries, rep.ShardKills, rep.IdempotentReplays, rep.EvkCrossShardHits, rep.P99Ms)
+	if !rep.Pass {
+		t.Fatalf("shard soak failed: %v\n%s", rep.Failures, log.String())
+	}
+	if rep.ShardKills != 1 {
+		t.Fatalf("expected exactly one shard kill, got %d", rep.ShardKills)
+	}
+	if rep.EvkCrossShardHits == 0 {
+		t.Fatal("no cross-shard evk hits recorded")
+	}
+}
+
 func TestSoakSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak smoke skipped in -short mode")

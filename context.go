@@ -96,6 +96,7 @@ type Context struct {
 	defaultMethod Method      // for calls without WithMethod; immutable
 	observer      *Observer   // nil unless WithObserver was passed
 	faults        *faultState // nil unless WithFaultPlan was passed
+	evk           *evkBinding // nil unless WithEvkCache was passed
 }
 
 // Ciphertext is an encrypted vector of complex values.
@@ -242,6 +243,7 @@ func assembleContext(cfg ContextConfig, settings contextSettings, params *ckks.P
 		ctx.faults = newFaultState(params, *settings.faultPlan)
 		ctx.faults.setObserver(ctx.observer)
 	}
+	ctx.evk = settings.evk
 	return ctx, nil
 }
 
@@ -369,6 +371,7 @@ func (c *Context) Mul(a, b *Ciphertext, opts ...OpOption) (*Ciphertext, error) {
 	}
 	s := c.settings(opts)
 	c.faults.request(c.params, "relin", min(a.ct.Level, b.ct.Level), s.method)
+	c.evk.request(c.params, "relin", min(a.ct.Level, b.ct.Level), s.method)
 	prod, err := c.eval.MulRelinCtx(s.ctx, a.ct, b.ct, s.method.internal())
 	if err != nil {
 		return nil, err
@@ -471,6 +474,7 @@ func (c *Context) Rotate(a *Ciphertext, r int, opts ...OpOption) (*Ciphertext, e
 	}
 	s := c.settings(opts)
 	c.faults.request(c.params, "rot:"+strconv.Itoa(r), a.ct.Level, s.method)
+	c.evk.request(c.params, "rot:"+strconv.Itoa(r), a.ct.Level, s.method)
 	out, err := c.eval.RotateCtx(s.ctx, a.ct, r, s.method.internal())
 	return wrap(out, err)
 }
@@ -490,6 +494,7 @@ func (c *Context) RotateHoisted(a *Ciphertext, rotations []int, opts ...OpOption
 	for _, r := range rotations {
 		if r != 0 {
 			c.faults.request(c.params, "rot:"+strconv.Itoa(r), a.ct.Level, s.method)
+			c.evk.request(c.params, "rot:"+strconv.Itoa(r), a.ct.Level, s.method)
 		}
 	}
 	outs, err := c.eval.RotateHoistedCtx(s.ctx, a.ct, rotations, s.method.internal())
@@ -517,6 +522,7 @@ func (c *Context) Conjugate(a *Ciphertext, opts ...OpOption) (*Ciphertext, error
 	}
 	s := c.settings(opts)
 	c.faults.request(c.params, "conj", a.ct.Level, s.method)
+	c.evk.request(c.params, "conj", a.ct.Level, s.method)
 	out, err := c.eval.ConjugateCtx(s.ctx, a.ct, s.method.internal())
 	return wrap(out, err)
 }

@@ -1,0 +1,111 @@
+package fast
+
+import (
+	"github.com/fastfhe/fast/internal/ckks"
+	"github.com/fastfhe/fast/internal/hemera"
+)
+
+// EvkCache is the process-wide shared evaluation-key tier: one byte-budgeted
+// LRU every serving shard's Contexts report their key-switch traffic into,
+// keyed by session + method + galois element. It is the level above each
+// Context's private Hemera pool: the pool models the accelerator's on-chip
+// Evk store, the shared cache models host memory serving N shards — keys a
+// session's previous shard already faulted in are hits for whichever shard
+// serves it after a failover (counted as cross-shard hits).
+//
+// The cache is an accounting tier for the modeled memory hierarchy: the
+// functional key material lives in each Context's key set regardless, so a
+// "miss" costs bookkeeping, never correctness. Attach it per Context with
+// WithEvkCache; read it with Stats or the hemera.shared.* instruments.
+type EvkCache struct {
+	c *hemera.SharedCache
+}
+
+// EvkCacheStats mirrors the hemera.shared.* instrument values.
+type EvkCacheStats struct {
+	Hits, Misses, Evictions, CrossShardHits uint64
+	ResidentBytes, Capacity                 int64
+	ResidentKeys                            int
+}
+
+// NewEvkCache returns a shared evk cache bounded by budgetBytes. The
+// observer (nil allowed) registers hemera.shared.{hits,misses,evictions,
+// cross_shard_hits,resident_bytes} in its metrics registry.
+func NewEvkCache(budgetBytes int64, ob *Observer) *EvkCache {
+	var reg = ob.Registry()
+	return &EvkCache{c: hemera.NewSharedCache(budgetBytes, reg)}
+}
+
+// Stats snapshots the cache counters.
+func (e *EvkCache) Stats() EvkCacheStats {
+	if e == nil {
+		return EvkCacheStats{}
+	}
+	st := e.c.Stats()
+	return EvkCacheStats{
+		Hits:           st.Hits,
+		Misses:         st.Misses,
+		Evictions:      st.Evictions,
+		CrossShardHits: st.CrossShardHits,
+		ResidentBytes:  st.ResidentBytes,
+		Capacity:       st.Capacity,
+		ResidentKeys:   st.ResidentKeys,
+	}
+}
+
+// WithEvkCache subscribes the context's key-switch traffic to a process-wide
+// shared evk cache: every key-switching operation (Mul relinearisation,
+// Rotate/RotateHoisted galois keys, Conjugate) records one request under
+// session/method/key-ID, sized by the same evkBytes model the fault layer
+// uses. shard tags which serving shard this context currently runs on — the
+// cache counts a hit from a different shard than the filler as a cross-shard
+// hit, the failover-effectiveness signal.
+//
+// The option is settings-only (it does not alter the parameter set), so it
+// is equally valid on NewContext and SessionSnapshot.Restore — fastd passes
+// it on restore with the surviving shard's ID. A nil cache is a no-op.
+func WithEvkCache(cache *EvkCache, sessionID string, shard int) Option {
+	return func(s *contextSettings) {
+		if cache == nil {
+			return
+		}
+		s.evk = &evkBinding{cache: cache.c, session: sessionID, shard: shard}
+	}
+}
+
+// evkBinding is a Context's subscription to the shared tier.
+type evkBinding struct {
+	cache   *hemera.SharedCache
+	session string
+	shard   int
+}
+
+// request records one evaluation-key fetch against the shared tier. Purely
+// additive next to faultState.request: it never skips or reorders the fault
+// stream, so chaos invariants (deterministic per-seed fault patterns) are
+// unchanged whether or not a shared cache is attached.
+func (e *evkBinding) request(params *ckks.Parameters, keyID string, level int, m Method) {
+	if e == nil {
+		return
+	}
+	// Key identity must be independent of the requesting level — galois keys
+	// are per (session, method, element), and sizing by the max level makes
+	// the byte accounting level-stable too.
+	key := e.session + "/" + m.String() + "/" + keyID
+	size := evkBytes(params, params.MaxLevel(), m)
+	_ = e.cache.GetOrFill(key, e.shard, size, nil)
+}
+
+// EvkKeyCount is a testing/telemetry helper: the number of distinct shared-
+// tier keys a context with this configuration can generate (relin + one per
+// rotation + conjugation, per enabled method).
+func (c *Context) EvkKeyCount() int {
+	n := 1 + len(c.cfg.Rotations)
+	if c.cfg.Conjugation {
+		n++
+	}
+	if c.cfg.EnableKLSS {
+		n *= 2
+	}
+	return n
+}

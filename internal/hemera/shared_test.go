@@ -1,0 +1,156 @@
+package hemera
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/fastfhe/fast/internal/obs"
+)
+
+func newTestShared(capacity int64) (*SharedCache, *obs.Registry) {
+	reg := obs.NewRegistry()
+	return NewSharedCache(capacity, reg), reg
+}
+
+// TestSharedCacheHitMissEvict: basic LRU-by-bytes behavior plus the metric
+// surface — misses fill, hits refresh recency, the byte budget evicts from
+// the cold end, and resident_bytes tracks exactly.
+func TestSharedCacheHitMissEvict(t *testing.T) {
+	c, reg := newTestShared(100)
+	for i := 0; i < 3; i++ { // 3 x 40 bytes: third insert evicts the first
+		if err := c.GetOrFill(fmt.Sprintf("k%d", i), 0, 40, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 3 || st.Hits != 0 {
+		t.Fatalf("misses=%d hits=%d, want 3/0", st.Misses, st.Hits)
+	}
+	if st.Evictions != 1 || c.Contains("k0") {
+		t.Fatalf("evictions=%d contains(k0)=%v, want 1/false", st.Evictions, c.Contains("k0"))
+	}
+	if st.ResidentBytes != 80 || st.ResidentBytes > st.Capacity {
+		t.Fatalf("resident=%d capacity=%d", st.ResidentBytes, st.Capacity)
+	}
+	if g := reg.Gauge("hemera.shared.resident_bytes").Value(); g != 80 {
+		t.Fatalf("resident_bytes gauge = %d, want 80", g)
+	}
+	// k1 is resident: hit, no new fill.
+	if err := c.GetOrFill("k1", 0, 40, func() error { t.Fatal("fill ran on hit"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("hits=%d, want 1", st.Hits)
+	}
+}
+
+// TestSharedCacheCrossShardAccounting: a key filled by shard 0 and hit by
+// shard 1 counts a cross-shard hit and transfers ownership, so a third
+// access from shard 1 is a plain hit.
+func TestSharedCacheCrossShardAccounting(t *testing.T) {
+	c, _ := newTestShared(1000)
+	if err := c.GetOrFill("s1/rot:1", 0, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GetOrFill("s1/rot:1", 1, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.CrossShardHits != 1 {
+		t.Fatalf("cross-shard hits = %d, want 1", st.CrossShardHits)
+	}
+	if err := c.GetOrFill("s1/rot:1", 1, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.CrossShardHits != 1 {
+		t.Fatalf("cross-shard hits after same-shard re-hit = %d, want 1", st.CrossShardHits)
+	}
+}
+
+// TestSharedCacheOversizedStreamsThrough: an entry bigger than the whole
+// budget runs its fill but is never retained and evicts nothing.
+func TestSharedCacheOversizedStreamsThrough(t *testing.T) {
+	c, _ := newTestShared(100)
+	if err := c.GetOrFill("small", 0, 60, nil); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := c.GetOrFill("huge", 0, 500, func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("oversized fill did not run")
+	}
+	if c.Contains("huge") || !c.Contains("small") {
+		t.Fatal("oversized entry retained or displaced resident keys")
+	}
+	if st := c.Stats(); st.ResidentBytes != 60 {
+		t.Fatalf("resident=%d, want 60", st.ResidentBytes)
+	}
+}
+
+// TestSharedCacheFillErrorNotRetained: a failed fill propagates its error to
+// the filler and all waiters and leaves nothing resident; the next request
+// retries the fill.
+func TestSharedCacheFillErrorNotRetained(t *testing.T) {
+	c, _ := newTestShared(100)
+	boom := errors.New("transfer failed")
+	if err := c.GetOrFill("k", 0, 10, func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Contains("k") {
+		t.Fatal("failed fill retained")
+	}
+	if err := c.GetOrFill("k", 0, 10, nil); err != nil {
+		t.Fatalf("retry after failed fill: %v", err)
+	}
+	if !c.Contains("k") {
+		t.Fatal("retry did not fill")
+	}
+}
+
+// TestSharedCacheSingleflightFaultStorm: many goroutines across many shards
+// demand the same small key set concurrently; fills must be singleflighted
+// (at most one per key per residency period), the budget invariant must hold
+// throughout, and with two shards hammering identical keys cross-shard hits
+// must appear. Runs under -race via `make chaos`.
+func TestSharedCacheSingleflightFaultStorm(t *testing.T) {
+	c, _ := newTestShared(1000)
+	var fills atomic.Int64
+	var wg sync.WaitGroup
+	const workers, rounds = 16, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("k%d", i%4) // 4 hot keys, all fit
+				if err := c.GetOrFill(key, w%2, 100, func() error {
+					fills.Add(1)
+					return nil
+				}); err != nil {
+					t.Errorf("GetOrFill: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	// 4 keys, all permanently resident after first fill: exactly 4 fills.
+	if fills.Load() != 4 {
+		t.Fatalf("fills = %d, want 4 (singleflight violated)", fills.Load())
+	}
+	if st.ResidentBytes != 400 || st.ResidentBytes > st.Capacity {
+		t.Fatalf("resident=%d capacity=%d", st.ResidentBytes, st.Capacity)
+	}
+	if st.CrossShardHits == 0 {
+		t.Fatal("two shards on identical keys produced no cross-shard hits")
+	}
+	if st.Hits+st.Misses != workers*rounds {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, workers*rounds)
+	}
+}

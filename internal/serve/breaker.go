@@ -45,6 +45,7 @@ type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 	now       func() time.Time // injectable for tests
+	onChange  func(old, new BreakerState)
 
 	state       BreakerState
 	consecutive int
@@ -82,19 +83,51 @@ func (b *Breaker) Allow() bool {
 // wedges in half-open — where every Allow returns false — forever.
 func (b *Breaker) AllowProbe() (ok, probe bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var notify func()
 	switch b.state {
 	case BreakerClosed:
+		b.mu.Unlock()
 		return true, false
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) >= b.cooldown {
-			b.state = BreakerHalfOpen
+			notify = b.setState(BreakerHalfOpen)
+			b.mu.Unlock()
+			if notify != nil {
+				notify()
+			}
 			return true, true // the probe
 		}
+		b.mu.Unlock()
 		return false, false
 	default: // BreakerHalfOpen: probe in flight
+		b.mu.Unlock()
 		return false, false
 	}
+}
+
+// OnStateChange registers a hook invoked (outside the breaker lock, so it
+// may call State/Trips but must not block) after every state transition.
+// At most one hook; nil clears it. fastd wires the per-shard
+// serve.breaker.state gauge here.
+func (b *Breaker) OnStateChange(fn func(old, new BreakerState)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onChange = fn
+}
+
+// setState performs a state transition with b.mu held and returns the
+// notification thunk to run after unlock (nil when no hook or no change).
+func (b *Breaker) setState(to BreakerState) func() {
+	from := b.state
+	if from == to {
+		return nil
+	}
+	b.state = to
+	if b.onChange == nil {
+		return nil
+	}
+	cb := b.onChange
+	return func() { cb(from, to) }
 }
 
 // CancelProbe returns an unused or inconclusive half-open probe slot:
@@ -106,9 +139,13 @@ func (b *Breaker) AllowProbe() (ok, probe bool) {
 // was already recorded by other means.
 func (b *Breaker) CancelProbe() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var notify func()
 	if b.state == BreakerHalfOpen {
-		b.state = BreakerOpen
+		notify = b.setState(BreakerOpen)
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
 	}
 }
 
@@ -116,10 +153,14 @@ func (b *Breaker) CancelProbe() {
 // and closes a half-open breaker.
 func (b *Breaker) RecordSuccess() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var notify func()
 	b.consecutive = 0
 	if b.state == BreakerHalfOpen {
-		b.state = BreakerClosed
+		notify = b.setState(BreakerClosed)
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
 	}
 }
 
@@ -128,26 +169,32 @@ func (b *Breaker) RecordSuccess() {
 // restart the cooldown).
 func (b *Breaker) RecordFailure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var notify func()
 	switch b.state {
 	case BreakerHalfOpen:
-		b.trip()
+		notify = b.trip()
 	case BreakerClosed:
 		b.consecutive++
 		if b.consecutive >= b.threshold {
-			b.trip()
+			notify = b.trip()
 		}
 	case BreakerOpen:
 		// Late failure reports while open don't extend the cooldown.
 	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 }
 
-// trip must be called with b.mu held.
-func (b *Breaker) trip() {
-	b.state = BreakerOpen
+// trip must be called with b.mu held; returns the state-change notification
+// thunk to run after unlock.
+func (b *Breaker) trip() func() {
+	notify := b.setState(BreakerOpen)
 	b.openedAt = b.now()
 	b.consecutive = 0
 	b.trips++
+	return notify
 }
 
 // State returns the current state (open breakers whose cooldown has elapsed

@@ -1,0 +1,165 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/fastfhe/fast/internal/obs"
+)
+
+// fakeProbe is a controllable per-shard health signal.
+type fakeProbe struct {
+	mu   sync.Mutex
+	fail map[int]bool
+}
+
+func (p *fakeProbe) set(shard int, failing bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fail == nil {
+		p.fail = map[int]bool{}
+	}
+	p.fail[shard] = failing
+}
+
+func (p *fakeProbe) probe(_ context.Context, shard int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fail[shard] {
+		return errors.New("wedged")
+	}
+	return nil
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSupervisorFenceUnfenceFault: a shard that fails Threshold consecutive
+// probes is fenced (OnFence fires, ring stops routing to it); once the probe
+// recovers it is unfenced and rejoins the ring.
+func TestSupervisorFenceUnfenceFault(t *testing.T) {
+	ring := NewRing(3, 8)
+	probe := &fakeProbe{}
+	var fenced, unfenced atomic.Int64
+	reg := obs.NewRegistry()
+	sup := NewSupervisor(ring, SupervisorConfig{
+		Shards:    3,
+		Probe:     probe.probe,
+		Interval:  5 * time.Millisecond,
+		Threshold: 2,
+		OnFence:   func(int, string) { fenced.Add(1) },
+		OnUnfence: func(int) { unfenced.Add(1) },
+		Reg:       reg,
+	})
+	defer sup.Stop()
+
+	probe.set(1, true)
+	waitFor(t, 2*time.Second, "shard 1 fenced", func() bool { return ring.Fenced(1) })
+	if fenced.Load() == 0 {
+		t.Fatal("OnFence did not fire")
+	}
+	if ring.Live() != 2 {
+		t.Fatalf("live = %d, want 2", ring.Live())
+	}
+
+	probe.set(1, false)
+	waitFor(t, 2*time.Second, "shard 1 unfenced", func() bool { return !ring.Fenced(1) })
+	if unfenced.Load() == 0 {
+		t.Fatal("OnUnfence did not fire")
+	}
+	if got := reg.Counter("shard.supervisor.fences").Value(); got == 0 {
+		t.Fatal("fence counter not incremented")
+	}
+}
+
+// TestSupervisorSingleFailureBelowThresholdFault: one transient probe
+// failure below the threshold must NOT fence — fencing is for sustained
+// wedges, not blips.
+func TestSupervisorSingleFailureBelowThresholdFault(t *testing.T) {
+	ring := NewRing(2, 8)
+	probe := &fakeProbe{}
+	sup := NewSupervisor(ring, SupervisorConfig{
+		Shards:    2,
+		Probe:     probe.probe,
+		Interval:  5 * time.Millisecond,
+		Threshold: 5,
+	})
+	defer sup.Stop()
+	probe.set(0, true)
+	time.Sleep(15 * time.Millisecond) // < Threshold*Interval
+	probe.set(0, false)
+	time.Sleep(20 * time.Millisecond)
+	if ring.Fenced(0) {
+		t.Fatal("single sub-threshold failure fenced the shard")
+	}
+}
+
+// TestSupervisorKillIsPermanentChaos: Kill fences immediately and the
+// supervisor never unfences the victim, even though its probe is healthy —
+// the SIGKILL analogue the chaos harness relies on.
+func TestSupervisorKillIsPermanentChaos(t *testing.T) {
+	ring := NewRing(3, 8)
+	probe := &fakeProbe{} // always healthy
+	var fences atomic.Int64
+	sup := NewSupervisor(ring, SupervisorConfig{
+		Shards:   3,
+		Probe:    probe.probe,
+		Interval: 2 * time.Millisecond,
+		OnFence:  func(int, string) { fences.Add(1) },
+	})
+	defer sup.Stop()
+
+	sup.Kill(2, "chaos")
+	sup.Kill(2, "chaos-again") // idempotent
+	if !ring.Fenced(2) || !sup.Killed(2) {
+		t.Fatal("kill did not fence")
+	}
+	if fences.Load() != 1 {
+		t.Fatalf("OnFence fired %d times, want 1", fences.Load())
+	}
+	// Healthy probes keep running; the killed shard must stay fenced.
+	time.Sleep(30 * time.Millisecond)
+	if !ring.Fenced(2) {
+		t.Fatal("supervisor resurrected a killed shard")
+	}
+	if ring.Live() != 2 {
+		t.Fatalf("live = %d, want 2", ring.Live())
+	}
+}
+
+// TestSupervisorProbeTimeoutFault: a probe that blocks past ProbeTimeout
+// counts as a failure (the wedged-pool case: the task never gets a worker).
+func TestSupervisorProbeTimeoutFault(t *testing.T) {
+	ring := NewRing(2, 8)
+	sup := NewSupervisor(ring, SupervisorConfig{
+		Shards: 2,
+		Probe: func(ctx context.Context, shard int) error {
+			if shard == 0 {
+				<-ctx.Done() // wedged: never completes
+				return ctx.Err()
+			}
+			return nil
+		},
+		Interval:     5 * time.Millisecond,
+		ProbeTimeout: 5 * time.Millisecond,
+		Threshold:    2,
+	})
+	defer sup.Stop()
+	waitFor(t, 2*time.Second, "wedged shard fenced", func() bool { return ring.Fenced(0) })
+	if ring.Fenced(1) {
+		t.Fatal("healthy shard fenced")
+	}
+}

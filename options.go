@@ -21,6 +21,7 @@ type contextSettings struct {
 	defaultMethod Method
 	observer      *Observer
 	faultPlan     *FaultPlan
+	evk           *evkBinding // shared evk tier subscription (WithEvkCache)
 }
 
 // WithParallelism caps the number of worker goroutines each homomorphic
